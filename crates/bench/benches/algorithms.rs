@@ -1,0 +1,55 @@
+//! Criterion benches for the end-to-end algorithms (real wall-clock of
+//! the actual computation on a small scene; virtual-time experiment
+//! results come from the table binaries instead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_hsi::config::{AlgoParams, RunOptions};
+use hsi_cube::synth::{wtc_scene, WtcConfig};
+use simnet::engine::Engine;
+
+fn small_scene() -> hsi_cube::synth::SyntheticScene {
+    wtc_scene(WtcConfig {
+        lines: 64,
+        samples: 48,
+        bands: 64,
+        ..Default::default()
+    })
+}
+
+fn small_params() -> AlgoParams {
+    AlgoParams {
+        num_targets: 8,
+        morph_iterations: 2,
+        ..Default::default()
+    }
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let s = small_scene();
+    let p = small_params();
+    let mut g = c.benchmark_group("sequential-64x48x64");
+    g.sample_size(10);
+    g.bench_function("atdca", |b| b.iter(|| hetero_hsi::seq::atdca(&s.cube, &p)));
+    g.bench_function("ufcls", |b| b.iter(|| hetero_hsi::seq::ufcls(&s.cube, &p)));
+    g.bench_function("pct", |b| b.iter(|| hetero_hsi::seq::pct(&s.cube, &p)));
+    g.bench_function("morph", |b| b.iter(|| hetero_hsi::seq::morph(&s.cube, &p)));
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let s = small_scene();
+    let p = small_params();
+    let engine = Engine::new(simnet::presets::fully_heterogeneous());
+    let mut g = c.benchmark_group("parallel-16ranks-64x48x64");
+    g.sample_size(10);
+    g.bench_function("hetero_atdca", |b| {
+        b.iter(|| hetero_hsi::par::atdca::run(&engine, &s.cube, &p, &RunOptions::hetero()))
+    });
+    g.bench_function("hetero_morph", |b| {
+        b.iter(|| hetero_hsi::par::morph::run(&engine, &s.cube, &p, &RunOptions::hetero()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches for the simnet message-passing engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::comm::{broadcast, gather, scatter, ScatterMode};
+use simnet::engine::{Ctx, Engine, WireVec};
+use simnet::Platform;
+
+fn bench_engine_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine-spawn");
+    g.sample_size(20);
+    for p in [4usize, 16, 64] {
+        let engine = Engine::new(Platform::uniform("bench", p, 0.01, 1024, 1.0));
+        g.bench_function(format!("noop_{p}_ranks"), |b| {
+            b.iter(|| engine.run(|ctx: &mut Ctx<()>| ctx.rank()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let engine = Engine::new(Platform::uniform("bench", 16, 0.01, 1024, 1.0));
+    let mut g = c.benchmark_group("collectives-16-ranks");
+    g.sample_size(20);
+    g.bench_function("broadcast_1k_f32", |b| {
+        b.iter(|| {
+            engine.run(|ctx: &mut Ctx<WireVec<f32>>| {
+                let msg = if ctx.is_root() {
+                    Some(WireVec(vec![1.0f32; 1024]))
+                } else {
+                    None
+                };
+                broadcast(ctx, 0, msg).0.len()
+            })
+        })
+    });
+    g.bench_function("gather_1k_f32", |b| {
+        b.iter(|| {
+            engine.run(|ctx: &mut Ctx<WireVec<f32>>| {
+                gather(ctx, 0, WireVec(vec![1.0f32; 1024])).map(|v| v.len())
+            })
+        })
+    });
+    g.bench_function("scatter_1k_f32", |b| {
+        b.iter(|| {
+            engine.run(|ctx: &mut Ctx<WireVec<f32>>| {
+                let items = if ctx.is_root() {
+                    Some((0..16).map(|_| WireVec(vec![1.0f32; 1024])).collect())
+                } else {
+                    None
+                };
+                scatter(ctx, 0, items, ScatterMode::Charged).0.len()
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_wea(c: &mut Criterion) {
+    use hetero_hsi::wea::{hetero_fractions, RowCost, WeaConfig, WeaLinkModel};
+    let platform = simnet::presets::fully_heterogeneous();
+    let cost = RowCost {
+        mflops_per_row: 2.0,
+        mbits_per_row: 0.5,
+        fixed_mflops: 1.0,
+    };
+    let mut g = c.benchmark_group("wea-fractions-16-procs");
+    for (name, model) in [
+        ("ignore", WeaLinkModel::Ignore),
+        ("heuristic", WeaLinkModel::Heuristic { beta: 1.0 }),
+        ("makespan", WeaLinkModel::Makespan),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                hetero_fractions(
+                    &platform,
+                    cost,
+                    WeaConfig {
+                        link_model: model,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_spawn, bench_collectives, bench_wea);
+criterion_main!(benches);

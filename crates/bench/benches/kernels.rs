@@ -1,0 +1,118 @@
+//! Criterion microbenches for the hot per-pixel kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsi_cube::metrics::{brightness, euclidean, sad, sid};
+use hsi_cube::synth::{wtc_scene, WtcConfig};
+use hsi_linalg::lstsq::FclsProblem;
+use hsi_linalg::ortho::OrthoBasis;
+use hsi_linalg::Matrix;
+use hsi_morpho::StructuringElement;
+
+fn spectra() -> (Vec<f32>, Vec<f32>) {
+    let s = wtc_scene(WtcConfig {
+        lines: 4,
+        samples: 4,
+        bands: 224,
+        ..Default::default()
+    });
+    (s.cube.pixel(0, 0).to_vec(), s.cube.pixel(2, 2).to_vec())
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (x, y) = spectra();
+    let mut g = c.benchmark_group("metrics-224-bands");
+    g.bench_function("sad", |b| b.iter(|| sad(black_box(&x), black_box(&y))));
+    g.bench_function("brightness", |b| b.iter(|| brightness(black_box(&x))));
+    g.bench_function("euclidean", |b| {
+        b.iter(|| euclidean(black_box(&x), black_box(&y)))
+    });
+    g.bench_function("sid", |b| b.iter(|| sid(black_box(&x), black_box(&y))));
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let (x, _) = spectra();
+    let wide: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+    let mut g = c.benchmark_group("osp-projection");
+    for k in [1usize, 4, 18] {
+        let mut basis = OrthoBasis::new(224);
+        for i in 0..k {
+            let v: Vec<f64> = (0..224)
+                .map(|b| ((b * (i + 2)) as f64 * 0.37).sin())
+                .collect();
+            basis.push(&v);
+        }
+        g.bench_function(format!("complement_score_k{k}"), |b| {
+            b.iter(|| basis.complement_score(black_box(&wide)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fcls(c: &mut Criterion) {
+    let scene = wtc_scene(WtcConfig {
+        lines: 4,
+        samples: 4,
+        bands: 224,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("fcls-unmixing");
+    for t in [2usize, 8, 18] {
+        let rows: Vec<Vec<f64>> = (0..t)
+            .map(|i| {
+                scene.class_signatures[i % scene.class_signatures.len()]
+                    .iter()
+                    .map(|&v| v as f64 + 0.001 * i as f64)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let problem = FclsProblem::new(Matrix::from_rows(&refs)).unwrap();
+        let px = scene.cube.pixel(1, 1).to_vec();
+        g.bench_function(format!("solve_t{t}"), |b| {
+            b.iter(|| problem.solve_f32(black_box(&px)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mei(c: &mut Criterion) {
+    let scene = wtc_scene(WtcConfig {
+        lines: 32,
+        samples: 32,
+        bands: 64,
+        ..Default::default()
+    });
+    let se = StructuringElement::square(1);
+    c.bench_function("mei-32x32x64-2iter", |b| {
+        b.iter(|| hsi_morpho::mei::mei(black_box(&scene.cube), &se, 2))
+    });
+}
+
+fn bench_covariance(c: &mut Criterion) {
+    let scene = wtc_scene(WtcConfig {
+        lines: 16,
+        samples: 16,
+        bands: 224,
+        ..Default::default()
+    });
+    c.bench_function("covariance-256px-224bands", |b| {
+        b.iter(|| {
+            let mut acc = hsi_linalg::covariance::CovarianceAccumulator::new(224);
+            for i in 0..scene.cube.num_pixels() {
+                acc.push_f32(scene.cube.pixel_flat(i));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_metrics,
+    bench_projection,
+    bench_fcls,
+    bench_mei,
+    bench_covariance
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! **Ablation A4** — static WEA vs dynamic self-scheduling under
+//! unforeseen load (the paper's future-work direction).
+//!
+//! Static WEA plans from nominal cycle-times; when a node is secretly
+//! slowed by background load, its partition becomes the critical path.
+//! Chunked self-scheduling observes completion feedback and reroutes.
+//! The sweep varies the surprise slowdown of the platform's nominally
+//! fastest node (p3) and the chunk size.
+//!
+//! ```text
+//! cargo run -p repro-bench --release --bin ablation_dynamic
+//! ```
+
+use hetero_hsi::config::AlgoParams;
+use hetero_hsi::dynamic::{self_schedule_morph, static_wea_morph};
+use hsi_cube::synth::wtc_scene;
+use repro_bench::{print_table, scene_config, write_csv};
+
+fn main() {
+    // A quarter-size scene keeps this sweep quick; relations are
+    // scale-free.
+    let mut cfg = scene_config();
+    cfg.lines = (cfg.lines / 2).max(64);
+    cfg.samples = (cfg.samples / 2).max(32);
+    eprintln!("# scene: {} x {} x {}", cfg.lines, cfg.samples, cfg.bands);
+    let scene = wtc_scene(cfg);
+    let params = AlgoParams::default();
+    let platform = simnet::presets::fully_heterogeneous();
+    let nominal: Vec<f64> = platform.procs().iter().map(|p| p.cycle_time).collect();
+    let overhead = 2.0e-3; // request/assign round trip per chunk
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for slowdown in [1.0f64, 2.0, 4.0, 8.0] {
+        let mut true_cycle = nominal.clone();
+        true_cycle[2] *= slowdown; // p3, WEA's favourite node
+        eprintln!("# slowdown x{slowdown}: static baseline");
+        let stat = static_wea_morph(&platform, &true_cycle, &scene.cube, &params);
+        let mut row = vec![format!("x{slowdown}"), format!("{:.1}", stat.total_time)];
+        let mut line = format!("{slowdown},{:.3}", stat.total_time);
+        for chunk in [2usize, 8, 32] {
+            eprintln!("# slowdown x{slowdown}: dynamic, chunk {chunk}");
+            let dynm = self_schedule_morph(
+                &platform,
+                &true_cycle,
+                &scene.cube,
+                &params,
+                chunk,
+                overhead,
+            );
+            row.push(format!("{:.1}", dynm.total_time));
+            line += &format!(",{:.3}", dynm.total_time);
+        }
+        rows.push(row);
+        csv.push(line);
+    }
+    print_table(
+        "Ablation A4: MORPH completion time (s), static WEA vs self-scheduling, p3 secretly slowed",
+        &[
+            "Slowdown",
+            "Static WEA",
+            "Dyn chunk=2",
+            "Dyn chunk=8",
+            "Dyn chunk=32",
+        ],
+        &rows,
+    );
+    write_csv(
+        "ablation_dynamic.csv",
+        "slowdown,static,dyn2,dyn8,dyn32",
+        &csv,
+    );
+}

@@ -1,0 +1,201 @@
+//! Evaluation against ground truth — the paper's accuracy metrics.
+//!
+//! * [`target_table`] — Table 3: for each known thermal hot spot, the
+//!   SAD between the scene pixel at the ground-truth position and the
+//!   most similar detected target (0 = perfect detection).
+//! * [`debris_truth`] / classification scoring — Table 4: per-class and
+//!   overall accuracy over the seven dust/debris classes.
+
+use crate::seq::DetectedTarget;
+use hsi_cube::labels::{score, AccuracyReport, LabelImage};
+use hsi_cube::metrics::sad;
+use hsi_cube::synth::SyntheticScene;
+
+/// One row of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetMatch {
+    /// Hot-spot designation ('A'–'G').
+    pub name: char,
+    /// Fire temperature in °F.
+    pub temp_f: f64,
+    /// SAD between the ground-truth pixel and the closest detected
+    /// target (smaller is better; the paper prints three decimals).
+    pub sad: f64,
+}
+
+/// Builds the Table 3 rows: each ground-truth hot spot matched against
+/// the most spectrally similar detected target.
+pub fn target_table(scene: &SyntheticScene, detected: &[DetectedTarget]) -> Vec<TargetMatch> {
+    scene
+        .targets
+        .iter()
+        .map(|t| {
+            let truth_px = scene.cube.pixel(t.coord.0, t.coord.1);
+            let best = detected
+                .iter()
+                .map(|d| sad(&d.spectrum, truth_px))
+                .fold(f64::INFINITY, f64::min);
+            TargetMatch {
+                name: t.name,
+                temp_f: t.temp_f,
+                sad: if best.is_finite() { best } else { f64::NAN },
+            }
+        })
+        .collect()
+}
+
+/// Ground truth restricted to the debris classes (labels `0..7`):
+/// background pixels become [`hsi_cube::labels::UNLABELED`] so Table 4 scores only the
+/// classes the USGS map covers.
+pub fn debris_truth(scene: &SyntheticScene, num_debris: usize) -> LabelImage {
+    let mut out = LabelImage::unlabeled(scene.truth.lines(), scene.truth.samples());
+    for line in 0..scene.truth.lines() {
+        for sample in 0..scene.truth.samples() {
+            let l = scene.truth.get(line, sample);
+            if (l as usize) < num_debris {
+                out.set(line, sample, l);
+            }
+        }
+    }
+    out
+}
+
+/// Scores a classification against the debris-only ground truth,
+/// producing the paper's Table 4 numbers.
+pub fn debris_accuracy(
+    scene: &SyntheticScene,
+    predicted: &LabelImage,
+    num_debris: usize,
+) -> AccuracyReport {
+    score(predicted, &debris_truth(scene, num_debris))
+}
+
+/// Returns `(class name, recall %)` rows in Table 4 order, padding
+/// classes that never appear in the truth map with `NaN`.
+pub fn table4_rows(
+    scene: &SyntheticScene,
+    report: &AccuracyReport,
+    num_debris: usize,
+) -> Vec<(String, f64)> {
+    (0..num_debris)
+        .map(|class| {
+            let name = scene
+                .class_names
+                .get(class)
+                .copied()
+                .unwrap_or("unknown")
+                .to_string();
+            let acc = report
+                .per_class
+                .iter()
+                .find(|(c, _)| *c as usize == class)
+                .map(|&(_, a)| a)
+                .unwrap_or(f64::NAN);
+            (name, acc)
+        })
+        .collect()
+}
+
+/// Convenience: fraction of hot spots whose best SAD match is below
+/// `threshold` (a scalar summary of Table 3).
+pub fn detection_rate(matches: &[TargetMatch], threshold: f64) -> f64 {
+    if matches.is_empty() {
+        return 0.0;
+    }
+    let hits = matches.iter().filter(|m| m.sad < threshold).count();
+    hits as f64 / matches.len() as f64
+}
+
+/// Re-exported for callers that need the raw metric.
+pub use hsi_cube::labels::score as score_labels;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi_cube::labels::UNLABELED;
+    use hsi_cube::synth::{wtc_scene, WtcConfig};
+
+    fn scene() -> SyntheticScene {
+        wtc_scene(WtcConfig::tiny())
+    }
+
+    #[test]
+    fn perfect_detection_scores_near_zero() {
+        let s = scene();
+        // "Detect" exactly the ground-truth pixels.
+        let detected: Vec<DetectedTarget> = s
+            .targets
+            .iter()
+            .map(|t| DetectedTarget {
+                line: t.coord.0,
+                sample: t.coord.1,
+                spectrum: s.cube.pixel(t.coord.0, t.coord.1).to_vec(),
+            })
+            .collect();
+        let table = target_table(&s, &detected);
+        assert_eq!(table.len(), 7);
+        for row in &table {
+            assert!(row.sad < 1e-6, "{}: {}", row.name, row.sad);
+        }
+        assert_eq!(detection_rate(&table, 0.01), 1.0);
+    }
+
+    #[test]
+    fn missing_detection_scores_high() {
+        let s = scene();
+        // Detect only background pixels far from any hot spot.
+        let detected = vec![DetectedTarget {
+            line: 0,
+            sample: 0,
+            spectrum: s.cube.pixel(0, 0).to_vec(),
+        }];
+        let table = target_table(&s, &detected);
+        // The hottest target (G) is strongly thermal: a background
+        // detection cannot match it.
+        let g = table.iter().find(|m| m.name == 'G').unwrap();
+        assert!(g.sad > 0.1, "G matched too well: {}", g.sad);
+        assert!(detection_rate(&table, 0.05) < 1.0);
+    }
+
+    #[test]
+    fn debris_truth_masks_background() {
+        let s = scene();
+        let truth = debris_truth(&s, 7);
+        let mut masked = 0;
+        let mut kept = 0;
+        for line in 0..truth.lines() {
+            for sample in 0..truth.samples() {
+                let orig = s.truth.get(line, sample);
+                let new = truth.get(line, sample);
+                if (orig as usize) < 7 {
+                    assert_eq!(new, orig);
+                    kept += 1;
+                } else {
+                    assert_eq!(new, UNLABELED);
+                    masked += 1;
+                }
+            }
+        }
+        assert!(kept > 0 && masked > 0);
+    }
+
+    #[test]
+    fn detection_rate_empty_is_zero() {
+        assert_eq!(detection_rate(&[], 0.1), 0.0);
+    }
+
+    #[test]
+    fn table4_rows_have_names_in_order() {
+        let s = scene();
+        // Predict the truth itself: 100% everywhere it counts.
+        let report = debris_accuracy(&s, &s.truth, 7);
+        let rows = table4_rows(&s, &report, 7);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].0, "Concrete (WTC01-37B)");
+        assert_eq!(rows[6].0, "Gypsum wall board");
+        for (name, acc) in &rows {
+            assert!(acc.is_nan() || *acc == 100.0, "{name}: {acc}");
+        }
+        assert_eq!(report.overall, 100.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Master/worker plumbing shared by the four parallel algorithms.
+//!
+//! The root (rank 0) also acts as a worker on its own partition, as in
+//! the paper's setup (16 processors, 16 partitions); its extra duties —
+//! WEA, candidate selection, eigendecomposition, set merging — are the
+//! SEQ component of Table 6.
+
+use crate::config::{PartitionStrategy, RunOptions};
+use crate::msg::Msg;
+use crate::wea::{self, RowAssignment, RowCost};
+use hsi_cube::{HyperCube, LabelImage};
+use simnet::comm::ScatterMode;
+use simnet::engine::Engine;
+use simnet::report::RunReport;
+use simnet::Ctx;
+
+/// A rank's local share of the image.
+#[derive(Debug, Clone)]
+pub struct LocalBlock {
+    /// First global line owned by this rank.
+    pub first_line: usize,
+    /// Number of owned lines (may be zero on tiny images).
+    pub n_lines: usize,
+    /// Halo lines prepended before the owned region.
+    pub pre: usize,
+    /// The block, halo included.
+    pub cube: HyperCube,
+}
+
+impl LocalBlock {
+    /// Local line range of the **owned** region, `(lo, hi)`.
+    pub fn own_range(&self) -> (usize, usize) {
+        (self.pre, self.pre + self.n_lines)
+    }
+
+    /// Converts a local line to the global image line.
+    pub fn to_global_line(&self, local: usize) -> usize {
+        local + self.first_line - self.pre
+    }
+}
+
+/// Computes workload fractions for a strategy.
+pub fn plan_fractions(
+    platform: &simnet::Platform,
+    strategy: PartitionStrategy,
+    cost: RowCost,
+) -> Vec<f64> {
+    match strategy {
+        PartitionStrategy::Heterogeneous(cfg) => wea::hetero_fractions(platform, cost, cfg),
+        PartitionStrategy::Homogeneous => wea::homo_fractions(platform),
+    }
+}
+
+/// Computes the per-rank row assignments for a run. When the scatter is
+/// free (pre-staged data), the WEA sees zero staging cost per row and
+/// reduces to pure speed proportionality.
+pub fn plan_assignments(
+    platform: &simnet::Platform,
+    cube: &HyperCube,
+    options: &RunOptions,
+    mut cost: RowCost,
+) -> Vec<RowAssignment> {
+    if options.scatter_mode == ScatterMode::Free {
+        cost.mbits_per_row = 0.0;
+    }
+    let fractions = plan_fractions(platform, options.strategy, cost);
+    let row_bytes = cube.samples() * cube.bands() * 4;
+    let cfg = match options.strategy {
+        PartitionStrategy::Heterogeneous(cfg) => cfg,
+        PartitionStrategy::Homogeneous => wea::WeaConfig {
+            respect_memory: false,
+            ..Default::default()
+        },
+    };
+    wea::assignments(platform, cube.lines(), row_bytes, &fractions, cfg)
+        .expect("platform memory cannot hold the image")
+}
+
+/// Algorithm 2/3/4/5 step 1: the root carves the image into partitions
+/// (optionally with overlap halos) and ships them; every rank returns
+/// its [`LocalBlock`].
+///
+/// The `cube` reference is only dereferenced on the root, mirroring the
+/// real system where only the master holds the full image.
+pub fn distribute(
+    ctx: &mut Ctx<Msg>,
+    cube: &HyperCube,
+    assignments: &[RowAssignment],
+    overlap: usize,
+    mode: ScatterMode,
+) -> LocalBlock {
+    assert_eq!(assignments.len(), ctx.num_ranks());
+    if ctx.is_root() {
+        let mut own: Option<LocalBlock> = None;
+        for (dst, a) in assignments.iter().enumerate() {
+            let (block, pre) = cube.extract_lines_with_overlap(a.first_line, a.n_lines, overlap);
+            if dst == 0 {
+                own = Some(LocalBlock {
+                    first_line: a.first_line,
+                    n_lines: a.n_lines,
+                    pre,
+                    cube: block,
+                });
+            } else {
+                let msg = Msg::partition(a.first_line, a.n_lines, pre, &block);
+                match mode {
+                    ScatterMode::Free => ctx.send_free(dst, msg),
+                    ScatterMode::Charged => ctx.send(dst, msg),
+                }
+            }
+        }
+        own.expect("root assignment missing")
+    } else {
+        let (first_line, n_lines, pre, cube) = ctx.recv(0).into_partition();
+        LocalBlock {
+            first_line,
+            n_lines,
+            pre,
+            cube,
+        }
+    }
+}
+
+/// Final step of the classification algorithms: every rank sends the
+/// labels of its owned lines; the root assembles the full label image.
+pub fn gather_labels(
+    ctx: &mut Ctx<Msg>,
+    block: &LocalBlock,
+    labels: Vec<u16>,
+    image_lines: usize,
+    image_samples: usize,
+) -> Option<LabelImage> {
+    assert_eq!(labels.len(), block.n_lines * image_samples);
+    if ctx.is_root() {
+        let mut out = LabelImage::unlabeled(image_lines, image_samples);
+        let mut place = |first: usize, labs: &[u16]| {
+            for (i, &l) in labs.iter().enumerate() {
+                out.set(first + i / image_samples, i % image_samples, l);
+            }
+        };
+        place(block.first_line, &labels);
+        for src in 1..ctx.num_ranks() {
+            let (first, labs) = ctx.recv(src).into_labels();
+            place(first, &labs);
+        }
+        Some(out)
+    } else {
+        ctx.send(
+            0,
+            Msg::Labels {
+                first_line: block.first_line as u32,
+                labels,
+            },
+        );
+        None
+    }
+}
+
+/// Outcome of a parallel run: the root's result plus the timing report.
+#[derive(Debug, Clone)]
+pub struct ParallelRun<T> {
+    /// The analysis result (targets or label image).
+    pub result: T,
+    /// Timing/imbalance report of the run.
+    pub report: RunReport<()>,
+}
+
+/// Runs `program` on the engine and extracts the root's result.
+///
+/// # Panics
+/// Panics if the root's closure returns `None`.
+pub fn run_rooted<T: Send>(
+    engine: &Engine,
+    program: impl Fn(&mut Ctx<Msg>) -> Option<T> + Sync,
+) -> ParallelRun<T> {
+    let report = engine.run(program);
+    let RunReport {
+        platform_name,
+        ledgers,
+        results,
+        total_time,
+    } = report;
+    let mut result = None;
+    for (rank, r) in results.into_iter().enumerate() {
+        if rank == 0 {
+            result = r;
+        }
+    }
+    ParallelRun {
+        result: result.expect("root produced no result"),
+        report: RunReport {
+            platform_name,
+            ledgers,
+            results: Vec::new(),
+            total_time,
+        },
+    }
+}
+
+/// Megabits needed to stage one image row (the WEA staging term).
+pub fn row_mbits(cube: &HyperCube) -> f64 {
+    (cube.samples() * cube.bands() * 32) as f64 / 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgoParams;
+    use hsi_cube::synth::{wtc_scene, WtcConfig};
+    use simnet::presets;
+
+    fn scene() -> hsi_cube::synth::SyntheticScene {
+        wtc_scene(WtcConfig::tiny())
+    }
+
+    fn cost(cube: &HyperCube) -> RowCost {
+        RowCost {
+            mflops_per_row: cube.samples() as f64 * 1e-3,
+            mbits_per_row: row_mbits(cube),
+            fixed_mflops: 0.0,
+        }
+    }
+
+    #[test]
+    fn distribute_reconstructs_the_image() {
+        let s = scene();
+        let cube = s.cube.clone();
+        let platform = presets::fully_heterogeneous();
+        let options = RunOptions::hetero();
+        let assignments = plan_assignments(&platform, &cube, &options, cost(&cube));
+        let engine = Engine::new(platform);
+        let report = engine.run(|ctx: &mut Ctx<Msg>| {
+            let block = distribute(ctx, &cube, &assignments, 0, ScatterMode::Free);
+            // Every owned pixel must equal the original image pixel.
+            for l in 0..block.n_lines {
+                for smp in 0..cube.samples() {
+                    let local = block.cube.pixel(block.pre + l, smp);
+                    let global = cube.pixel(block.first_line + l, smp);
+                    assert_eq!(local, global);
+                }
+            }
+            block.n_lines
+        });
+        let total: usize = report.results.iter().sum();
+        assert_eq!(total, cube.lines());
+    }
+
+    #[test]
+    fn distribute_with_overlap_has_halo() {
+        let s = scene();
+        let cube = s.cube.clone();
+        let platform = presets::thunderhead(4);
+        let options = RunOptions::homo();
+        let assignments = plan_assignments(&platform, &cube, &options, cost(&cube));
+        let engine = Engine::new(platform);
+        let report = engine.run(|ctx: &mut Ctx<Msg>| {
+            let block = distribute(ctx, &cube, &assignments, 2, ScatterMode::Free);
+            (block.pre, block.cube.lines() - block.pre - block.n_lines)
+        });
+        // Interior ranks get halo on both sides; rank 0 has none above.
+        assert_eq!(report.results[0].0, 0);
+        assert_eq!(report.results[0].1, 2);
+        assert_eq!(report.results[1].0, 2);
+        assert_eq!(report.results[3].1, 0);
+    }
+
+    #[test]
+    fn gather_labels_assembles_full_image() {
+        let s = scene();
+        let cube = s.cube.clone();
+        let platform = presets::thunderhead(3);
+        let options = RunOptions::homo();
+        let assignments = plan_assignments(&platform, &cube, &options, cost(&cube));
+        let engine = Engine::new(platform);
+        let lines = cube.lines();
+        let samples = cube.samples();
+        let run = run_rooted(&engine, |ctx| {
+            let block = distribute(ctx, &cube, &assignments, 0, ScatterMode::Free);
+            // Label every pixel with its global line number.
+            let labels: Vec<u16> = (0..block.n_lines * samples)
+                .map(|i| (block.first_line + i / samples) as u16)
+                .collect();
+            gather_labels(ctx, &block, labels, lines, samples)
+        });
+        for l in 0..lines {
+            for smp in 0..samples {
+                assert_eq!(run.result.get(l, smp), l as u16);
+            }
+        }
+        assert!(run.report.total_time > 0.0);
+    }
+
+    #[test]
+    fn local_block_coordinate_mapping() {
+        let block = LocalBlock {
+            first_line: 100,
+            n_lines: 10,
+            pre: 3,
+            cube: HyperCube::zeros(16, 4, 2),
+        };
+        assert_eq!(block.own_range(), (3, 13));
+        assert_eq!(block.to_global_line(3), 100);
+        assert_eq!(block.to_global_line(12), 109);
+    }
+
+    #[test]
+    fn hetero_assignments_favor_fast_nodes() {
+        let s = scene();
+        let cube = s.cube.clone();
+        let platform = presets::fully_heterogeneous();
+        let asg_het = plan_assignments(&platform, &cube, &RunOptions::hetero(), cost(&cube));
+        let asg_hom = plan_assignments(&platform, &cube, &RunOptions::homo(), cost(&cube));
+        // p3 (fastest) gets more rows under WEA than equal split.
+        assert!(asg_het[2].n_lines > asg_hom[2].n_lines);
+        // p10 (UltraSparc) gets fewer.
+        assert!(asg_het[9].n_lines < asg_hom[9].n_lines);
+        let _ = AlgoParams::default();
+    }
+}

@@ -1,0 +1,542 @@
+//! Worker-side computational kernels.
+//!
+//! Every kernel returns its result **plus its analytic cost in
+//! megaflops** (from [`crate::flops`]), so the caller — a `simnet` rank
+//! or a sequential baseline — charges the identical virtual time for the
+//! identical computation. The parallel algorithms are exactly these
+//! kernels applied to partitions, which is why they reproduce the
+//! sequential analysis results bit-for-bit (asserted by the integration
+//! tests).
+//!
+//! All argmax scans break ties toward the lowest `(line, sample)` in
+//! row-major order, keeping results independent of partitioning.
+
+use crate::flops;
+use crate::msg::Candidate;
+use hsi_cube::metrics::{brightness, sad};
+use hsi_cube::HyperCube;
+use hsi_linalg::covariance::CovarianceAccumulator;
+use hsi_linalg::lstsq::FclsProblem;
+use hsi_linalg::ortho::OrthoBasis;
+use hsi_linalg::Matrix;
+
+/// A scored pixel in **local** block coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredPixel {
+    /// Local line within the block.
+    pub line: usize,
+    /// Sample (column).
+    pub sample: usize,
+    /// Kernel-specific score.
+    pub score: f64,
+}
+
+impl ScoredPixel {
+    /// Converts to a wire [`Candidate`] with global coordinates
+    /// (`global_line = local_line - pre + first_line`).
+    pub fn to_candidate(&self, cube: &HyperCube, first_line: usize, pre: usize) -> Candidate {
+        Candidate {
+            line: (self.line + first_line - pre) as u32,
+            sample: self.sample as u32,
+            score: self.score,
+            spectrum: cube.pixel(self.line, self.sample).to_vec(),
+        }
+    }
+}
+
+fn argmax_pixels(
+    cube: &HyperCube,
+    range: (usize, usize),
+    mut score_fn: impl FnMut(&[f32]) -> f64,
+) -> Option<ScoredPixel> {
+    let (lo, hi) = range;
+    let mut best: Option<ScoredPixel> = None;
+    for line in lo..hi {
+        for sample in 0..cube.samples() {
+            let s = score_fn(cube.pixel(line, sample));
+            let better = match &best {
+                None => true,
+                Some(b) => s > b.score,
+            };
+            if better {
+                best = Some(ScoredPixel {
+                    line,
+                    sample,
+                    score: s,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// ATDCA step 2: the brightest pixel (`argmax xᵀx`) within lines
+/// `[range.0, range.1)` of the block. Returns `None` on empty ranges.
+pub fn brightest(cube: &HyperCube, range: (usize, usize)) -> (Option<ScoredPixel>, f64) {
+    let n = cube.bands();
+    let pixels = (range.1 - range.0) * cube.samples();
+    let result = argmax_pixels(cube, range, brightness);
+    (result, flops::mflop(flops::brightness(n) * pixels as f64))
+}
+
+/// ATDCA step 4: the pixel maximising the orthogonal-projection score
+/// `(P_U^⊥ x)ᵀ(P_U^⊥ x)` against the current basis.
+pub fn max_projection(
+    cube: &HyperCube,
+    basis: &OrthoBasis,
+    range: (usize, usize),
+) -> (Option<ScoredPixel>, f64) {
+    let n = cube.bands();
+    let k = basis.len();
+    let pixels = (range.1 - range.0) * cube.samples();
+    let mut buf = vec![0.0f64; n];
+    let result = argmax_pixels(cube, range, |px| {
+        for (b, &v) in buf.iter_mut().zip(px) {
+            *b = v as f64;
+        }
+        basis.complement_score(&buf)
+    });
+    (
+        result,
+        flops::mflop(flops::projection_score(n, k) * pixels as f64),
+    )
+}
+
+/// UFCLS steps 2–3: the pixel with the largest fully-constrained
+/// least-squares reconstruction error against the endmember set.
+pub fn max_fcls_error(
+    cube: &HyperCube,
+    problem: &FclsProblem,
+    range: (usize, usize),
+) -> (Option<ScoredPixel>, f64) {
+    let n = cube.bands();
+    let t = problem.num_endmembers();
+    let pixels = (range.1 - range.0) * cube.samples();
+    let result = argmax_pixels(cube, range, |px| {
+        problem
+            .solve_f32(px)
+            .map(|u| u.residual_sq)
+            .unwrap_or(f64::NEG_INFINITY)
+    });
+    (result, flops::mflop(flops::fcls(n, t) * pixels as f64))
+}
+
+/// PCT step 2: greedily builds a set of spectrally distinct pixels — a
+/// pixel joins when its SAD to every current member exceeds
+/// `threshold`; the set is capped at `cap` members. Returns local
+/// scored pixels (score = min SAD to the set at admission time).
+pub fn unique_set(
+    cube: &HyperCube,
+    range: (usize, usize),
+    threshold: f64,
+    cap: usize,
+) -> (Vec<ScoredPixel>, f64) {
+    let n = cube.bands();
+    let (lo, hi) = range;
+    let mut members: Vec<(ScoredPixel, Vec<f32>)> = Vec::new();
+    // Charged as a full scan of the current set for every pixel ("SAD
+    // for all vector pairs", paper step 2); the real loop exits early on
+    // a near-duplicate or a full set, which does not change the result.
+    let mut sad_evals = 0usize;
+    for line in lo..hi {
+        for sample in 0..cube.samples() {
+            sad_evals += members.len();
+            if members.len() >= cap {
+                continue;
+            }
+            let px = cube.pixel(line, sample);
+            let mut min_sad = f64::INFINITY;
+            for (_, m) in &members {
+                let d = sad(px, m);
+                if d < min_sad {
+                    min_sad = d;
+                }
+                if d <= threshold {
+                    break;
+                }
+            }
+            if min_sad > threshold {
+                members.push((
+                    ScoredPixel {
+                        line,
+                        sample,
+                        score: min_sad.min(f64::MAX),
+                    },
+                    px.to_vec(),
+                ));
+            }
+        }
+    }
+    let mflops = flops::mflop(flops::sad(n) * sad_evals as f64);
+    (members.into_iter().map(|(p, _)| p).collect(), mflops)
+}
+
+/// PCT steps 4–5: accumulates the block's mean/covariance partial sums.
+pub fn covariance_partial(cube: &HyperCube, range: (usize, usize)) -> (CovarianceAccumulator, f64) {
+    let n = cube.bands();
+    let (lo, hi) = range;
+    let mut acc = CovarianceAccumulator::new(n);
+    for line in lo..hi {
+        for sample in 0..cube.samples() {
+            acc.push_f32(cube.pixel(line, sample));
+        }
+    }
+    let pixels = (hi - lo) * cube.samples();
+    (
+        acc,
+        flops::mflop(flops::covariance_accumulate(n) * pixels as f64),
+    )
+}
+
+/// PCT steps 8–9: transforms each pixel with `T·(x − m)` and labels it
+/// by the most SAD-similar class representative in transformed space.
+/// Returns row-major labels for the range.
+pub fn pct_label(
+    cube: &HyperCube,
+    range: (usize, usize),
+    transform: &Matrix,
+    mean: &[f64],
+    class_reps: &[Vec<f64>],
+) -> (Vec<u16>, f64) {
+    let n = cube.bands();
+    let c = transform.rows();
+    let (lo, hi) = range;
+    let mut labels = Vec::with_capacity((hi - lo) * cube.samples());
+    let mut centred = vec![0.0f64; n];
+    let mut reps32: Vec<Vec<f32>> = class_reps
+        .iter()
+        .map(|r| r.iter().map(|&v| v as f32).collect())
+        .collect();
+    // Guard degenerate models.
+    if reps32.is_empty() {
+        reps32.push(vec![0.0; c]);
+    }
+    for line in lo..hi {
+        for sample in 0..cube.samples() {
+            let px = cube.pixel(line, sample);
+            for (i, &v) in px.iter().enumerate() {
+                centred[i] = v as f64 - mean[i];
+            }
+            let projected = transform
+                .matvec(&centred)
+                .expect("pct_label: transform shape");
+            let proj32: Vec<f32> = projected.iter().map(|&v| v as f32).collect();
+            let best = hsi_cube::metrics::nearest_by_sad(&proj32, &reps32).unwrap_or(0);
+            labels.push(best as u16);
+        }
+    }
+    let pixels = (hi - lo) * cube.samples();
+    let mflops = flops::mflop(
+        (flops::pct_transform(n, c) + flops::pct_classify(c, class_reps.len().max(1)))
+            * pixels as f64,
+    );
+    (labels, mflops)
+}
+
+/// MORPH step 4: labels each pixel by the most SAD-similar class
+/// spectrum (full spectral space).
+pub fn sad_label(cube: &HyperCube, range: (usize, usize), classes: &[Vec<f32>]) -> (Vec<u16>, f64) {
+    let n = cube.bands();
+    let (lo, hi) = range;
+    let mut labels = Vec::with_capacity((hi - lo) * cube.samples());
+    for line in lo..hi {
+        for sample in 0..cube.samples() {
+            let best =
+                hsi_cube::metrics::nearest_by_sad(cube.pixel(line, sample), classes).unwrap_or(0);
+            labels.push(best as u16);
+        }
+    }
+    let pixels = (hi - lo) * cube.samples();
+    (
+        labels,
+        flops::mflop(flops::sad_classify(n, classes.len().max(1)) * pixels as f64),
+    )
+}
+
+/// MORPH step 2: the MEI map over the whole block (halo included in the
+/// computation), returning the `c` top-scoring **mutually distinct**
+/// pixels among the owned lines `[range.0, range.1)`: scanning down the
+/// MEI ranking, a pixel is nominated only when its SAD to every
+/// already-nominated pixel exceeds `threshold` — so the nomination is a
+/// *unique spectral set* (step 3's requirement) rather than `c` near
+/// copies of the single most eccentric neighbourhood.
+pub fn mei_top(
+    cube: &HyperCube,
+    se: &hsi_morpho::StructuringElement,
+    iterations: usize,
+    range: (usize, usize),
+    c: usize,
+    threshold: f64,
+) -> (Vec<ScoredPixel>, f64) {
+    let result = hsi_morpho::mei::mei(cube, se, iterations);
+    let (lo, hi) = range;
+    // Rank owned pixels by MEI score with row-major tie-break.
+    let mut owned: Vec<ScoredPixel> = (lo..hi)
+        .flat_map(|line| (0..cube.samples()).map(move |sample| (line, sample)))
+        .map(|(line, sample)| ScoredPixel {
+            line,
+            sample,
+            score: result.at(line, sample),
+        })
+        .collect();
+    owned.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then((a.line, a.sample).cmp(&(b.line, b.sample)))
+    });
+    let mut kept: Vec<ScoredPixel> = Vec::with_capacity(c);
+    let mut sad_evals = 0usize;
+    for p in owned {
+        if kept.len() >= c {
+            break;
+        }
+        if p.score <= 0.0 && !kept.is_empty() {
+            break; // zero-MEI pixels carry no information
+        }
+        let px = cube.pixel(p.line, p.sample);
+        let distinct = kept.iter().all(|k| {
+            sad_evals += 1;
+            sad(px, cube.pixel(k.line, k.sample)) > threshold
+        });
+        if distinct {
+            kept.push(p);
+        }
+    }
+    let mflops = flops::mflop(
+        flops::mei_iteration(cube.num_pixels(), cube.bands(), se.len()) * iterations as f64
+            + flops::sad(cube.bands()) * sad_evals as f64,
+    );
+    (kept, mflops)
+}
+
+/// Greedy maximum-minimum-distance selection of `c` mutually distinct
+/// spectra (the master's unique-set reduction in PCT step 3 and MORPH
+/// step 3). Deterministic: seeds with the first spectrum, then
+/// repeatedly adds the spectrum whose minimum SAD to the selected set is
+/// largest (ties to the lowest index). Returns selected indices and the
+/// megaflop cost.
+pub fn select_distinct(spectra: &[Vec<f32>], c: usize) -> (Vec<usize>, f64) {
+    if spectra.is_empty() || c == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let n = spectra[0].len();
+    let mut selected = vec![0usize];
+    let mut min_dist: Vec<f64> = spectra.iter().map(|s| sad(s, &spectra[0])).collect();
+    let mut sad_evals = spectra.len();
+    while selected.len() < c.min(spectra.len()) {
+        let mut best = None;
+        for (i, &d) in min_dist.iter().enumerate() {
+            if selected.contains(&i) {
+                continue;
+            }
+            match best {
+                Some((_, bd)) if d <= bd => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        let Some((idx, _)) = best else { break };
+        selected.push(idx);
+        for (i, s) in spectra.iter().enumerate() {
+            let d = sad(s, &spectra[idx]);
+            sad_evals += 1;
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
+    (selected, flops::mflop(flops::sad(n) * sad_evals as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi_cube::synth::{wtc_scene, WtcConfig};
+
+    fn scene() -> hsi_cube::synth::SyntheticScene {
+        wtc_scene(WtcConfig::tiny())
+    }
+
+    #[test]
+    fn brightest_matches_cube_method() {
+        let s = scene();
+        let (best, mflops) = brightest(&s.cube, (0, s.cube.lines()));
+        let best = best.unwrap();
+        let ((l, smp), _) = s.cube.brightest_pixel().unwrap();
+        assert_eq!((best.line, best.sample), (l, smp));
+        assert!(mflops > 0.0);
+    }
+
+    #[test]
+    fn brightest_on_subrange_stays_in_range() {
+        let s = scene();
+        let (best, _) = brightest(&s.cube, (10, 20));
+        let best = best.unwrap();
+        assert!((10..20).contains(&best.line));
+        let (none, _) = brightest(&s.cube, (5, 5));
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn projection_score_excludes_basis_member() {
+        let s = scene();
+        let (b0, _) = brightest(&s.cube, (0, s.cube.lines()));
+        let b0 = b0.unwrap();
+        let mut basis = OrthoBasis::new(s.cube.bands());
+        let spec: Vec<f64> = s
+            .cube
+            .pixel(b0.line, b0.sample)
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        basis.push(&spec);
+        let (second, _) = max_projection(&s.cube, &basis, (0, s.cube.lines()));
+        let second = second.unwrap();
+        // The first target projects to ~zero, so the new argmax differs.
+        assert_ne!((second.line, second.sample), (b0.line, b0.sample));
+        assert!(second.score > 0.0);
+    }
+
+    #[test]
+    fn fcls_error_highest_off_simplex() {
+        let s = scene();
+        // Endmember set = first two class signatures: pixels of other
+        // classes should carry larger residuals than class-0 pixels.
+        let u = Matrix::from_rows(&[
+            &s.class_signatures[0]
+                .iter()
+                .map(|&v| v as f64)
+                .collect::<Vec<_>>()[..],
+            &s.class_signatures[1]
+                .iter()
+                .map(|&v| v as f64)
+                .collect::<Vec<_>>()[..],
+        ]);
+        let prob = FclsProblem::new(u).unwrap();
+        let (best, _) = max_fcls_error(&s.cube, &prob, (0, s.cube.lines()));
+        let best = best.unwrap();
+        assert!(best.score > 0.0);
+        // The argmax must be one of the thermal targets (way off the
+        // two-endmember simplex).
+        let coords: Vec<(usize, usize)> = s.targets.iter().map(|t| t.coord).collect();
+        assert!(
+            coords.contains(&(best.line, best.sample)),
+            "best = {:?}",
+            (best.line, best.sample)
+        );
+    }
+
+    #[test]
+    fn unique_set_respects_threshold_and_cap() {
+        let s = scene();
+        let (set, _) = unique_set(&s.cube, (0, s.cube.lines()), 0.08, 10);
+        assert!(!set.is_empty());
+        assert!(set.len() <= 10);
+        // Members must be pairwise distinct beyond the threshold.
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                let a = s.cube.pixel(set[i].line, set[i].sample);
+                let b = s.cube.pixel(set[j].line, set[j].sample);
+                assert!(sad(a, b) > 0.08, "members {i},{j} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_partials_merge_to_whole() {
+        let s = scene();
+        let lines = s.cube.lines();
+        let (whole, _) = covariance_partial(&s.cube, (0, lines));
+        let (mut a, _) = covariance_partial(&s.cube, (0, lines / 2));
+        let (b, _) = covariance_partial(&s.cube, (lines / 2, lines));
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), whole.count());
+        assert!(a
+            .covariance()
+            .unwrap()
+            .approx_eq(&whole.covariance().unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn sad_label_assigns_nearest_class() {
+        let s = scene();
+        let classes: Vec<Vec<f32>> = s.class_signatures.clone();
+        let (labels, _) = sad_label(&s.cube, (0, s.cube.lines()), &classes);
+        assert_eq!(labels.len(), s.cube.num_pixels());
+        // Most pixels should match their ground-truth class (the class
+        // signatures ARE the generators).
+        let mut hits = 0;
+        for (i, &l) in labels.iter().enumerate() {
+            let (line, sample) = s.cube.coord_of(i);
+            if l == s.truth.get(line, sample) {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits as f64 / labels.len() as f64 > 0.6,
+            "{hits}/{}",
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn select_distinct_prefers_spread() {
+        let a = vec![1.0f32, 0.0, 0.0];
+        let b = vec![0.0f32, 1.0, 0.0];
+        let a2 = vec![0.99f32, 0.01, 0.0];
+        let c = vec![0.0f32, 0.0, 1.0];
+        let (sel, _) = select_distinct(&[a, a2, b, c], 3);
+        assert_eq!(sel.len(), 3);
+        assert!(sel.contains(&0));
+        assert!(sel.contains(&2));
+        assert!(sel.contains(&3));
+        assert!(!sel.contains(&1), "near-duplicate must lose");
+    }
+
+    #[test]
+    fn select_distinct_edge_cases() {
+        assert_eq!(select_distinct(&[], 3).0, Vec::<usize>::new());
+        let one = vec![vec![1.0f32, 2.0]];
+        assert_eq!(select_distinct(&one, 5).0, vec![0]);
+        assert_eq!(select_distinct(&one, 0).0, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn mei_top_returns_owned_lines_only() {
+        let s = scene();
+        let se = hsi_morpho::StructuringElement::square(1);
+        let (top, mflops) = mei_top(&s.cube, &se, 2, (10, 20), 5, 0.04);
+        assert!(!top.is_empty() && top.len() <= 5);
+        for p in &top {
+            assert!((10..20).contains(&p.line));
+        }
+        // Nominations are mutually distinct beyond the threshold.
+        for i in 0..top.len() {
+            for j in (i + 1)..top.len() {
+                let a = s.cube.pixel(top[i].line, top[i].sample);
+                let b = s.cube.pixel(top[j].line, top[j].sample);
+                assert!(hsi_cube::metrics::sad(a, b) > 0.04);
+            }
+        }
+        assert!(mflops > 0.0);
+        // Scores sorted descending.
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn scored_pixel_global_coordinates() {
+        let s = scene();
+        let p = ScoredPixel {
+            line: 5,
+            sample: 3,
+            score: 1.0,
+        };
+        // Block owned from global line 100 with 2 halo lines prepended.
+        let c = p.to_candidate(&s.cube, 100, 2);
+        assert_eq!(c.line, 103);
+        assert_eq!(c.sample, 3);
+        assert_eq!(c.spectrum, s.cube.pixel(5, 3).to_vec());
+    }
+}

@@ -1,0 +1,49 @@
+//! # hetero-hsi — heterogeneity-aware parallel hyperspectral algorithms
+//!
+//! The core contribution of Plaza, *"Heterogeneous Parallel Computing in
+//! Remote Sensing Applications"* (CLUSTER 2006), reimplemented on the
+//! `simnet` virtual-time cluster simulator:
+//!
+//! * [`wea`] — the **workload estimation algorithm** (Algorithm 1):
+//!   heterogeneity-aware workload fractions `αᵢ`, the homogeneous
+//!   variant, per-node memory upper bounds with recursive
+//!   redistribution, and the link-aware generalisation implied by the
+//!   paper's graph model `G = (P, E)`.
+//! * [`par::atdca`] — Hetero-ATDCA (Algorithm 2): iterative target
+//!   detection by orthogonal subspace projection.
+//! * [`par::ufcls`] — Hetero-UFCLS (Algorithm 3): unsupervised fully
+//!   constrained least-squares target generation.
+//! * [`par::pct`] — Hetero-PCT (Algorithm 4): principal-component
+//!   classification with a parallel covariance step.
+//! * [`par::morph`] — Hetero-MORPH (Algorithm 5): spatial/spectral
+//!   morphological classification with overlap borders.
+//!
+//! Every parallel algorithm runs in two flavours selected by
+//! [`config::PartitionStrategy`]: **Heterogeneous** (WEA fractions) or
+//! **Homogeneous** (equal fractions) — the paper's Hetero-X/Homo-X
+//! pairs. Sequential reference implementations live in [`seq`] and are
+//! shared, kernel-for-kernel, with the workers ([`kernels`]), so the
+//! parallel algorithms produce *identical* analysis results to the
+//! sequential ones on every platform (asserted by the test suite).
+//!
+//! Virtual-time costs are charged from the analytic per-kernel megaflop
+//! formulas in [`flops`]; see DESIGN.md for the fidelity argument.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod dynamic;
+pub mod eval;
+pub mod flops;
+pub mod framework;
+pub mod kernels;
+pub mod msg;
+pub mod optimality;
+pub mod par;
+pub mod seq;
+pub mod vd;
+pub mod wea;
+
+pub use config::{AlgoParams, PartitionStrategy, RunOptions};
+pub use framework::ParallelRun;

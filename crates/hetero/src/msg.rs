@@ -1,0 +1,280 @@
+//! The wire messages the parallel algorithms exchange.
+//!
+//! One shared enum keeps the engine monomorphic per run while letting
+//! every algorithm express its traffic; [`simnet::Wire`] sizes follow
+//! the actual payload (f32 spectra at 32 bits/band, labels at 16, etc.),
+//! so virtual communication costs track real message volumes — the role
+//! MPI derived datatypes play in the paper.
+
+use hsi_cube::HyperCube;
+use simnet::Wire;
+
+/// A worker's candidate pixel: coordinates are **global** image
+/// coordinates; the spectrum rides along so the master can re-score and
+/// later broadcast selected targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Global image line.
+    pub line: u32,
+    /// Global image sample.
+    pub sample: u32,
+    /// The worker's score for this pixel (brightness, projection,
+    /// FCLS error or MEI, depending on the algorithm).
+    pub score: f64,
+    /// The pixel's full spectrum.
+    pub spectrum: Vec<f32>,
+}
+
+impl Candidate {
+    fn size_bits(&self) -> u64 {
+        32 + 32 + 64 + (self.spectrum.len() * 32) as u64
+    }
+}
+
+/// Message payloads of the master/worker protocols.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// A scattered image partition (first/pre are global-coordinate
+    /// bookkeeping; `data` is a BIP block of `n_lines + halo` lines).
+    Partition {
+        /// First global line **owned** by the receiver.
+        first_line: u32,
+        /// Number of owned lines.
+        n_lines: u32,
+        /// Halo lines prepended before `first_line` (MORPH overlap).
+        pre: u32,
+        /// Samples per line.
+        samples: u32,
+        /// Spectral bands.
+        bands: u32,
+        /// The block, including halo lines, in BIP order.
+        data: Vec<f32>,
+    },
+    /// One candidate pixel (gathers in ATDCA/UFCLS).
+    Candidate(Candidate),
+    /// Several candidate pixels (gathers in PCT/MORPH).
+    Candidates(Vec<Candidate>),
+    /// A list of spectra (broadcast of the target matrix `U` or of the
+    /// final unique class set).
+    Spectra(Vec<Vec<f32>>),
+    /// Flat `f64` statistics (covariance accumulator shards).
+    Stats(Vec<f64>),
+    /// The PCT model broadcast: transform rows (`c × N`), image mean
+    /// (`N`), and the class representatives in transformed space.
+    PctModel {
+        /// Rows of the `c × N` principal transform.
+        transform: Vec<Vec<f64>>,
+        /// The image mean spectrum.
+        mean: Vec<f64>,
+        /// Class representatives, already transformed (`c`-dimensional).
+        classes: Vec<Vec<f64>>,
+    },
+    /// A block of classification labels for the sender's owned lines.
+    Labels {
+        /// First global line the labels cover.
+        first_line: u32,
+        /// Row-major labels (`n_lines × samples`).
+        labels: Vec<u16>,
+    },
+    /// Zero-payload synchronisation token.
+    Token,
+}
+
+impl Wire for Msg {
+    fn size_bits(&self) -> u64 {
+        match self {
+            Msg::Partition { data, .. } => 5 * 32 + (data.len() * 32) as u64,
+            Msg::Candidate(c) => c.size_bits(),
+            Msg::Candidates(cs) => cs.iter().map(Candidate::size_bits).sum(),
+            Msg::Spectra(rows) => rows.iter().map(|r| (r.len() * 32) as u64).sum(),
+            Msg::Stats(v) => (v.len() * 64) as u64,
+            Msg::PctModel {
+                transform,
+                mean,
+                classes,
+            } => {
+                let t: u64 = transform.iter().map(|r| (r.len() * 64) as u64).sum();
+                let c: u64 = classes.iter().map(|r| (r.len() * 64) as u64).sum();
+                t + (mean.len() * 64) as u64 + c
+            }
+            Msg::Labels { labels, .. } => 32 + (labels.len() * 16) as u64,
+            Msg::Token => 0,
+        }
+    }
+}
+
+impl Msg {
+    /// Wraps an owned sub-cube block as a partition message.
+    pub fn partition(first_line: usize, n_lines: usize, pre: usize, block: &HyperCube) -> Msg {
+        Msg::Partition {
+            first_line: first_line as u32,
+            n_lines: n_lines as u32,
+            pre: pre as u32,
+            samples: block.samples() as u32,
+            bands: block.bands() as u32,
+            data: block.as_slice().to_vec(),
+        }
+    }
+
+    /// Unwraps a partition message into `(first_line, n_lines, pre,
+    /// cube)`.
+    ///
+    /// # Panics
+    /// Panics when called on a different variant.
+    pub fn into_partition(self) -> (usize, usize, usize, HyperCube) {
+        match self {
+            Msg::Partition {
+                first_line,
+                n_lines,
+                pre,
+                samples,
+                bands,
+                data,
+            } => {
+                let total_lines = data.len() / (samples as usize * bands as usize);
+                (
+                    first_line as usize,
+                    n_lines as usize,
+                    pre as usize,
+                    HyperCube::from_vec(total_lines, samples as usize, bands as usize, data),
+                )
+            }
+            other => panic!("expected Partition, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a candidate.
+    ///
+    /// # Panics
+    /// Panics when called on a different variant.
+    pub fn into_candidate(self) -> Candidate {
+        match self {
+            Msg::Candidate(c) => c,
+            other => panic!("expected Candidate, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a candidate list.
+    ///
+    /// # Panics
+    /// Panics when called on a different variant.
+    pub fn into_candidates(self) -> Vec<Candidate> {
+        match self {
+            Msg::Candidates(c) => c,
+            other => panic!("expected Candidates, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a spectra list.
+    ///
+    /// # Panics
+    /// Panics when called on a different variant.
+    pub fn into_spectra(self) -> Vec<Vec<f32>> {
+        match self {
+            Msg::Spectra(s) => s,
+            other => panic!("expected Spectra, got {other:?}"),
+        }
+    }
+
+    /// Unwraps flat statistics.
+    ///
+    /// # Panics
+    /// Panics when called on a different variant.
+    pub fn into_stats(self) -> Vec<f64> {
+        match self {
+            Msg::Stats(s) => s,
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a label block as `(first_line, labels)`.
+    ///
+    /// # Panics
+    /// Panics when called on a different variant.
+    pub fn into_labels(self) -> (usize, Vec<u16>) {
+        match self {
+            Msg::Labels { first_line, labels } => (first_line as usize, labels),
+            other => panic!("expected Labels, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_roundtrip() {
+        let cube = HyperCube::from_vec(3, 2, 4, (0..24).map(|i| i as f32).collect());
+        let msg = Msg::partition(10, 2, 1, &cube);
+        assert_eq!(msg.size_bits(), 5 * 32 + 24 * 32);
+        let (first, n, pre, back) = msg.into_partition();
+        assert_eq!((first, n, pre), (10, 2, 1));
+        assert_eq!(back, cube);
+    }
+
+    #[test]
+    fn candidate_size() {
+        let c = Candidate {
+            line: 1,
+            sample: 2,
+            score: 0.5,
+            spectrum: vec![0.0; 224],
+        };
+        assert_eq!(Msg::Candidate(c.clone()).size_bits(), 128 + 224 * 32);
+        assert_eq!(
+            Msg::Candidates(vec![c.clone(), c]).size_bits(),
+            2 * (128 + 224 * 32)
+        );
+    }
+
+    #[test]
+    fn spectra_and_stats_sizes() {
+        assert_eq!(
+            Msg::Spectra(vec![vec![0.0; 10], vec![0.0; 6]]).size_bits(),
+            16 * 32
+        );
+        assert_eq!(Msg::Stats(vec![0.0; 5]).size_bits(), 5 * 64);
+        assert_eq!(Msg::Token.size_bits(), 0);
+    }
+
+    #[test]
+    fn labels_size() {
+        assert_eq!(
+            Msg::Labels {
+                first_line: 0,
+                labels: vec![0; 100]
+            }
+            .size_bits(),
+            32 + 1600
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Candidate")]
+    fn wrong_variant_panics() {
+        Msg::Token.into_candidate();
+    }
+
+    #[test]
+    fn pct_model_size() {
+        let msg = Msg::PctModel {
+            transform: vec![vec![0.0f64; 4]; 2],
+            mean: vec![0.0f64; 4],
+            classes: vec![vec![0.0f64; 2]; 3],
+        };
+        // (2*4 + 4 + 3*2) f64 values at 64 bits each.
+        assert_eq!(msg.size_bits(), (8 + 4 + 6) * 64);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let msg = Msg::Stats(vec![1.0, 2.0, 3.0]);
+        assert_eq!(msg.into_stats(), vec![1.0, 2.0, 3.0]);
+        let msg = Msg::Labels {
+            first_line: 7,
+            labels: vec![1, 2],
+        };
+        assert_eq!(msg.into_labels(), (7, vec![1, 2]));
+    }
+}

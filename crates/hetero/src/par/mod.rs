@@ -1,0 +1,72 @@
+//! The parallel heterogeneous algorithms (paper Algorithms 2–5).
+//!
+//! Each submodule exposes `run(engine, cube, params, options)` returning
+//! a [`crate::framework::ParallelRun`] with the root's analysis result
+//! and the timing report. The Hetero-X / Homo-X pairs of the paper's
+//! tables are selected through
+//! [`crate::config::RunOptions::strategy`].
+
+pub mod atdca;
+pub mod morph;
+pub mod pct;
+pub mod ufcls;
+
+use crate::msg::Candidate;
+
+/// Deterministically selects the winning candidate: highest score, ties
+/// to the lowest `(line, sample)` — the same order a sequential scan of
+/// the whole image would produce.
+pub(crate) fn best_candidate(cands: Vec<Candidate>) -> Candidate {
+    cands
+        .into_iter()
+        .max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (b.line, b.sample).cmp(&(a.line, a.sample)))
+        })
+        .expect("best_candidate: no candidates")
+}
+
+/// A sentinel candidate that never wins (sent by ranks with empty
+/// partitions so the gather pattern stays uniform).
+pub(crate) fn empty_candidate(bands: usize) -> Candidate {
+    Candidate {
+        line: u32::MAX,
+        sample: u32::MAX,
+        score: f64::NEG_INFINITY,
+        spectrum: vec![0.0; bands],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(line: u32, sample: u32, score: f64) -> Candidate {
+        Candidate {
+            line,
+            sample,
+            score,
+            spectrum: vec![],
+        }
+    }
+
+    #[test]
+    fn best_candidate_picks_highest_score() {
+        let best = best_candidate(vec![cand(0, 0, 1.0), cand(1, 1, 3.0), cand(2, 2, 2.0)]);
+        assert_eq!((best.line, best.sample), (1, 1));
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_coordinates() {
+        let best = best_candidate(vec![cand(5, 5, 2.0), cand(1, 9, 2.0), cand(1, 2, 2.0)]);
+        assert_eq!((best.line, best.sample), (1, 2));
+    }
+
+    #[test]
+    fn sentinel_never_wins() {
+        let best = best_candidate(vec![empty_candidate(4), cand(3, 3, -1.0)]);
+        assert_eq!((best.line, best.sample), (3, 3));
+    }
+}

@@ -1,0 +1,174 @@
+//! Hetero-UFCLS (paper Algorithm 3).
+//!
+//! Shares ATDCA's master/worker skeleton (the first target is the
+//! brightest pixel), but grows the target set by fully-constrained
+//! least-squares error: each round, every rank unmixes its pixels
+//! against the current endmember set `U` (sum-to-one + non-negativity)
+//! and nominates the pixel with the largest reconstruction error; the
+//! master picks the global winner and broadcasts it.
+
+use crate::config::{AlgoParams, RunOptions};
+use crate::flops;
+use crate::framework::{distribute, plan_assignments, row_mbits, run_rooted, ParallelRun};
+use crate::kernels;
+use crate::msg::Msg;
+use crate::par::{best_candidate, empty_candidate};
+use crate::seq::DetectedTarget;
+use crate::wea::RowCost;
+use hsi_cube::HyperCube;
+use hsi_linalg::lstsq::FclsProblem;
+use hsi_linalg::Matrix;
+use simnet::engine::Engine;
+
+/// Estimated per-row resource demand (drives the WEA fractions).
+pub fn row_cost(cube: &HyperCube, params: &AlgoParams) -> RowCost {
+    let n = cube.bands();
+    let per_pixel: f64 = flops::brightness(n)
+        + (1..params.num_targets)
+            .map(|t| flops::fcls(n, t))
+            .sum::<f64>();
+    RowCost {
+        mflops_per_row: flops::mflop(per_pixel * cube.samples() as f64),
+        mbits_per_row: row_mbits(cube),
+        fixed_mflops: 0.0,
+    }
+}
+
+fn endmember_matrix(targets: &[DetectedTarget]) -> Matrix {
+    let rows: Vec<Vec<f64>> = targets
+        .iter()
+        .map(|t| t.spectrum.iter().map(|&v| v as f64).collect())
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Matrix::from_rows(&refs)
+}
+
+/// Runs parallel UFCLS on the engine's platform.
+pub fn run(
+    engine: &Engine,
+    cube: &HyperCube,
+    params: &AlgoParams,
+    options: &RunOptions,
+) -> ParallelRun<Vec<DetectedTarget>> {
+    let assignments = plan_assignments(engine.platform(), cube, options, row_cost(cube, params));
+    run_rooted(engine, |ctx| {
+        if ctx.is_root() {
+            ctx.compute_seq(flops::mflop(20.0 * ctx.num_ranks() as f64));
+        }
+        let block = distribute(ctx, cube, &assignments, 0, options.scatter_mode);
+        let n = block.cube.bands();
+        // Every rank mirrors the target list so it can rebuild the FCLS
+        // problem each round (the broadcast of U in the paper).
+        let mut targets: Vec<DetectedTarget> = Vec::new();
+
+        for k in 0..params.num_targets {
+            let (cand, mflops) = if k == 0 {
+                kernels::brightest(&block.cube, block.own_range())
+            } else {
+                let u = endmember_matrix(&targets);
+                let t = u.rows();
+                let problem = FclsProblem::new(u).expect("ufcls: singular endmembers");
+                ctx.compute_par(flops::mflop(flops::gram(n, t)));
+                kernels::max_fcls_error(&block.cube, &problem, block.own_range())
+            };
+            ctx.compute_par(mflops);
+            let candidate = match cand {
+                Some(p) => p.to_candidate(&block.cube, block.first_line, block.pre),
+                None => empty_candidate(n),
+            };
+
+            let winner = if ctx.is_root() {
+                let mut cands = vec![candidate];
+                for src in 1..ctx.num_ranks() {
+                    cands.push(ctx.recv(src).into_candidate());
+                }
+                ctx.compute_seq(flops::mflop(flops::fcls(n, k.max(1)) * cands.len() as f64));
+                let best = best_candidate(cands);
+                for dst in 1..ctx.num_ranks() {
+                    ctx.send(dst, Msg::Spectra(vec![best.spectrum.clone()]));
+                }
+                best
+            } else {
+                ctx.send(0, Msg::Candidate(candidate));
+                let spectrum = ctx.recv(0).into_spectra().remove(0);
+                crate::msg::Candidate {
+                    line: 0,
+                    sample: 0,
+                    score: 0.0,
+                    spectrum,
+                }
+            };
+            targets.push(DetectedTarget {
+                line: winner.line as usize,
+                sample: winner.sample as usize,
+                spectrum: winner.spectrum,
+            });
+        }
+        if ctx.is_root() {
+            Some(targets)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi_cube::synth::{wtc_scene, WtcConfig};
+    use simnet::presets;
+
+    fn scene() -> hsi_cube::synth::SyntheticScene {
+        wtc_scene(WtcConfig::tiny())
+    }
+
+    fn params() -> AlgoParams {
+        AlgoParams {
+            num_targets: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_targets() {
+        let s = scene();
+        let seq = crate::seq::ufcls(&s.cube, &params());
+        let engine = Engine::new(presets::fully_heterogeneous());
+        let par = run(&engine, &s.cube, &params(), &RunOptions::hetero());
+        let seq_coords: Vec<_> = seq.result.iter().map(|t| (t.line, t.sample)).collect();
+        let par_coords: Vec<_> = par
+            .result
+            .iter()
+            .map(|t| (t.line, t.sample))
+            .collect::<Vec<_>>();
+        assert_eq!(seq_coords, par_coords);
+    }
+
+    #[test]
+    fn first_target_is_brightest_pixel() {
+        let s = scene();
+        let engine = Engine::new(presets::thunderhead(4));
+        let par = run(&engine, &s.cube, &params(), &RunOptions::homo());
+        let ((bl, bs), _) = s.cube.brightest_pixel().unwrap();
+        assert_eq!((par.result[0].line, par.result[0].sample), (bl, bs));
+    }
+
+    #[test]
+    fn ufcls_cheaper_than_atdca_in_virtual_time() {
+        // Table 5: UFCLS (51-56 s) runs faster than ATDCA (84-89 s).
+        let s = scene();
+        let engine = Engine::new(presets::fully_heterogeneous());
+        let p = AlgoParams {
+            num_targets: 8,
+            ..Default::default()
+        };
+        let u = run(&engine, &s.cube, &p, &RunOptions::hetero());
+        let a = crate::par::atdca::run(&engine, &s.cube, &p, &RunOptions::hetero());
+        assert!(
+            u.report.total_time < a.report.total_time,
+            "UFCLS {} !< ATDCA {}",
+            u.report.total_time,
+            a.report.total_time
+        );
+    }
+}

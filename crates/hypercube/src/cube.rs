@@ -1,0 +1,368 @@
+//! The hyperspectral image cube container.
+//!
+//! Storage is band-interleaved-by-pixel (BIP): the spectrum of pixel
+//! `(line, sample)` occupies the contiguous slice
+//! `data[(line*samples + sample)*bands ..][..bands]`. This matches the
+//! paper's hybrid partitioning strategy — partitions are blocks of
+//! *spatially adjacent pixel vectors that retain their full spectral
+//! content* — because a row block is then a single contiguous memory
+//! region, shippable through the message-passing engine in one message
+//! (the role MPI derived datatypes play in the paper).
+
+use std::fmt;
+
+/// A `lines × samples × bands` hyperspectral image cube (BIP layout, `f32`).
+///
+/// ```
+/// use hsi_cube::HyperCube;
+/// let mut cube = HyperCube::zeros(2, 3, 4);
+/// cube.pixel_mut(1, 2)[0] = 0.5;
+/// assert_eq!(cube.pixel(1, 2), &[0.5, 0.0, 0.0, 0.0]);
+/// assert_eq!(cube.num_pixels(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct HyperCube {
+    lines: usize,
+    samples: usize,
+    bands: usize,
+    data: Vec<f32>,
+}
+
+/// Spatial coordinates of a pixel: `(line, sample)` = (row, column).
+pub type Coord = (usize, usize);
+
+impl HyperCube {
+    /// Creates a zero-filled cube.
+    pub fn zeros(lines: usize, samples: usize, bands: usize) -> Self {
+        HyperCube {
+            lines,
+            samples,
+            bands,
+            data: vec![0.0; lines * samples * bands],
+        }
+    }
+
+    /// Creates a cube from a flat BIP vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != lines * samples * bands`.
+    pub fn from_vec(lines: usize, samples: usize, bands: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            lines * samples * bands,
+            "from_vec: data length mismatch"
+        );
+        HyperCube {
+            lines,
+            samples,
+            bands,
+            data,
+        }
+    }
+
+    /// Number of image lines (rows).
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Number of samples per line (columns).
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of spectral bands.
+    #[inline]
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Total number of pixels (`lines × samples`).
+    #[inline]
+    pub fn num_pixels(&self) -> usize {
+        self.lines * self.samples
+    }
+
+    /// Size of the raw data in bytes (`f32` elements × 4).
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Borrow of the full flat BIP buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the full flat BIP buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the cube, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Spectrum of the pixel at `(line, sample)` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics (in debug) on out-of-range coordinates.
+    #[inline]
+    pub fn pixel(&self, line: usize, sample: usize) -> &[f32] {
+        debug_assert!(line < self.lines && sample < self.samples);
+        let start = (line * self.samples + sample) * self.bands;
+        &self.data[start..start + self.bands]
+    }
+
+    /// Mutable spectrum of the pixel at `(line, sample)`.
+    #[inline]
+    pub fn pixel_mut(&mut self, line: usize, sample: usize) -> &mut [f32] {
+        debug_assert!(line < self.lines && sample < self.samples);
+        let start = (line * self.samples + sample) * self.bands;
+        &mut self.data[start..start + self.bands]
+    }
+
+    /// Spectrum of the `i`-th pixel in row-major pixel order.
+    #[inline]
+    pub fn pixel_flat(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.num_pixels());
+        &self.data[i * self.bands..(i + 1) * self.bands]
+    }
+
+    /// Converts a flat pixel index to `(line, sample)` coordinates.
+    #[inline]
+    pub fn coord_of(&self, i: usize) -> Coord {
+        (i / self.samples, i % self.samples)
+    }
+
+    /// Converts `(line, sample)` coordinates to a flat pixel index.
+    #[inline]
+    pub fn index_of(&self, (line, sample): Coord) -> usize {
+        line * self.samples + sample
+    }
+
+    /// Iterator over `(coord, spectrum)` pairs in row-major order.
+    pub fn iter_pixels(&self) -> impl Iterator<Item = (Coord, &[f32])> + '_ {
+        (0..self.num_pixels()).map(move |i| (self.coord_of(i), self.pixel_flat(i)))
+    }
+
+    /// Extracts lines `[first_line, first_line + n_lines)` as an owned
+    /// sub-cube (the unit of work shipped to a worker).
+    ///
+    /// # Panics
+    /// Panics if the requested range exceeds the cube.
+    pub fn extract_lines(&self, first_line: usize, n_lines: usize) -> HyperCube {
+        assert!(
+            first_line + n_lines <= self.lines,
+            "extract_lines: range {}..{} exceeds {} lines",
+            first_line,
+            first_line + n_lines,
+            self.lines
+        );
+        let row_len = self.samples * self.bands;
+        let start = first_line * row_len;
+        let end = (first_line + n_lines) * row_len;
+        HyperCube {
+            lines: n_lines,
+            samples: self.samples,
+            bands: self.bands,
+            data: self.data[start..end].to_vec(),
+        }
+    }
+
+    /// Extracts lines with an **overlap border** of `overlap` lines on each
+    /// side (clamped to the image boundary), as used by Hetero-MORPH to
+    /// trade redundant computation for communication. Returns the sub-cube
+    /// together with the number of extra lines actually prepended (so the
+    /// caller can map local to global line numbers).
+    pub fn extract_lines_with_overlap(
+        &self,
+        first_line: usize,
+        n_lines: usize,
+        overlap: usize,
+    ) -> (HyperCube, usize) {
+        assert!(first_line + n_lines <= self.lines);
+        let lo = first_line.saturating_sub(overlap);
+        let hi = (first_line + n_lines + overlap).min(self.lines);
+        (self.extract_lines(lo, hi - lo), first_line - lo)
+    }
+
+    /// Returns the spectrum of the pixel with the largest brightness
+    /// `xᵀx`, with its coordinates; ties resolve to the first in row-major
+    /// order. Returns `None` for an empty cube.
+    pub fn brightest_pixel(&self) -> Option<(Coord, &[f32])> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.num_pixels() {
+            let b = crate::metrics::brightness(self.pixel_flat(i));
+            match best {
+                Some((_, score)) if b <= score => {}
+                _ => best = Some((i, b)),
+            }
+        }
+        best.map(|(i, _)| (self.coord_of(i), self.pixel_flat(i)))
+    }
+
+    /// Returns a new cube containing only the given bands (in the given
+    /// order). Standard preprocessing for AVIRIS products, whose water-
+    /// absorption bands are customarily removed before analysis.
+    ///
+    /// # Panics
+    /// Panics when `bands` is empty or any index is out of range.
+    pub fn select_bands(&self, bands: &[usize]) -> HyperCube {
+        assert!(!bands.is_empty(), "select_bands: no bands selected");
+        for &b in bands {
+            assert!(b < self.bands, "select_bands: band {b} out of range");
+        }
+        let mut data = Vec::with_capacity(self.num_pixels() * bands.len());
+        for i in 0..self.num_pixels() {
+            let px = self.pixel_flat(i);
+            for &b in bands {
+                data.push(px[b]);
+            }
+        }
+        HyperCube {
+            lines: self.lines,
+            samples: self.samples,
+            bands: bands.len(),
+            data,
+        }
+    }
+
+    /// Per-band mean spectrum of the whole cube (used in tests and as the
+    /// sequential reference for the PCT mean step).
+    pub fn mean_spectrum(&self) -> Vec<f64> {
+        let mut mean = vec![0.0f64; self.bands];
+        for i in 0..self.num_pixels() {
+            for (m, &v) in mean.iter_mut().zip(self.pixel_flat(i)) {
+                *m += v as f64;
+            }
+        }
+        let n = self.num_pixels().max(1) as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        mean
+    }
+}
+
+impl fmt::Debug for HyperCube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HyperCube({} lines x {} samples x {} bands, {:.1} MB)",
+            self.lines,
+            self.samples,
+            self.bands,
+            self.size_bytes() as f64 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_cube() -> HyperCube {
+        // 3 lines x 4 samples x 2 bands; value = pixel index + band/10.
+        let mut c = HyperCube::zeros(3, 4, 2);
+        for i in 0..12 {
+            for b in 0..2 {
+                let (l, s) = (i / 4, i % 4);
+                c.pixel_mut(l, s)[b] = i as f32 + b as f32 / 10.0;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let c = HyperCube::zeros(3, 4, 5);
+        assert_eq!(c.lines(), 3);
+        assert_eq!(c.samples(), 4);
+        assert_eq!(c.bands(), 5);
+        assert_eq!(c.num_pixels(), 12);
+        assert_eq!(c.size_bytes(), 3 * 4 * 5 * 4);
+    }
+
+    #[test]
+    fn pixel_access_roundtrip() {
+        let c = ramp_cube();
+        assert_eq!(c.pixel(0, 0), &[0.0, 0.1]);
+        assert_eq!(c.pixel(2, 3), &[11.0, 11.1]);
+        assert_eq!(c.pixel_flat(5), c.pixel(1, 1));
+    }
+
+    #[test]
+    fn coord_index_inverse() {
+        let c = HyperCube::zeros(7, 9, 1);
+        for i in 0..c.num_pixels() {
+            assert_eq!(c.index_of(c.coord_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn extract_lines_preserves_content() {
+        let c = ramp_cube();
+        let sub = c.extract_lines(1, 2);
+        assert_eq!(sub.lines(), 2);
+        assert_eq!(sub.pixel(0, 0), c.pixel(1, 0));
+        assert_eq!(sub.pixel(1, 3), c.pixel(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "extract_lines")]
+    fn extract_lines_out_of_range_panics() {
+        ramp_cube().extract_lines(2, 2);
+    }
+
+    #[test]
+    fn extract_with_overlap_clamps_at_borders() {
+        let c = ramp_cube();
+        // First partition: no lines above to prepend.
+        let (sub, pre) = c.extract_lines_with_overlap(0, 1, 1);
+        assert_eq!(pre, 0);
+        assert_eq!(sub.lines(), 2); // 1 own + 1 below
+                                    // Middle partition gets both sides.
+        let (sub, pre) = c.extract_lines_with_overlap(1, 1, 1);
+        assert_eq!(pre, 1);
+        assert_eq!(sub.lines(), 3);
+        // Last partition: nothing below.
+        let (sub, pre) = c.extract_lines_with_overlap(2, 1, 1);
+        assert_eq!(pre, 1);
+        assert_eq!(sub.lines(), 2);
+    }
+
+    #[test]
+    fn brightest_pixel_is_global_max() {
+        let c = ramp_cube();
+        let ((l, s), px) = c.brightest_pixel().unwrap();
+        assert_eq!((l, s), (2, 3));
+        assert_eq!(px, c.pixel(2, 3));
+    }
+
+    #[test]
+    fn brightest_pixel_empty_cube() {
+        let c = HyperCube::zeros(0, 0, 4);
+        assert!(c.brightest_pixel().is_none());
+    }
+
+    #[test]
+    fn mean_spectrum_of_constant_cube() {
+        let c = HyperCube::from_vec(2, 2, 3, vec![2.0; 12]);
+        let m = c.mean_spectrum();
+        assert_eq!(m, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_pixels_covers_all_in_order() {
+        let c = ramp_cube();
+        let coords: Vec<_> = c.iter_pixels().map(|(xy, _)| xy).collect();
+        assert_eq!(coords.len(), 12);
+        assert_eq!(coords[0], (0, 0));
+        assert_eq!(coords[11], (2, 3));
+    }
+}

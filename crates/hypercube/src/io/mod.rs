@@ -1,0 +1,3 @@
+//! Cube persistence.
+
+pub mod envi;

@@ -1,0 +1,316 @@
+//! Spectral libraries: named reference signatures.
+//!
+//! The USGS spectral library is how the paper's ground truth was built —
+//! field-collected signatures matched into the AVIRIS scene. This module
+//! provides the same abstraction: a set of named spectra with SAD
+//! matching, a supervised spectral-angle-mapper (SAM) classifier, and a
+//! plain-text persistence format (one `name: v v v…` line per entry).
+
+use crate::metrics::sad;
+use crate::{HyperCube, LabelImage};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A named collection of reference spectra.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpectralLibrary {
+    entries: Vec<(String, Vec<f32>)>,
+}
+
+/// Errors from library I/O and matching.
+#[derive(Debug)]
+pub enum LibraryError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Spectra lengths are inconsistent.
+    BandMismatch {
+        /// Expected band count (from the first entry).
+        expected: usize,
+        /// Offending band count.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LibraryError::Io(e) => write!(f, "I/O error: {e}"),
+            LibraryError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            LibraryError::BandMismatch { expected, found } => {
+                write!(f, "band mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+impl From<std::io::Error> for LibraryError {
+    fn from(e: std::io::Error) -> Self {
+        LibraryError::Io(e)
+    }
+}
+
+impl SpectralLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a library from `(name, spectrum)` pairs.
+    ///
+    /// # Panics
+    /// Panics when spectra lengths differ or any spectrum is empty.
+    pub fn from_entries(entries: Vec<(String, Vec<f32>)>) -> Self {
+        let mut lib = Self::new();
+        for (name, spectrum) in entries {
+            lib.push(name, spectrum);
+        }
+        lib
+    }
+
+    /// Adds an entry.
+    ///
+    /// # Panics
+    /// Panics when the spectrum is empty or its length differs from the
+    /// library's.
+    pub fn push(&mut self, name: impl Into<String>, spectrum: Vec<f32>) {
+        assert!(!spectrum.is_empty(), "push: empty spectrum");
+        if let Some(b) = self.bands() {
+            assert_eq!(spectrum.len(), b, "push: band count mismatch");
+        }
+        self.entries.push((name.into(), spectrum));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the library has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Band count (None when empty).
+    pub fn bands(&self) -> Option<usize> {
+        self.entries.first().map(|(_, s)| s.len())
+    }
+
+    /// Entry name by index.
+    pub fn name(&self, i: usize) -> &str {
+        &self.entries[i].0
+    }
+
+    /// Entry spectrum by index.
+    pub fn spectrum(&self, i: usize) -> &[f32] {
+        &self.entries[i].1
+    }
+
+    /// Finds the best SAD match for a pixel: `(index, sad)`. Returns
+    /// `None` when the library is empty.
+    pub fn best_match(&self, pixel: &[f32]) -> Option<(usize, f64)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, s))| (i, sad(pixel, s)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Supervised SAM classification: labels every pixel with its best
+    /// library match; pixels whose best SAD exceeds `reject_threshold`
+    /// (radians) are labeled [`crate::labels::UNLABELED`].
+    ///
+    /// # Panics
+    /// Panics on an empty library or band mismatch with the cube.
+    pub fn classify(&self, cube: &HyperCube, reject_threshold: f64) -> LabelImage {
+        assert!(!self.is_empty(), "classify: empty library");
+        assert_eq!(
+            self.bands(),
+            Some(cube.bands()),
+            "classify: band count mismatch"
+        );
+        let mut out = LabelImage::unlabeled(cube.lines(), cube.samples());
+        for line in 0..cube.lines() {
+            for sample in 0..cube.samples() {
+                let (idx, d) = self
+                    .best_match(cube.pixel(line, sample))
+                    .expect("non-empty library");
+                if d <= reject_threshold {
+                    out.set(line, sample, idx as u16);
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes the library as text: one `name: v v v…` line per entry.
+    pub fn save(&self, path: &Path) -> Result<(), LibraryError> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        for (name, spectrum) in &self.entries {
+            write!(w, "{name}:")?;
+            for v in spectrum {
+                write!(w, " {v}")?;
+            }
+            writeln!(w)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Loads a library written by [`Self::save`]. Blank lines and lines
+    /// starting with `#` are ignored.
+    pub fn load(path: &Path) -> Result<Self, LibraryError> {
+        let reader = BufReader::new(std::fs::File::open(path)?);
+        let mut lib = Self::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (name, rest) = trimmed.split_once(':').ok_or(LibraryError::Parse {
+                line: lineno + 1,
+                message: "missing ':' separator".into(),
+            })?;
+            let spectrum: Result<Vec<f32>, _> =
+                rest.split_whitespace().map(|t| t.parse::<f32>()).collect();
+            let spectrum = spectrum.map_err(|e| LibraryError::Parse {
+                line: lineno + 1,
+                message: format!("bad value: {e}"),
+            })?;
+            if spectrum.is_empty() {
+                return Err(LibraryError::Parse {
+                    line: lineno + 1,
+                    message: "entry has no values".into(),
+                });
+            }
+            if let Some(b) = lib.bands() {
+                if spectrum.len() != b {
+                    return Err(LibraryError::BandMismatch {
+                        expected: b,
+                        found: spectrum.len(),
+                    });
+                }
+            }
+            lib.push(name.trim().to_string(), spectrum);
+        }
+        Ok(lib)
+    }
+
+    /// Builds the ground-truth library of a synthetic scene (one entry
+    /// per material class).
+    pub fn from_scene(scene: &crate::synth::SyntheticScene) -> Self {
+        Self::from_entries(
+            scene
+                .class_names
+                .iter()
+                .zip(&scene.class_signatures)
+                .map(|(n, s)| (n.to_string(), s.clone()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{score, UNLABELED};
+    use crate::synth::{wtc_scene, WtcConfig};
+
+    #[test]
+    fn push_and_match() {
+        let mut lib = SpectralLibrary::new();
+        lib.push("a", vec![1.0, 0.0]);
+        lib.push("b", vec![0.0, 1.0]);
+        let (i, d) = lib.best_match(&[0.9, 0.1]).unwrap();
+        assert_eq!(lib.name(i), "a");
+        assert!(d < 0.2);
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.bands(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "band count mismatch")]
+    fn mismatched_push_panics() {
+        let mut lib = SpectralLibrary::new();
+        lib.push("a", vec![1.0, 0.0]);
+        lib.push("b", vec![1.0]);
+    }
+
+    #[test]
+    fn supervised_sam_hits_ceiling_accuracy() {
+        // Classifying with the true class signatures is the ceiling any
+        // unsupervised method is compared against.
+        let s = wtc_scene(WtcConfig::tiny());
+        let lib = SpectralLibrary::from_scene(&s);
+        let labels = lib.classify(&s.cube, f64::INFINITY);
+        let report = score(&labels, &s.truth);
+        assert!(
+            report.overall > 85.0,
+            "SAM ceiling too low: {:.1}%",
+            report.overall
+        );
+    }
+
+    #[test]
+    fn reject_threshold_marks_anomalies() {
+        let s = wtc_scene(WtcConfig::tiny());
+        let lib = SpectralLibrary::from_scene(&s);
+        // A strict threshold must reject the thermal hot spots (their
+        // spectra are unlike every library entry).
+        let labels = lib.classify(&s.cube, 0.15);
+        let g = s.targets.iter().find(|t| t.name == 'G').unwrap();
+        assert_eq!(labels.get(g.coord.0, g.coord.1), UNLABELED);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = wtc_scene(WtcConfig {
+            lines: 4,
+            samples: 4,
+            bands: 8,
+            ..Default::default()
+        });
+        let lib = SpectralLibrary::from_scene(&s);
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("lib.txt");
+        lib.save(&path).unwrap();
+        let back = SpectralLibrary::load(&path).unwrap();
+        assert_eq!(back.len(), lib.len());
+        for i in 0..lib.len() {
+            assert_eq!(back.name(i), lib.name(i));
+            for (a, b) in back.spectrum(i).iter().zip(lib.spectrum(i)) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_malformed() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.txt");
+        std::fs::write(&path, "no separator here\n").unwrap();
+        assert!(matches!(
+            SpectralLibrary::load(&path),
+            Err(LibraryError::Parse { line: 1, .. })
+        ));
+        std::fs::write(&path, "a: 1 2\nb: 1 2 3\n").unwrap();
+        assert!(matches!(
+            SpectralLibrary::load(&path),
+            Err(LibraryError::BandMismatch {
+                expected: 2,
+                found: 3
+            })
+        ));
+        std::fs::write(&path, "# comment\n\na: 1 2\n").unwrap();
+        assert_eq!(SpectralLibrary::load(&path).unwrap().len(), 1);
+    }
+}

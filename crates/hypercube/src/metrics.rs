@@ -1,0 +1,206 @@
+//! Spectral similarity metrics.
+//!
+//! The paper's algorithms are built on two per-pixel reductions: the
+//! **brightness** `xᵀx` (ATDCA step 2) and the **spectral angle distance**
+//! (SAD, eq. 1), used by PCT and MORPH for spectral matching:
+//!
+//! ```text
+//! SAD(x, y) = arccos( x·y / (‖x‖·‖y‖) )
+//! ```
+//!
+//! SID (spectral information divergence) is provided as a secondary metric
+//! for cross-checks; it treats normalised spectra as probability
+//! distributions and sums the two relative entropies.
+//!
+//! All metrics take `f32` spectra (the cube's native type) and accumulate
+//! in `f64`.
+
+/// Pixel brightness `xᵀx` (squared Euclidean norm).
+#[inline]
+pub fn brightness(x: &[f32]) -> f64 {
+    x.iter().map(|&v| (v as f64) * (v as f64)).sum()
+}
+
+/// Dot product of two spectra in `f64`.
+///
+/// # Panics
+/// Debug-asserts equal lengths.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| (a as f64) * (b as f64))
+        .sum()
+}
+
+/// Spectral angle distance in radians, in `[0, π]`.
+///
+/// Degenerate cases follow the hyperspectral convention: two zero spectra
+/// are identical (`0`); one zero spectrum is maximally dissimilar (`π/2`).
+///
+/// ```
+/// use hsi_cube::metrics::sad;
+/// let a = [1.0f32, 0.0];
+/// let b = [0.0f32, 1.0];
+/// assert!((sad(&a, &b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// assert!(sad(&a, &a) < 1e-9);
+/// ```
+#[inline]
+pub fn sad(x: &[f32], y: &[f32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let (mut xy, mut xx, mut yy) = (0.0f64, 0.0f64, 0.0f64);
+    for (&a, &b) in x.iter().zip(y) {
+        let (a, b) = (a as f64, b as f64);
+        xy += a * b;
+        xx += a * a;
+        yy += b * b;
+    }
+    if xx == 0.0 && yy == 0.0 {
+        return 0.0;
+    }
+    if xx == 0.0 || yy == 0.0 {
+        return std::f64::consts::FRAC_PI_2;
+    }
+    let c = (xy / (xx.sqrt() * yy.sqrt())).clamp(-1.0, 1.0);
+    c.acos()
+}
+
+/// Euclidean distance between two spectra.
+#[inline]
+pub fn euclidean(x: &[f32], y: &[f32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Spectral information divergence (symmetric Kullback–Leibler sum over
+/// the band-normalised spectra). Negative band values are clamped to zero
+/// before normalisation; two spectra with zero mass are identical.
+pub fn sid(x: &[f32], y: &[f32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    const EPS: f64 = 1e-12;
+    let sx: f64 = x.iter().map(|&v| (v as f64).max(0.0)).sum();
+    let sy: f64 = y.iter().map(|&v| (v as f64).max(0.0)).sum();
+    if sx <= 0.0 && sy <= 0.0 {
+        return 0.0;
+    }
+    if sx <= 0.0 || sy <= 0.0 {
+        return f64::INFINITY;
+    }
+    let mut div = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let p = ((a as f64).max(0.0) / sx) + EPS;
+        let q = ((b as f64).max(0.0) / sy) + EPS;
+        div += p * (p / q).ln() + q * (q / p).ln();
+    }
+    div.max(0.0)
+}
+
+/// Index of the entry of `candidates` most similar (smallest SAD) to `x`.
+/// Ties resolve to the lowest index. Returns `None` when `candidates` is
+/// empty.
+pub fn nearest_by_sad(x: &[f32], candidates: &[Vec<f32>]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        let d = sad(x, c);
+        match best {
+            Some((_, bd)) if d >= bd => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn brightness_is_squared_norm() {
+        assert_eq!(brightness(&[3.0, 4.0]), 25.0);
+        assert_eq!(brightness(&[]), 0.0);
+    }
+
+    #[test]
+    fn sad_identical_spectra_zero() {
+        let x = [0.2f32, 0.4, 0.8];
+        assert!(sad(&x, &x) < 1e-7);
+        // Scale invariance: SAD ignores magnitude.
+        let y: Vec<f32> = x.iter().map(|v| v * 7.5).collect();
+        assert!(sad(&x, &y) < 1e-6);
+    }
+
+    #[test]
+    fn sad_orthogonal_is_half_pi() {
+        let x = [1.0f32, 0.0];
+        let y = [0.0f32, 1.0];
+        assert!((sad(&x, &y) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sad_opposite_is_pi() {
+        let x = [1.0f32, 2.0];
+        let y = [-1.0f32, -2.0];
+        assert!((sad(&x, &y) - PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sad_zero_vector_conventions() {
+        let z = [0.0f32, 0.0];
+        let x = [1.0f32, 1.0];
+        assert_eq!(sad(&z, &z), 0.0);
+        assert_eq!(sad(&z, &x), FRAC_PI_2);
+        assert_eq!(sad(&x, &z), FRAC_PI_2);
+    }
+
+    #[test]
+    fn sad_symmetry() {
+        let x = [0.3f32, 0.9, 0.1];
+        let y = [0.7f32, 0.2, 0.5];
+        assert!((sad(&x, &y) - sad(&y, &x)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn euclidean_basic() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sid_properties() {
+        let x = [0.2f32, 0.5, 0.3];
+        let y = [0.3f32, 0.3, 0.4];
+        assert!(sid(&x, &x) < 1e-9);
+        assert!(sid(&x, &y) > 0.0);
+        assert!((sid(&x, &y) - sid(&y, &x)).abs() < 1e-12);
+        // Scale invariance.
+        let y2: Vec<f32> = y.iter().map(|v| v * 3.0).collect();
+        assert!((sid(&x, &y) - sid(&x, &y2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nearest_by_sad_picks_most_similar() {
+        let cands = vec![vec![1.0f32, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(nearest_by_sad(&[0.9, 0.05], &cands), Some(0));
+        assert_eq!(nearest_by_sad(&[0.05, 0.9], &cands), Some(1));
+        assert_eq!(nearest_by_sad(&[0.5, 0.5], &cands), Some(2));
+        assert_eq!(nearest_by_sad(&[1.0, 0.0], &[]), None);
+    }
+
+    #[test]
+    fn sad_triangle_inequality_holds_on_samples() {
+        // SAD is the geodesic distance on the sphere, so the triangle
+        // inequality must hold for non-negative spectra.
+        let a = [0.9f32, 0.1, 0.3];
+        let b = [0.4f32, 0.6, 0.2];
+        let c = [0.1f32, 0.8, 0.5];
+        assert!(sad(&a, &c) <= sad(&a, &b) + sad(&b, &c) + 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-band cube statistics and quality estimates.
+//!
+//! Standard first-look diagnostics for a hyperspectral product: per-band
+//! minimum/maximum/mean/standard deviation, a global dynamic-range
+//! summary, and a simple spatial-homogeneity SNR estimate (signal power
+//! over the variance of horizontal first differences — a common quick
+//! estimator that needs no dark-current data).
+
+use crate::HyperCube;
+
+/// Per-band summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandStats {
+    /// Minimum value in the band.
+    pub min: f32,
+    /// Maximum value in the band.
+    pub max: f32,
+    /// Mean value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Computes [`BandStats`] for every band in one pass.
+pub fn band_stats(cube: &HyperCube) -> Vec<BandStats> {
+    let bands = cube.bands();
+    let n = cube.num_pixels().max(1) as f64;
+    let mut min = vec![f32::INFINITY; bands];
+    let mut max = vec![f32::NEG_INFINITY; bands];
+    let mut sum = vec![0.0f64; bands];
+    let mut sumsq = vec![0.0f64; bands];
+    for i in 0..cube.num_pixels() {
+        for (b, &v) in cube.pixel_flat(i).iter().enumerate() {
+            if v < min[b] {
+                min[b] = v;
+            }
+            if v > max[b] {
+                max[b] = v;
+            }
+            sum[b] += v as f64;
+            sumsq[b] += (v as f64) * (v as f64);
+        }
+    }
+    (0..bands)
+        .map(|b| {
+            let mean = sum[b] / n;
+            let var = (sumsq[b] / n - mean * mean).max(0.0);
+            BandStats {
+                min: if min[b].is_finite() { min[b] } else { 0.0 },
+                max: if max[b].is_finite() { max[b] } else { 0.0 },
+                mean,
+                stddev: var.sqrt(),
+            }
+        })
+        .collect()
+}
+
+/// Quick per-band SNR estimate (dB): band signal power over a robust
+/// noise estimate from horizontal first differences. Region boundaries
+/// produce large differences, so the noise scale uses the **median**
+/// absolute difference (`σ ≈ 1.4826·MAD/√2`), which ignores the
+/// boundary minority. Returns `None` for single-sample images.
+pub fn snr_db(cube: &HyperCube) -> Option<Vec<f64>> {
+    if cube.samples() < 2 || cube.num_pixels() == 0 {
+        return None;
+    }
+    let bands = cube.bands();
+    let pairs = cube.lines() * (cube.samples() - 1);
+    let mut signal = vec![0.0f64; bands];
+    let mut diffs: Vec<Vec<f32>> = vec![Vec::with_capacity(pairs); bands];
+    for line in 0..cube.lines() {
+        for sample in 0..cube.samples() - 1 {
+            let a = cube.pixel(line, sample);
+            let b = cube.pixel(line, sample + 1);
+            for band in 0..bands {
+                diffs[band].push((a[band] - b[band]).abs());
+                signal[band] += (a[band] as f64) * (a[band] as f64);
+            }
+        }
+    }
+    Some(
+        (0..bands)
+            .map(|b| {
+                let s = signal[b] / pairs.max(1) as f64;
+                let d = &mut diffs[b];
+                d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                let mad = d[d.len() / 2] as f64;
+                // Gaussian-consistent scale; the /sqrt(2) undoes the
+                // variance doubling of a difference of two samples.
+                let sigma = 1.4826 * mad / std::f64::consts::SQRT_2;
+                let n = (sigma * sigma).max(1e-300);
+                10.0 * (s / n).log10()
+            })
+            .collect(),
+    )
+}
+
+/// Global summary of a cube: value range and mean brightness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeSummary {
+    /// Global minimum.
+    pub min: f32,
+    /// Global maximum.
+    pub max: f32,
+    /// Mean of per-band means.
+    pub mean: f64,
+    /// Median per-band SNR estimate in dB (None when not computable).
+    pub median_snr_db: Option<f64>,
+}
+
+/// Computes a [`CubeSummary`].
+pub fn summarize(cube: &HyperCube) -> CubeSummary {
+    let stats = band_stats(cube);
+    let min = stats.iter().map(|s| s.min).fold(f32::INFINITY, f32::min);
+    let max = stats
+        .iter()
+        .map(|s| s.max)
+        .fold(f32::NEG_INFINITY, f32::max);
+    let mean = stats.iter().map(|s| s.mean).sum::<f64>() / stats.len().max(1) as f64;
+    let median_snr_db = snr_db(cube).map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    });
+    CubeSummary {
+        min: if min.is_finite() { min } else { 0.0 },
+        max: if max.is_finite() { max } else { 0.0 },
+        mean,
+        median_snr_db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{wtc_scene, WtcConfig};
+
+    #[test]
+    fn constant_cube_stats() {
+        let c = HyperCube::from_vec(3, 3, 2, vec![0.25; 18]);
+        let s = band_stats(&c);
+        assert_eq!(s.len(), 2);
+        for bs in s {
+            assert_eq!(bs.min, 0.25);
+            assert_eq!(bs.max, 0.25);
+            assert!((bs.mean - 0.25).abs() < 1e-12);
+            assert!(bs.stddev < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_band_structure() {
+        // Band 1 has double the values of band 0.
+        let mut c = HyperCube::zeros(4, 4, 2);
+        for i in 0..16 {
+            let (l, s) = (i / 4, i % 4);
+            c.pixel_mut(l, s)[0] = i as f32;
+            c.pixel_mut(l, s)[1] = 2.0 * i as f32;
+        }
+        let st = band_stats(&c);
+        assert_eq!(st[0].max, 15.0);
+        assert_eq!(st[1].max, 30.0);
+        assert!((st[1].mean - 2.0 * st[0].mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_decreases_with_noise() {
+        // Shading-free scenes, so first differences measure additive
+        // noise only (the WTC preset's per-pixel shading would dominate).
+        use crate::synth::materials;
+        use crate::synth::scene::SceneBuilder;
+        let build = |sigma: f64| {
+            SceneBuilder::new(32, 32, 16)
+                .seed(5)
+                .noise_sigma(sigma)
+                .materials(materials::full_library())
+                .build()
+        };
+        let quiet = build(0.002);
+        let loud = build(0.02);
+        let snr_q = summarize(&quiet.cube).median_snr_db.unwrap();
+        let snr_l = summarize(&loud.cube).median_snr_db.unwrap();
+        assert!(
+            snr_q > snr_l + 6.0,
+            "10x noise should cost well over 6 dB: {snr_q:.1} vs {snr_l:.1}"
+        );
+    }
+
+    #[test]
+    fn snr_none_for_degenerate_geometry() {
+        let c = HyperCube::zeros(5, 1, 3);
+        assert!(snr_db(&c).is_none());
+    }
+
+    #[test]
+    fn summary_ranges() {
+        let s = wtc_scene(WtcConfig::tiny());
+        let sum = summarize(&s.cube);
+        assert!(sum.min >= 0.0);
+        assert!(sum.max > sum.min);
+        assert!(sum.mean > 0.0 && (sum.mean as f32) < sum.max);
+    }
+}

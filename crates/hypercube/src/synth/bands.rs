@@ -1,0 +1,128 @@
+//! The AVIRIS spectral sampling grid.
+//!
+//! AVIRIS records 224 contiguous bands covering 0.4–2.5 µm at roughly
+//! 10 nm sampling. We model the grid as uniform over that range, which is
+//! accurate to within a band's width and all this library needs.
+
+/// Number of AVIRIS spectral bands.
+pub const AVIRIS_BANDS: usize = 224;
+
+/// Shortest AVIRIS wavelength in micrometres.
+pub const LAMBDA_MIN_UM: f64 = 0.4;
+
+/// Longest AVIRIS wavelength in micrometres.
+pub const LAMBDA_MAX_UM: f64 = 2.5;
+
+/// Centre wavelength (µm) of band `b` on an `n`-band uniform grid.
+#[inline]
+pub fn wavelength_um(b: usize, n: usize) -> f64 {
+    assert!(n > 0, "wavelength_um: need at least one band");
+    if n == 1 {
+        return 0.5 * (LAMBDA_MIN_UM + LAMBDA_MAX_UM);
+    }
+    LAMBDA_MIN_UM + (LAMBDA_MAX_UM - LAMBDA_MIN_UM) * (b as f64) / ((n - 1) as f64)
+}
+
+/// The full wavelength grid for `n` bands.
+pub fn grid(n: usize) -> Vec<f64> {
+    (0..n).map(|b| wavelength_um(b, n)).collect()
+}
+
+/// The atmospheric water-vapour absorption windows (µm) customarily
+/// removed from AVIRIS reflectance products (around 1.4 and 1.9 µm).
+pub const WATER_ABSORPTION_WINDOWS_UM: [(f64, f64); 2] = [(1.34, 1.42), (1.80, 1.95)];
+
+/// Band indices on an `n`-band grid that fall **outside** the water
+/// absorption windows — the usual "good bands" list for analysis.
+pub fn good_bands(n: usize) -> Vec<usize> {
+    grid(n)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, um)| {
+            !WATER_ABSORPTION_WINDOWS_UM
+                .iter()
+                .any(|&(lo, hi)| um >= lo && um <= hi)
+        })
+        .map(|(b, _)| b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_endpoints() {
+        let g = grid(AVIRIS_BANDS);
+        assert_eq!(g.len(), 224);
+        assert!((g[0] - 0.4).abs() < 1e-12);
+        assert!((g[223] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_monotone() {
+        let g = grid(64);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn single_band_grid_is_midpoint() {
+        assert!((wavelength_um(0, 1) - 1.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_interval_near_10nm() {
+        let g = grid(AVIRIS_BANDS);
+        let step = g[1] - g[0];
+        assert!((step - 0.0094).abs() < 1e-3, "step = {step} µm");
+    }
+
+    #[test]
+    fn good_bands_exclude_water_windows() {
+        let good = good_bands(AVIRIS_BANDS);
+        assert!(good.len() < AVIRIS_BANDS);
+        assert!(good.len() > AVIRIS_BANDS - 40, "too many bands dropped");
+        let g = grid(AVIRIS_BANDS);
+        for &b in &good {
+            for &(lo, hi) in &WATER_ABSORPTION_WINDOWS_UM {
+                assert!(
+                    g[b] < lo || g[b] > hi,
+                    "band {b} ({} µm) inside a water window",
+                    g[b]
+                );
+            }
+        }
+        // Indices are sorted and unique.
+        for w in good.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn band_selection_on_cube() {
+        use crate::synth::{wtc_scene, WtcConfig};
+        let s = wtc_scene(WtcConfig {
+            lines: 8,
+            samples: 6,
+            bands: 64,
+            ..Default::default()
+        });
+        let good = good_bands(64);
+        let sub = s.cube.select_bands(&good);
+        assert_eq!(sub.bands(), good.len());
+        assert_eq!(sub.lines(), 8);
+        // Content preserved band-for-band.
+        for (new_b, &old_b) in good.iter().enumerate() {
+            assert_eq!(sub.pixel(3, 2)[new_b], s.cube.pixel(3, 2)[old_b]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_bands_rejects_bad_index() {
+        use crate::HyperCube;
+        HyperCube::zeros(2, 2, 4).select_bands(&[0, 9]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Planck blackbody radiance for thermal hot-spot synthesis.
+//!
+//! The WTC fires produced thermal anomalies between 700 °F and 1300 °F
+//! (USGS thermal map, Fig. 1 right of the paper). At those temperatures a
+//! blackbody's spectral radiance rises steeply across the AVIRIS
+//! short-wave-infrared range (2.0–2.5 µm), which is exactly how the real
+//! hot spots announce themselves in AVIRIS radiance data. We synthesise a
+//! hot-spot signature by adding a temperature-dependent, SWIR-weighted
+//! Planck term to the underlying debris reflectance.
+
+/// First radiation constant `2hc²` in W·µm⁴/m²  (wavelengths in µm).
+const C1: f64 = 1.191042e8;
+
+/// Second radiation constant `hc/k` in µm·K.
+const C2: f64 = 1.4387752e4;
+
+/// Converts degrees Fahrenheit to kelvin.
+#[inline]
+pub fn fahrenheit_to_kelvin(f: f64) -> f64 {
+    (f - 32.0) / 1.8 + 273.15
+}
+
+/// Planck spectral radiance `B(λ, T)` in W·m⁻²·sr⁻¹·µm⁻¹ for wavelength
+/// `lambda_um` (µm) and temperature `t_kelvin` (K).
+#[inline]
+pub fn planck_radiance(lambda_um: f64, t_kelvin: f64) -> f64 {
+    assert!(lambda_um > 0.0 && t_kelvin > 0.0);
+    let x = C2 / (lambda_um * t_kelvin);
+    // Guard against overflow for very short wavelengths / low temperatures:
+    // exp(x) saturates and radiance underflows to zero, which is correct.
+    if x > 700.0 {
+        return 0.0;
+    }
+    C1 / (lambda_um.powi(5) * (x.exp() - 1.0))
+}
+
+/// A normalised thermal emission signature over a wavelength grid: the
+/// Planck curve at `temp_f` (°F), scaled so its maximum over the grid is
+/// `1.0`. Adding `amplitude × signature` to a reflectance spectrum yields
+/// a hot-spot pixel whose SWIR excess grows with temperature.
+pub fn thermal_signature(grid_um: &[f64], temp_f: f64) -> Vec<f64> {
+    let t = fahrenheit_to_kelvin(temp_f);
+    let raw: Vec<f64> = grid_um.iter().map(|&l| planck_radiance(l, t)).collect();
+    let max = raw.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return vec![0.0; grid_um.len()];
+    }
+    raw.into_iter().map(|v| v / max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::bands;
+
+    #[test]
+    fn fahrenheit_conversions() {
+        assert!((fahrenheit_to_kelvin(32.0) - 273.15).abs() < 1e-9);
+        assert!((fahrenheit_to_kelvin(212.0) - 373.15).abs() < 1e-9);
+        // The paper's range: 700 F ≈ 644 K, 1300 F ≈ 978 K.
+        assert!((fahrenheit_to_kelvin(700.0) - 644.26).abs() < 0.01);
+        assert!((fahrenheit_to_kelvin(1300.0) - 977.59).abs() < 0.01);
+    }
+
+    #[test]
+    fn planck_positive_and_peaked() {
+        // At 900 K the Planck peak is near 3.2 µm (Wien), so radiance must
+        // increase monotonically across the AVIRIS range (0.4–2.5 µm).
+        let g = bands::grid(64);
+        let vals: Vec<f64> = g.iter().map(|&l| planck_radiance(l, 900.0)).collect();
+        assert!(vals.iter().all(|&v| v >= 0.0));
+        assert!(vals[63] > vals[32], "radiance should grow into the SWIR");
+    }
+
+    #[test]
+    fn hotter_means_brighter_everywhere() {
+        let g = bands::grid(32);
+        for &l in &g {
+            assert!(planck_radiance(l, 1000.0) > planck_radiance(l, 700.0));
+        }
+    }
+
+    #[test]
+    fn thermal_signature_normalised() {
+        let g = bands::grid(bands::AVIRIS_BANDS);
+        let sig = thermal_signature(&g, 1000.0);
+        let max = sig.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(sig.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // The signature must be SWIR-weighted: last band is the max.
+        assert!((sig[223] - 1.0).abs() < 1e-12);
+        // And negligible in the visible.
+        assert!(sig[0] < 1e-6);
+    }
+
+    #[test]
+    fn temperature_separates_signatures() {
+        // The mid-SWIR ratio distinguishes 700 F from 1300 F — the property
+        // that lets target detection tell hot spots apart.
+        let g = bands::grid(bands::AVIRIS_BANDS);
+        let cold = thermal_signature(&g, 700.0);
+        let hot = thermal_signature(&g, 1300.0);
+        let mid = 180; // ~1.9 µm
+        assert!(hot[mid] > cold[mid] * 1.05);
+    }
+}

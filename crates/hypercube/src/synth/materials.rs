@@ -1,0 +1,436 @@
+//! Parametric reflectance signatures for the synthetic WTC scene.
+//!
+//! Each material is a smooth base reflectance plus a set of spectral
+//! shape primitives (linear slope, Gaussian absorption/reflection
+//! features, logistic steps). The seven dust/debris classes mirror the
+//! USGS WTC classes the paper scores against (Table 4); the background
+//! materials populate the rest of lower Manhattan (vegetation in parks,
+//! water, asphalt, smoke plume). Feature placement follows the real
+//! mineralogy coarsely — gypsum's 1.45/1.94/2.21 µm water/sulfate bands,
+//! carbonate near 2.3 µm, chlorophyll's red edge — so the synthetic
+//! classes are separable for the same physical reasons the real ones are,
+//! while nearby dust classes remain deliberately similar (keeping the
+//! classification task non-trivial).
+
+use super::bands;
+
+/// A spectral shape primitive added to a material's base reflectance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// Linear ramp: adds `amount × (λ − λ_min)/(λ_max − λ_min)`.
+    Slope {
+        /// Total change across the spectral range (may be negative).
+        amount: f64,
+    },
+    /// Gaussian feature: `amplitude · exp(−(λ−center)²/(2·width²))`.
+    /// Negative amplitude models an absorption band.
+    Gauss {
+        /// Centre wavelength in µm.
+        center: f64,
+        /// Standard deviation in µm.
+        width: f64,
+        /// Peak amplitude (reflectance units).
+        amplitude: f64,
+    },
+    /// Logistic step: `amplitude / (1 + exp(−(λ−center)/width))` — e.g.
+    /// vegetation's red edge.
+    Step {
+        /// Centre wavelength in µm.
+        center: f64,
+        /// Transition width in µm.
+        width: f64,
+        /// Step height (reflectance units).
+        amplitude: f64,
+    },
+}
+
+impl Shape {
+    /// Evaluates the primitive at wavelength `lambda_um`.
+    pub fn eval(&self, lambda_um: f64) -> f64 {
+        match *self {
+            Shape::Slope { amount } => {
+                let t = (lambda_um - bands::LAMBDA_MIN_UM)
+                    / (bands::LAMBDA_MAX_UM - bands::LAMBDA_MIN_UM);
+                amount * t
+            }
+            Shape::Gauss {
+                center,
+                width,
+                amplitude,
+            } => {
+                let d = (lambda_um - center) / width;
+                amplitude * (-0.5 * d * d).exp()
+            }
+            Shape::Step {
+                center,
+                width,
+                amplitude,
+            } => amplitude / (1.0 + (-(lambda_um - center) / width).exp()),
+        }
+    }
+}
+
+/// A named material with a parametric reflectance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    /// Human-readable name (matches the paper's Table 4 rows for the
+    /// debris classes).
+    pub name: &'static str,
+    /// Flat base reflectance.
+    pub base: f64,
+    /// Additive shape primitives.
+    pub shapes: Vec<Shape>,
+}
+
+impl Material {
+    /// Evaluates the reflectance on a wavelength grid, clamped to the
+    /// physical range `[0.01, 0.99]`.
+    pub fn reflectance(&self, grid_um: &[f64]) -> Vec<f64> {
+        grid_um
+            .iter()
+            .map(|&l| {
+                let mut v = self.base;
+                for s in &self.shapes {
+                    v += s.eval(l);
+                }
+                v.clamp(0.01, 0.99)
+            })
+            .collect()
+    }
+}
+
+/// The seven WTC dust/debris classes of the paper's Table 4, in table
+/// order. Class label = index in this slice.
+pub fn debris_classes() -> Vec<Material> {
+    use Shape::*;
+    vec![
+        Material {
+            name: "Concrete (WTC01-37B)",
+            base: 0.34,
+            shapes: vec![
+                Slope { amount: 0.10 },
+                Gauss {
+                    center: 2.30,
+                    width: 0.05,
+                    amplitude: -0.14,
+                }, // carbonate
+                Gauss {
+                    center: 1.42,
+                    width: 0.05,
+                    amplitude: -0.05,
+                },
+                Gauss {
+                    center: 2.00,
+                    width: 0.04,
+                    amplitude: -0.08,
+                },
+            ],
+        },
+        Material {
+            name: "Concrete (WTC01-37Am)",
+            base: 0.31,
+            shapes: vec![
+                Slope { amount: 0.12 },
+                Gauss {
+                    center: 2.30,
+                    width: 0.05,
+                    amplitude: -0.08,
+                },
+                Gauss {
+                    center: 0.90,
+                    width: 0.08,
+                    amplitude: -0.11,
+                }, // iron oxide
+                Gauss {
+                    center: 0.55,
+                    width: 0.05,
+                    amplitude: 0.06,
+                },
+            ],
+        },
+        Material {
+            name: "Cement (WTC01-37A)",
+            base: 0.27,
+            shapes: vec![
+                Slope { amount: 0.08 },
+                Gauss {
+                    center: 2.20,
+                    width: 0.06,
+                    amplitude: -0.11,
+                },
+                Gauss {
+                    center: 1.40,
+                    width: 0.05,
+                    amplitude: -0.05,
+                },
+                Gauss {
+                    center: 1.20,
+                    width: 0.05,
+                    amplitude: -0.07,
+                },
+            ],
+        },
+        Material {
+            name: "Dust (WTC01-15)",
+            base: 0.40,
+            shapes: vec![
+                Slope { amount: 0.06 },
+                Gauss {
+                    center: 1.45,
+                    width: 0.04,
+                    amplitude: -0.12,
+                }, // gypsum-rich
+                Gauss {
+                    center: 1.75,
+                    width: 0.05,
+                    amplitude: -0.08,
+                },
+                Gauss {
+                    center: 2.21,
+                    width: 0.04,
+                    amplitude: -0.06,
+                },
+            ],
+        },
+        Material {
+            name: "Dust (WTC01-28)",
+            base: 0.37,
+            shapes: vec![
+                Slope { amount: 0.05 },
+                Gauss {
+                    center: 1.90,
+                    width: 0.06,
+                    amplitude: -0.13,
+                },
+                Gauss {
+                    center: 1.45,
+                    width: 0.04,
+                    amplitude: -0.03,
+                },
+                Gauss {
+                    center: 0.70,
+                    width: 0.06,
+                    amplitude: -0.07,
+                },
+            ],
+        },
+        Material {
+            name: "Dust (WTC01-36)",
+            base: 0.43,
+            shapes: vec![
+                Slope { amount: 0.04 },
+                Gauss {
+                    center: 1.40,
+                    width: 0.05,
+                    amplitude: -0.06,
+                },
+                Gauss {
+                    center: 2.35,
+                    width: 0.05,
+                    amplitude: -0.12,
+                },
+                Gauss {
+                    center: 1.05,
+                    width: 0.05,
+                    amplitude: -0.08,
+                },
+            ],
+        },
+        Material {
+            name: "Gypsum wall board",
+            base: 0.55,
+            shapes: vec![
+                Slope { amount: -0.05 },
+                Gauss {
+                    center: 1.45,
+                    width: 0.03,
+                    amplitude: -0.18,
+                },
+                Gauss {
+                    center: 1.94,
+                    width: 0.04,
+                    amplitude: -0.22,
+                },
+                Gauss {
+                    center: 2.21,
+                    width: 0.03,
+                    amplitude: -0.12,
+                },
+            ],
+        },
+    ]
+}
+
+/// Background (non-debris) materials for the rest of the scene, in label
+/// order following the debris classes.
+pub fn background_classes() -> Vec<Material> {
+    use Shape::*;
+    vec![
+        Material {
+            name: "Vegetation",
+            base: 0.05,
+            shapes: vec![
+                Gauss {
+                    center: 0.55,
+                    width: 0.03,
+                    amplitude: 0.05,
+                }, // green bump
+                Step {
+                    center: 0.72,
+                    width: 0.015,
+                    amplitude: 0.42,
+                }, // red edge
+                Gauss {
+                    center: 1.40,
+                    width: 0.05,
+                    amplitude: -0.20,
+                }, // leaf water
+                Gauss {
+                    center: 1.90,
+                    width: 0.06,
+                    amplitude: -0.25,
+                },
+                Slope { amount: -0.12 },
+            ],
+        },
+        Material {
+            name: "Water",
+            base: 0.09,
+            shapes: vec![Slope { amount: -0.085 }],
+        },
+        Material {
+            name: "Asphalt",
+            base: 0.07,
+            shapes: vec![Slope { amount: 0.05 }],
+        },
+        Material {
+            name: "Smoke plume",
+            base: 0.45,
+            shapes: vec![
+                Slope { amount: -0.30 }, // strong blue-weighted scattering
+                Gauss {
+                    center: 0.45,
+                    width: 0.10,
+                    amplitude: 0.15,
+                },
+            ],
+        },
+    ]
+}
+
+/// The full material library: debris classes first (labels `0..7`), then
+/// background classes (labels `7..11`).
+pub fn full_library() -> Vec<Material> {
+    let mut v = debris_classes();
+    v.extend(background_classes());
+    v
+}
+
+/// Number of debris classes scored in Table 4.
+pub const NUM_DEBRIS_CLASSES: usize = 7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::sad;
+    use crate::synth::bands;
+
+    fn to_f32(v: &[f64]) -> Vec<f32> {
+        v.iter().map(|&x| x as f32).collect()
+    }
+
+    #[test]
+    fn library_size_and_names() {
+        let lib = full_library();
+        assert_eq!(lib.len(), 11);
+        assert_eq!(lib[0].name, "Concrete (WTC01-37B)");
+        assert_eq!(lib[6].name, "Gypsum wall board");
+        assert_eq!(lib[7].name, "Vegetation");
+    }
+
+    #[test]
+    fn reflectances_physical() {
+        let g = bands::grid(bands::AVIRIS_BANDS);
+        for m in full_library() {
+            let r = m.reflectance(&g);
+            assert_eq!(r.len(), 224);
+            assert!(
+                r.iter().all(|&v| (0.01..=0.99).contains(&v)),
+                "{} out of range",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_pairs_spectrally_distinct() {
+        // Every pair of library materials must be separable by SAD —
+        // otherwise the synthetic ground truth would be ill-posed.
+        let g = bands::grid(bands::AVIRIS_BANDS);
+        let lib = full_library();
+        let specs: Vec<Vec<f32>> = lib.iter().map(|m| to_f32(&m.reflectance(&g))).collect();
+        for i in 0..specs.len() {
+            for j in (i + 1)..specs.len() {
+                let d = sad(&specs[i], &specs[j]);
+                assert!(
+                    d > 0.01,
+                    "{} vs {} too similar: SAD = {d}",
+                    lib[i].name,
+                    lib[j].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn debris_classes_are_challengingly_similar() {
+        // The two concretes should be much closer to each other than to
+        // vegetation — the scene must be non-trivial but not degenerate.
+        let g = bands::grid(bands::AVIRIS_BANDS);
+        let lib = full_library();
+        let c1 = to_f32(&lib[0].reflectance(&g));
+        let c2 = to_f32(&lib[1].reflectance(&g));
+        let veg = to_f32(&lib[7].reflectance(&g));
+        assert!(sad(&c1, &c2) < sad(&c1, &veg));
+    }
+
+    #[test]
+    fn gypsum_has_deep_1940nm_band() {
+        let g = bands::grid(bands::AVIRIS_BANDS);
+        let gy = debris_classes()[6].reflectance(&g);
+        // Index of ~1.94 µm on the 224-band grid.
+        let idx = ((1.94_f64 - 0.4) / (2.5 - 0.4) * 223.0).round() as usize;
+        let shoulder = ((1.70_f64 - 0.4) / (2.5 - 0.4) * 223.0).round() as usize;
+        assert!(gy[idx] < gy[shoulder] - 0.1, "gypsum band not deep enough");
+    }
+
+    #[test]
+    fn vegetation_red_edge() {
+        let g = bands::grid(bands::AVIRIS_BANDS);
+        let veg = background_classes()[0].reflectance(&g);
+        let red = ((0.67_f64 - 0.4) / (2.5 - 0.4) * 223.0).round() as usize;
+        let nir = ((0.85_f64 - 0.4) / (2.5 - 0.4) * 223.0).round() as usize;
+        assert!(veg[nir] > veg[red] * 3.0, "red edge missing");
+    }
+
+    #[test]
+    fn shape_primitives_evaluate() {
+        let s = Shape::Slope { amount: 1.0 };
+        assert!((s.eval(0.4) - 0.0).abs() < 1e-12);
+        assert!((s.eval(2.5) - 1.0).abs() < 1e-12);
+        let gauss = Shape::Gauss {
+            center: 1.0,
+            width: 0.1,
+            amplitude: -0.5,
+        };
+        assert!((gauss.eval(1.0) + 0.5).abs() < 1e-12);
+        assert!(gauss.eval(2.0).abs() < 1e-12);
+        let step = Shape::Step {
+            center: 1.0,
+            width: 0.01,
+            amplitude: 1.0,
+        };
+        assert!(step.eval(0.5) < 0.01);
+        assert!(step.eval(1.5) > 0.99);
+    }
+}

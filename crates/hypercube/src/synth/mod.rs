@@ -1,0 +1,27 @@
+//! Synthetic AVIRIS-like scene generation.
+//!
+//! The paper's experiments run on a 224-band AVIRIS scene of the World
+//! Trade Center collected on 2001-09-16, with USGS ground truth for seven
+//! thermal hot spots ('A'–'G', 700–1300 °F) and seven dust/debris classes.
+//! That data cannot be redistributed here, so this module builds the
+//! closest synthetic equivalent that exercises the same code paths:
+//!
+//! * [`bands`] — the AVIRIS wavelength grid (0.4–2.5 µm, 224 bands).
+//! * [`materials`] — parametric reflectance signatures for the WTC debris
+//!   classes and urban background materials.
+//! * [`blackbody`] — Planck radiance for the thermal hot-spot targets.
+//! * [`scene`] — the scene builder: spatially coherent class regions
+//!   (seeded Voronoi growth), linear mixing at region borders, additive
+//!   Gaussian sensor noise, and point targets.
+//! * [`wtc`] — the ready-made WTC-like preset with exact ground truth.
+//!
+//! Everything is seeded and fully deterministic.
+
+pub mod bands;
+pub mod blackbody;
+pub mod materials;
+pub mod scene;
+pub mod wtc;
+
+pub use scene::{SceneBuilder, SyntheticScene, TargetSpec};
+pub use wtc::{wtc_scene, WtcConfig};

@@ -1,0 +1,158 @@
+//! Cholesky decomposition of symmetric positive-definite matrices.
+//!
+//! The least-squares solvers in [`crate::lstsq`] form normal equations
+//! `(UᵀU)·a = Uᵀx` whose left-hand side is SPD whenever the endmember
+//! matrix `U` has full column rank; Cholesky is the cheapest stable way to
+//! solve them.
+
+use crate::error::shape_mismatch;
+use crate::{LinAlgError, Matrix, Result};
+
+/// A lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyDecomposition {
+    l: Matrix,
+}
+
+impl CholeskyDecomposition {
+    /// Factorises a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility (use
+    /// [`Matrix::is_symmetric`] to verify when in doubt). Returns
+    /// [`LinAlgError::NotPositiveDefinite`] when a diagonal pivot is
+    /// non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(shape_mismatch(
+                "square matrix",
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
+        }
+        a.require_non_empty()?;
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinAlgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via `L·y = b` then `Lᵀ·x = y`.
+    #[allow(clippy::needless_range_loop)] // indexed form mirrors the textbook algorithm
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(shape_mismatch(
+                format!("rhs of length {n}"),
+                format!("length {}", b.len()),
+            ));
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut sum = y[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of `A` (= product of squared diagonal entries of `L`).
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.dim() {
+            let v = self.l[(i, i)];
+            d *= v * v;
+        }
+        d
+    }
+}
+
+/// Convenience wrapper: solve an SPD system in one call.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    CholeskyDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_known_matrix() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = CholeskyDecomposition::new(&a).unwrap();
+        let l = ch.l();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-12));
+        assert!((ch.det() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
+        let b = [1.0, -2.0, 3.0];
+        let x_ch = solve_spd(&a, &b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        for (p, q) in x_ch.iter().zip(&x_lu) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            CholeskyDecomposition::new(&a),
+            Err(LinAlgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(CholeskyDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(matches!(
+            CholeskyDecomposition::new(&Matrix::zeros(0, 0)),
+            Err(LinAlgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn gram_matrix_of_full_rank_basis_is_spd() {
+        let u = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 2.0]]);
+        let g = u.gram();
+        let ch = CholeskyDecomposition::new(&g).unwrap();
+        assert!(ch.det() > 0.0);
+    }
+}

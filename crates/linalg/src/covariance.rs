@@ -1,0 +1,297 @@
+//! Streaming, mergeable mean/covariance accumulation.
+//!
+//! Hetero-PCT (Algorithm 4, steps 4–6) computes the image mean vector and
+//! covariance matrix **in parallel**: each worker accumulates partial sums
+//! over its partition and the master merges them. [`CovarianceAccumulator`]
+//! is that partial sum — an associative, commutative monoid under
+//! [`CovarianceAccumulator::merge`], so any partitioning of the pixel set
+//! yields bitwise-identical* statistics (*up to floating-point summation
+//! order, which is fixed by the deterministic partition order used by the
+//! algorithms).
+//!
+//! Internally the accumulator keeps raw sums `Σx` and `Σxxᵀ`; covariance is
+//! finalised as `Σxxᵀ/n − m mᵀ`. For reflectance-scaled data (`O(1)`
+//! magnitudes) this is numerically adequate and makes merging trivial.
+
+use crate::error::shape_mismatch;
+use crate::{LinAlgError, Matrix, Result};
+
+/// Partial sums for mean/covariance over a stream of `dim`-vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CovarianceAccumulator {
+    dim: usize,
+    count: u64,
+    sum: Vec<f64>,
+    /// Upper triangle (including diagonal) of `Σ x xᵀ`, packed row-major.
+    cross: Vec<f64>,
+}
+
+impl CovarianceAccumulator {
+    /// An empty accumulator for vectors of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        CovarianceAccumulator {
+            dim,
+            count: 0,
+            sum: vec![0.0; dim],
+            cross: vec![0.0; dim * (dim + 1) / 2],
+        }
+    }
+
+    /// Vector dimensionality this accumulator expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Accumulates one sample.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.dim()`.
+    pub fn push(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.dim, "push: wrong sample length");
+        self.count += 1;
+        let mut k = 0;
+        for i in 0..self.dim {
+            self.sum[i] += x[i];
+            let xi = x[i];
+            for &xj in &x[i..] {
+                self.cross[k] += xi * xj;
+                k += 1;
+            }
+        }
+    }
+
+    /// Accumulates one `f32` sample (the native pixel type of `hsi-cube`),
+    /// widening to `f64` for the sums.
+    pub fn push_f32(&mut self, x: &[f32]) {
+        assert_eq!(x.len(), self.dim, "push_f32: wrong sample length");
+        self.count += 1;
+        let mut k = 0;
+        for i in 0..self.dim {
+            let xi = x[i] as f64;
+            self.sum[i] += xi;
+            for &xj in &x[i..] {
+                self.cross[k] += xi * (xj as f64);
+                k += 1;
+            }
+        }
+    }
+
+    /// Merges another accumulator into this one (the master's combine step).
+    pub fn merge(&mut self, other: &CovarianceAccumulator) -> Result<()> {
+        if other.dim != self.dim {
+            return Err(shape_mismatch(
+                format!("accumulator of dim {}", self.dim),
+                format!("dim {}", other.dim),
+            ));
+        }
+        self.count += other.count;
+        for (a, b) in self.sum.iter_mut().zip(&other.sum) {
+            *a += b;
+        }
+        for (a, b) in self.cross.iter_mut().zip(&other.cross) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Finalised mean vector. Errors when no samples were accumulated.
+    pub fn mean(&self) -> Result<Vec<f64>> {
+        if self.count == 0 {
+            return Err(LinAlgError::Empty);
+        }
+        let inv = 1.0 / self.count as f64;
+        Ok(self.sum.iter().map(|s| s * inv).collect())
+    }
+
+    /// Finalised covariance matrix `E[xxᵀ] − m mᵀ` (population covariance,
+    /// divisor `n`, matching the paper's "average of covariance
+    /// components"). Errors when no samples were accumulated.
+    pub fn covariance(&self) -> Result<Matrix> {
+        if self.count == 0 {
+            return Err(LinAlgError::Empty);
+        }
+        let inv = 1.0 / self.count as f64;
+        let mean = self.mean()?;
+        let mut cov = Matrix::zeros(self.dim, self.dim);
+        let mut k = 0;
+        for i in 0..self.dim {
+            for j in i..self.dim {
+                let v = self.cross[k] * inv - mean[i] * mean[j];
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+                k += 1;
+            }
+        }
+        Ok(cov)
+    }
+
+    /// Serialises the accumulator into a flat `f64` buffer
+    /// (`[count, sum…, cross…]`) for shipment through the message-passing
+    /// engine; [`Self::from_flat`] is the inverse.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(1 + self.sum.len() + self.cross.len());
+        out.push(self.count as f64);
+        out.extend_from_slice(&self.sum);
+        out.extend_from_slice(&self.cross);
+        out
+    }
+
+    /// Reconstructs an accumulator serialised by [`Self::to_flat`].
+    pub fn from_flat(dim: usize, flat: &[f64]) -> Result<Self> {
+        let expect = 1 + dim + dim * (dim + 1) / 2;
+        if flat.len() != expect {
+            return Err(shape_mismatch(
+                format!("flat buffer of length {expect}"),
+                format!("length {}", flat.len()),
+            ));
+        }
+        Ok(CovarianceAccumulator {
+            dim,
+            count: flat[0] as u64,
+            sum: flat[1..1 + dim].to_vec(),
+            cross: flat[1 + dim..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 2.0],
+            vec![3.0, 0.0],
+            vec![-1.0, 4.0],
+            vec![2.0, 2.0],
+        ]
+    }
+
+    fn reference_mean_cov(data: &[Vec<f64>]) -> (Vec<f64>, Matrix) {
+        let n = data.len() as f64;
+        let d = data[0].len();
+        let mut mean = vec![0.0; d];
+        for x in data {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v / n;
+            }
+        }
+        let mut cov = Matrix::zeros(d, d);
+        for x in data {
+            for i in 0..d {
+                for j in 0..d {
+                    cov[(i, j)] += (x[i] - mean[i]) * (x[j] - mean[j]) / n;
+                }
+            }
+        }
+        (mean, cov)
+    }
+
+    #[test]
+    fn mean_and_covariance_match_reference() {
+        let data = samples();
+        let mut acc = CovarianceAccumulator::new(2);
+        for x in &data {
+            acc.push(x);
+        }
+        let (m_ref, c_ref) = reference_mean_cov(&data);
+        let m = acc.mean().unwrap();
+        for (a, b) in m.iter().zip(&m_ref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(acc.covariance().unwrap().approx_eq(&c_ref, 1e-12));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data = samples();
+        let mut whole = CovarianceAccumulator::new(2);
+        for x in &data {
+            whole.push(x);
+        }
+        let mut a = CovarianceAccumulator::new(2);
+        let mut b = CovarianceAccumulator::new(2);
+        for x in &data[..2] {
+            a.push(x);
+        }
+        for x in &data[2..] {
+            b.push(x);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), whole.count());
+        assert!(a
+            .covariance()
+            .unwrap()
+            .approx_eq(&whole.covariance().unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn merge_dimension_mismatch() {
+        let mut a = CovarianceAccumulator::new(2);
+        let b = CovarianceAccumulator::new(3);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn empty_accumulator_errors() {
+        let acc = CovarianceAccumulator::new(4);
+        assert!(matches!(acc.mean(), Err(LinAlgError::Empty)));
+        assert!(matches!(acc.covariance(), Err(LinAlgError::Empty)));
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut acc = CovarianceAccumulator::new(3);
+        acc.push(&[1.0, 2.0, 3.0]);
+        acc.push(&[0.5, -1.0, 2.0]);
+        let flat = acc.to_flat();
+        let back = CovarianceAccumulator::from_flat(3, &flat).unwrap();
+        assert_eq!(back, acc);
+        assert!(CovarianceAccumulator::from_flat(2, &flat).is_err());
+    }
+
+    #[test]
+    fn f32_push_matches_f64() {
+        let mut a = CovarianceAccumulator::new(2);
+        let mut b = CovarianceAccumulator::new(2);
+        a.push(&[0.5, 0.25]);
+        b.push_f32(&[0.5_f32, 0.25_f32]);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean().unwrap(), b.mean().unwrap());
+    }
+
+    #[test]
+    fn covariance_of_constant_stream_is_zero() {
+        let mut acc = CovarianceAccumulator::new(3);
+        for _ in 0..10 {
+            acc.push(&[2.0, 2.0, 2.0]);
+        }
+        let cov = acc.covariance().unwrap();
+        assert!(cov.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_positive_semidefinite() {
+        // Eigenvalues of a covariance matrix must be >= 0 (numerically).
+        let mut acc = CovarianceAccumulator::new(3);
+        let mut state: u64 = 99;
+        for _ in 0..50 {
+            let mut x = [0.0; 3];
+            for v in &mut x {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *v = ((state >> 33) as f64) / (u32::MAX as f64);
+            }
+            acc.push(&x);
+        }
+        let cov = acc.covariance().unwrap();
+        let e = crate::eigen::SymmetricEigen::new(&cov).unwrap();
+        for l in e.eigenvalues {
+            assert!(l > -1e-10, "negative eigenvalue {l}");
+        }
+    }
+}

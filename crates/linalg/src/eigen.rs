@@ -1,0 +1,309 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The principal component transform (Algorithm 4, step 7 of the paper)
+//! needs the eigenvectors of an `N × N` covariance matrix (`N = 224`
+//! spectral bands), sorted by descending eigenvalue. Jacobi rotation is the
+//! classic choice at this scale: simple, unconditionally stable for
+//! symmetric input, and accurate to machine precision for the well-scaled
+//! covariance matrices that arise here.
+
+use crate::error::shape_mismatch;
+use crate::{LinAlgError, Matrix, Result};
+
+/// Maximum number of full sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Result of a symmetric eigendecomposition: `A = V · diag(λ) · Vᵀ`.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue, matching the PCT's
+/// convention that the first principal component carries the most variance.
+///
+/// ```
+/// use hsi_linalg::{Matrix, eigen::SymmetricEigen};
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = SymmetricEigen::new(&a).unwrap();
+/// assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+/// assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as **rows** (row `i` pairs with `eigenvalues[i]`), so
+    /// `eigenvectors.matvec(x)` projects `x` onto the principal axes.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Decomposes a symmetric matrix with the cyclic Jacobi method.
+    ///
+    /// `a` must be square; symmetry is enforced by averaging `a` with its
+    /// transpose first (cheap insurance against accumulation asymmetries in
+    /// covariance sums). Returns [`LinAlgError::NoConvergence`] if the
+    /// off-diagonal mass has not vanished after `MAX_SWEEPS` (64) sweeps —
+    /// which for symmetric input effectively cannot happen.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(shape_mismatch(
+                "square matrix",
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
+        }
+        a.require_non_empty()?;
+        let n = a.rows();
+
+        // Work on the symmetrised copy.
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+            }
+        }
+        let mut v = Matrix::identity(n);
+        let scale = m.max_abs().max(f64::MIN_POSITIVE);
+        let tol = 1e-14 * scale * (n as f64);
+
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let off = off_diagonal_norm(&m);
+            if off <= tol {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol / (n as f64).max(1.0) {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation parameters (Golub & Van Loan §8.5).
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Update rows/columns p and q of M = Jᵀ M J.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate the rotation into V (rows are eigenvectors).
+                    for k in 0..n {
+                        let vpk = v[(p, k)];
+                        let vqk = v[(q, k)];
+                        v[(p, k)] = c * vpk - s * vqk;
+                        v[(q, k)] = s * vpk + c * vqk;
+                    }
+                }
+            }
+        }
+        if !converged && off_diagonal_norm(&m) > tol {
+            return Err(LinAlgError::NoConvergence {
+                iterations: MAX_SWEEPS,
+            });
+        }
+
+        // Extract and sort eigenpairs by descending eigenvalue. Sorting is
+        // stable with an index tiebreak so results are fully deterministic.
+        let mut order: Vec<usize> = (0..n).collect();
+        let lambda: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&i, &j| {
+            lambda[j]
+                .partial_cmp(&lambda[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(i.cmp(&j))
+        });
+        let mut eigenvalues = Vec::with_capacity(n);
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (row, &idx) in order.iter().enumerate() {
+            eigenvalues.push(lambda[idx]);
+            // Canonical sign: first nonzero component positive, so that the
+            // decomposition is unique and reproducible across platforms.
+            let vec_row = v.row(idx).to_vec();
+            let sign = vec_row
+                .iter()
+                .find(|x| x.abs() > 1e-12)
+                .map(|x| x.signum())
+                .unwrap_or(1.0);
+            for (c, val) in vec_row.into_iter().enumerate() {
+                eigenvectors[(row, c)] = sign * val;
+            }
+        }
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Number of eigenpairs.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// The `k × n` transformation matrix formed by the top-`k` eigenvectors
+    /// (the PCT's `T`). Errors when `k > n`.
+    pub fn principal_transform(&self, k: usize) -> Result<Matrix> {
+        if k > self.dim() {
+            return Err(shape_mismatch(
+                format!("k <= {}", self.dim()),
+                format!("k = {k}"),
+            ));
+        }
+        let n = self.dim();
+        let mut t = Matrix::zeros(k, n);
+        for i in 0..k {
+            t.row_mut(i).copy_from_slice(self.eigenvectors.row(i));
+        }
+        Ok(t)
+    }
+
+    /// Fraction of total variance captured by the top-`k` eigenvalues.
+    /// Negative eigenvalues (numerical noise in covariance sums) are
+    /// clamped to zero for the purpose of this ratio.
+    pub fn explained_variance(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().map(|l| l.max(0.0)).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let top: f64 = self.eigenvalues.iter().take(k).map(|l| l.max(0.0)).sum();
+        top / total
+    }
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += 2.0 * m[(i, j)] * m[(i, j)];
+        }
+    }
+    sum.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenpairs() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.eigenvectors.row(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v0[0] - v0[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        // A ≈ Vᵀ diag(λ) V with V rows = eigenvectors.
+        let v = &e.eigenvectors;
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d[(i, i)] = e.eigenvalues[i];
+        }
+        let recon = v.transpose().matmul(&d).unwrap().matmul(v).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 4.0, 2.0], &[1.0, 2.0, 3.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let vvt = e.eigenvectors.matmul(&e.eigenvectors.transpose()).unwrap();
+        assert!(vvt.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - a.trace().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descending_order_and_variance_ratio() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.eigenvalues.len(), 3);
+        assert!(e.eigenvalues[0] >= e.eigenvalues[1]);
+        assert!(e.eigenvalues[1] >= e.eigenvalues[2]);
+        assert!((e.explained_variance(1) - 5.0 / 9.0).abs() < 1e-12);
+        assert!((e.explained_variance(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn principal_transform_shape() {
+        let a = Matrix::identity(4);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let t = e.principal_transform(2).unwrap();
+        assert_eq!(t.shape(), (2, 4));
+        assert!(e.principal_transform(5).is_err());
+    }
+
+    #[test]
+    fn moderate_size_random_symmetric() {
+        // 40x40 symmetric matrix from a deterministic LCG.
+        let n = 40;
+        let mut state: u64 = 7;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let e = SymmetricEigen::new(&a).unwrap();
+        // Check A v = λ v for the extreme pairs.
+        for idx in [0, n - 1] {
+            let v = e.eigenvectors.row(idx).to_vec();
+            let av = a.matvec(&v).unwrap();
+            for (p, q) in av.iter().zip(v.iter()) {
+                assert!((p - e.eigenvalues[idx] * q).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(matches!(
+            SymmetricEigen::new(&Matrix::zeros(0, 0)),
+            Err(LinAlgError::Empty)
+        ));
+    }
+}

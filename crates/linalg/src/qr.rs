@@ -1,0 +1,252 @@
+//! QR decomposition by Householder reflections.
+//!
+//! The numerically gold-standard orthogonalisation — used here as the
+//! reference implementation that the fast incremental
+//! [`crate::ortho::OrthoBasis`] (modified Gram–Schmidt) is validated
+//! against, and as a general least-squares building block.
+
+use crate::error::shape_mismatch;
+use crate::{LinAlgError, Matrix, Result};
+
+/// A thin QR decomposition `A = Q·R` of an `m × n` matrix with `m ≥ n`:
+/// `Q` is `m × n` with orthonormal columns, `R` is `n × n` upper
+/// triangular.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Factorises `a` (requires `rows ≥ cols`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        a.require_non_empty()?;
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(shape_mismatch(
+                "matrix with rows >= cols",
+                format!("{m}x{n}"),
+            ));
+        }
+        // Householder QR on a working copy; accumulate Q by applying the
+        // reflectors to the identity.
+        let mut r = a.clone();
+        // Store reflectors v_k (length m, zeros above k).
+        let mut reflectors: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for k in 0..n {
+            // Build the Householder vector for column k.
+            let mut v = vec![0.0; m];
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let x = r[(i, k)];
+                v[i] = x;
+                norm_sq += x * x;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                reflectors.push(vec![0.0; m]);
+                continue;
+            }
+            let alpha = if v[k] >= 0.0 { -norm } else { norm };
+            v[k] -= alpha;
+            let v_norm_sq: f64 = v[k..].iter().map(|x| x * x).sum();
+            if v_norm_sq <= f64::MIN_POSITIVE {
+                reflectors.push(vec![0.0; m]);
+                continue;
+            }
+            // Apply H = I − 2vvᵀ/(vᵀv) to the remaining columns.
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let scale = 2.0 * dot / v_norm_sq;
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i];
+                }
+            }
+            reflectors.push(v);
+        }
+        // Zero the strictly-lower part of R (numerical dust) and keep the
+        // leading n × n block.
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin[(i, j)] = r[(i, j)];
+            }
+        }
+        // Q = H_0 H_1 … H_{n-1} applied to the first n identity columns.
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            // e_j through reflectors in reverse order.
+            let mut col = vec![0.0; m];
+            col[j] = 1.0;
+            for v in reflectors.iter().rev() {
+                let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+                if v_norm_sq <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let dot: f64 = v.iter().zip(&col).map(|(a, b)| a * b).sum();
+                let scale = 2.0 * dot / v_norm_sq;
+                for (c, &vi) in col.iter_mut().zip(v) {
+                    *c -= scale * vi;
+                }
+            }
+            for (i, &c) in col.iter().enumerate() {
+                q[(i, j)] = c;
+            }
+        }
+        Ok(QrDecomposition { q, r: r_thin })
+    }
+
+    /// The orthonormal factor `Q` (`m × n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖` via
+    /// `R·x = Qᵀ·b`. Returns [`LinAlgError::Singular`] when `R` has a
+    /// (numerically) zero diagonal entry.
+    pub fn solve_lstsq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.q.shape();
+        if b.len() != m {
+            return Err(shape_mismatch(
+                format!("rhs of length {m}"),
+                format!("length {}", b.len()),
+            ));
+        }
+        let qtb = self.q.tr_matvec(b)?;
+        let mut x = qtb;
+        let scale = self.r.max_abs().max(f64::MIN_POSITIVE);
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.r[(i, j)] * x[j];
+            }
+            let d = self.r[(i, i)];
+            if d.abs() < 1e-13 * scale {
+                return Err(LinAlgError::Singular);
+            }
+            x[i] = sum / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let back = qr.q().matmul(qr.r()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10), "QR != A");
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(
+            qtq.approx_eq(&Matrix::identity(2), 1e-10),
+            "Q not orthonormal"
+        );
+        // R upper triangular.
+        assert!(qr.r()[(1, 0)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]);
+        let b = [6.0, 5.0, 7.0, 10.0];
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve_lstsq(&b).unwrap();
+        // Normal equations: (AᵀA) x = Aᵀ b.
+        let gram = a.transpose().matmul(&a).unwrap();
+        let rhs = a.tr_matvec(&b).unwrap();
+        let x_ne = crate::lu::solve(&gram, &rhs).unwrap();
+        for (p, q) in x.iter().zip(&x_ne) {
+            assert!((p - q).abs() < 1e-10, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn square_exact_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve_lstsq(&[5.0, 10.0]).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!((ax[0] - 5.0).abs() < 1e-10 && (ax[1] - 10.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(QrDecomposition::new(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_solve_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_lstsq(&[1.0, 2.0, 3.0]),
+            Err(LinAlgError::Singular)
+        ));
+    }
+
+    #[test]
+    fn agrees_with_mgs_basis() {
+        // OrthoBasis (modified Gram-Schmidt) and Householder QR span the
+        // same subspace: their complement projections agree.
+        use crate::ortho::OrthoBasis;
+        let rows = [
+            vec![1.0, 0.5, 0.0, 2.0, 0.3],
+            vec![0.0, 1.0, 1.0, 0.0, -0.2],
+            vec![0.7, 0.7, 0.1, 0.9, 1.0],
+        ];
+        let mut basis = OrthoBasis::new(5);
+        for r in &rows {
+            basis.push(r);
+        }
+        // Column matrix for QR (vectors as columns).
+        let mut a = Matrix::zeros(5, 3);
+        for (j, r) in rows.iter().enumerate() {
+            for (i, &v) in r.iter().enumerate() {
+                a[(i, j)] = v;
+            }
+        }
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = [0.3, -1.0, 2.0, 0.1, 0.9];
+        // Complement via QR: x − Q(Qᵀx).
+        let qtx = qr.q().tr_matvec(&x).unwrap();
+        let qqtx = qr.q().matvec(&qtx).unwrap();
+        let via_qr: Vec<f64> = x.iter().zip(&qqtx).map(|(a, b)| a - b).collect();
+        let via_mgs = basis.project_complement(&x);
+        for (p, q) in via_qr.iter().zip(&via_mgs) {
+            assert!((p - q).abs() < 1e-10, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn tall_random_like_matrix() {
+        let mut state: u64 = 11;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let (m, n) = (20, 6);
+        let mut a = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+        }
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.q().matmul(qr.r()).unwrap().approx_eq(&a, 1e-10));
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(n), 1e-10));
+    }
+}

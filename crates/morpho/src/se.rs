@@ -1,0 +1,140 @@
+//! Flat structuring elements.
+//!
+//! A structuring element is the set of pixel offsets defining the spatial
+//! neighbourhood `B` of the morphological operations. The paper uses a
+//! square 3×3 element; disk and cross variants are provided for the
+//! ablation benches.
+
+/// A flat structuring element: a set of `(dline, dsample)` offsets that
+/// always contains the origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuringElement {
+    offsets: Vec<(isize, isize)>,
+    radius: usize,
+}
+
+impl StructuringElement {
+    /// Builds an SE from explicit offsets. The origin is added when
+    /// missing; duplicates are removed; offsets are sorted so iteration
+    /// order (and therefore argmin/argmax tie-breaking) is deterministic.
+    pub fn from_offsets(mut offsets: Vec<(isize, isize)>) -> Self {
+        if !offsets.contains(&(0, 0)) {
+            offsets.push((0, 0));
+        }
+        offsets.sort_unstable();
+        offsets.dedup();
+        let radius = offsets
+            .iter()
+            .map(|&(dl, ds)| dl.unsigned_abs().max(ds.unsigned_abs()))
+            .max()
+            .unwrap_or(0);
+        StructuringElement { offsets, radius }
+    }
+
+    /// Square `(2r+1) × (2r+1)` element (the paper's choice with `r = 1`).
+    pub fn square(r: usize) -> Self {
+        let r = r as isize;
+        let mut offsets = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
+        for dl in -r..=r {
+            for ds in -r..=r {
+                offsets.push((dl, ds));
+            }
+        }
+        Self::from_offsets(offsets)
+    }
+
+    /// Cross (4-connected plus origin) of arm length `r`.
+    pub fn cross(r: usize) -> Self {
+        let r = r as isize;
+        let mut offsets = vec![(0, 0)];
+        for d in 1..=r {
+            offsets.extend_from_slice(&[(d, 0), (-d, 0), (0, d), (0, -d)]);
+        }
+        Self::from_offsets(offsets)
+    }
+
+    /// Euclidean disk of radius `r`.
+    pub fn disk(r: usize) -> Self {
+        let ri = r as isize;
+        let mut offsets = Vec::new();
+        for dl in -ri..=ri {
+            for ds in -ri..=ri {
+                if dl * dl + ds * ds <= ri * ri {
+                    offsets.push((dl, ds));
+                }
+            }
+        }
+        Self::from_offsets(offsets)
+    }
+
+    /// The offsets, sorted, origin included.
+    #[inline]
+    pub fn offsets(&self) -> &[(isize, isize)] {
+        &self.offsets
+    }
+
+    /// Number of offsets `|B|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// An SE is never empty (it always contains the origin).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Chebyshev radius: the largest |offset| in either axis. One MEI
+    /// iteration can move information at most this many lines.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_sizes() {
+        assert_eq!(StructuringElement::square(0).len(), 1);
+        assert_eq!(StructuringElement::square(1).len(), 9);
+        assert_eq!(StructuringElement::square(2).len(), 25);
+        assert_eq!(StructuringElement::square(1).radius(), 1);
+    }
+
+    #[test]
+    fn cross_sizes() {
+        assert_eq!(StructuringElement::cross(1).len(), 5);
+        assert_eq!(StructuringElement::cross(2).len(), 9);
+        assert_eq!(StructuringElement::cross(2).radius(), 2);
+    }
+
+    #[test]
+    fn disk_radius_one_is_cross() {
+        assert_eq!(
+            StructuringElement::disk(1).offsets(),
+            StructuringElement::cross(1).offsets()
+        );
+    }
+
+    #[test]
+    fn origin_always_present() {
+        let se = StructuringElement::from_offsets(vec![(1, 1)]);
+        assert!(se.offsets().contains(&(0, 0)));
+        assert_eq!(se.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_removed_and_sorted() {
+        let se = StructuringElement::from_offsets(vec![(1, 0), (1, 0), (-1, 0), (0, 0)]);
+        assert_eq!(se.offsets(), &[(-1, 0), (0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn never_empty() {
+        assert!(!StructuringElement::from_offsets(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-rank virtual clocks and time ledgers.
+//!
+//! Each rank carries a [`TimeLedger`]: its current virtual time plus an
+//! itemised account of where that time went. The categories follow the
+//! paper's Table 6 decomposition:
+//!
+//! * **SEQ** — computation performed while the rest of the system is
+//!   known to be idle (the root's sequential phases),
+//! * **PAR** — computation performed inside a parallel phase,
+//! * **COM** — time spent inside message transfers,
+//! * **idle** — time spent blocked waiting for a message beyond its
+//!   transfer duration (a late sender).
+
+/// Whether a computation belongs to a sequential (root-only) or parallel
+/// phase — the paper's SEQ/PAR distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Root-only computation; everyone else waits.
+    Seq,
+    /// Computation inside a parallel phase.
+    Par,
+}
+
+/// A rank's virtual clock plus its time accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeLedger {
+    /// Current virtual time in seconds.
+    pub now: f64,
+    /// Seconds of sequential-phase computation.
+    pub compute_seq: f64,
+    /// Seconds of parallel-phase computation.
+    pub compute_par: f64,
+    /// Seconds spent inside message transfers.
+    pub comm: f64,
+    /// Seconds blocked waiting beyond transfer time.
+    pub idle: f64,
+}
+
+impl TimeLedger {
+    /// A fresh ledger at time zero.
+    pub fn new() -> Self {
+        TimeLedger::default()
+    }
+
+    /// Advances the clock by `secs` of computation in `phase`.
+    pub fn compute(&mut self, secs: f64, phase: Phase) {
+        debug_assert!(secs >= 0.0);
+        self.now += secs;
+        match phase {
+            Phase::Seq => self.compute_seq += secs,
+            Phase::Par => self.compute_par += secs,
+        }
+    }
+
+    /// Accounts for receiving a message that arrives at `arrival` after a
+    /// transfer lasting `transfer_secs`. Time from `now` to `arrival`
+    /// splits into idle (waiting for the sender) and communication (the
+    /// transfer overlapping our wait); if the message already arrived in
+    /// the past, only bookkeeping happens.
+    pub fn receive(&mut self, arrival: f64, transfer_secs: f64) {
+        debug_assert!(transfer_secs >= 0.0);
+        if arrival > self.now {
+            let wait = arrival - self.now;
+            let comm_part = transfer_secs.min(wait);
+            self.comm += comm_part;
+            self.idle += wait - comm_part;
+            self.now = arrival;
+        }
+        // Message from the past: it was already here; no time passes.
+    }
+
+    /// Accounts for the sender-side cost of injecting a message
+    /// (per-message software latency; the transfer itself is DMA-style
+    /// and does not block the sender).
+    pub fn send_overhead(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0);
+        self.now += secs;
+        self.comm += secs;
+    }
+
+    /// Busy time: everything except idling. This is the processor "run
+    /// time" `Rᵢ` used by the paper's imbalance metric `D = R_max/R_min`.
+    pub fn busy(&self) -> f64 {
+        self.compute_seq + self.compute_par + self.comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_advances_clock_and_categories() {
+        let mut t = TimeLedger::new();
+        t.compute(2.0, Phase::Par);
+        t.compute(1.0, Phase::Seq);
+        assert_eq!(t.now, 3.0);
+        assert_eq!(t.compute_par, 2.0);
+        assert_eq!(t.compute_seq, 1.0);
+        assert_eq!(t.busy(), 3.0);
+    }
+
+    #[test]
+    fn receive_future_message_waits() {
+        let mut t = TimeLedger::new();
+        t.compute(1.0, Phase::Par);
+        // Message arrives at t=5 after a 1.5 s transfer: 2.5 s idle
+        // (sender still computing) + 1.5 s transfer.
+        t.receive(5.0, 1.5);
+        assert_eq!(t.now, 5.0);
+        assert!((t.comm - 1.5).abs() < 1e-12);
+        assert!((t.idle - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receive_past_message_is_free() {
+        let mut t = TimeLedger::new();
+        t.compute(10.0, Phase::Par);
+        t.receive(5.0, 1.0);
+        assert_eq!(t.now, 10.0);
+        assert_eq!(t.comm, 0.0);
+        assert_eq!(t.idle, 0.0);
+    }
+
+    #[test]
+    fn receive_transfer_longer_than_wait() {
+        // Arrival barely after now: only the waited part counts as comm.
+        let mut t = TimeLedger::new();
+        t.compute(4.0, Phase::Par);
+        t.receive(4.5, 2.0);
+        assert!((t.comm - 0.5).abs() < 1e-12);
+        assert_eq!(t.idle, 0.0);
+        assert_eq!(t.now, 4.5);
+    }
+
+    #[test]
+    fn send_overhead_counts_as_comm() {
+        let mut t = TimeLedger::new();
+        t.send_overhead(0.001);
+        assert_eq!(t.now, 0.001);
+        assert_eq!(t.comm, 0.001);
+        assert_eq!(t.busy(), 0.001);
+    }
+}

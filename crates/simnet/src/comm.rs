@@ -1,0 +1,244 @@
+//! Root-mediated collectives over [`Ctx`].
+//!
+//! The paper's algorithms use exactly four collective patterns — scatter
+//! the partitions, broadcast the growing endmember matrix `U`, gather
+//! per-worker candidates, and barrier-style synchronisation. All are
+//! root-mediated (a star topology), which is also what keeps the virtual
+//! timestamps deterministic (see [`crate::contention`]).
+
+use crate::engine::{Ctx, Wire};
+
+/// How the initial data scatter is charged. See DESIGN.md: the paper's
+/// reported COM magnitudes imply bulk data staging is *not* part of the
+/// measured communication, so experiments default to [`ScatterMode::Free`];
+/// the `ablation_scatter` bench flips this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScatterMode {
+    /// Partitions are assumed pre-staged: only per-message latency.
+    #[default]
+    Free,
+    /// Partitions pay full transfer cost on the link matrix.
+    Charged,
+}
+
+/// Broadcast from `root`: the root passes `Some(msg)`, every other rank
+/// passes `None`; all ranks return the message.
+///
+/// # Panics
+/// Panics if the root passes `None` or a non-root passes `Some`.
+pub fn broadcast<M: Wire + Clone>(ctx: &mut Ctx<M>, root: usize, msg: Option<M>) -> M {
+    if ctx.rank() == root {
+        let msg = msg.expect("broadcast: root must supply the message");
+        for dst in 0..ctx.num_ranks() {
+            if dst != root {
+                ctx.send(dst, msg.clone());
+            }
+        }
+        msg
+    } else {
+        assert!(msg.is_none(), "broadcast: non-root must pass None");
+        ctx.recv(root)
+    }
+}
+
+/// Gather to `root`: every rank contributes `msg`; the root returns
+/// `Some(vec)` ordered by rank (its own contribution included), everyone
+/// else returns `None`.
+#[allow(clippy::needless_range_loop)] // rank order is the protocol, not an iteration detail
+pub fn gather<M: Wire>(ctx: &mut Ctx<M>, root: usize, msg: M) -> Option<Vec<M>> {
+    if ctx.rank() == root {
+        let mut out: Vec<Option<M>> = (0..ctx.num_ranks()).map(|_| None).collect();
+        out[root] = Some(msg);
+        for src in 0..ctx.num_ranks() {
+            if src != root {
+                out[src] = Some(ctx.recv(src));
+            }
+        }
+        Some(out.into_iter().map(|m| m.expect("gather: hole")).collect())
+    } else {
+        ctx.send(root, msg);
+        None
+    }
+}
+
+/// Scatter from `root`: the root supplies one message per rank (its own
+/// element is returned to it directly); every rank returns its element.
+/// `mode` selects whether transfers are charged (see [`ScatterMode`]).
+///
+/// # Panics
+/// Panics if the root's vector length differs from the rank count, if
+/// the root passes `None`, or if a non-root passes `Some`.
+pub fn scatter<M: Wire>(
+    ctx: &mut Ctx<M>,
+    root: usize,
+    items: Option<Vec<M>>,
+    mode: ScatterMode,
+) -> M {
+    if ctx.rank() == root {
+        let items = items.expect("scatter: root must supply items");
+        assert_eq!(
+            items.len(),
+            ctx.num_ranks(),
+            "scatter: need one item per rank"
+        );
+        let mut own = None;
+        for (dst, item) in items.into_iter().enumerate() {
+            if dst == root {
+                own = Some(item);
+            } else {
+                match mode {
+                    ScatterMode::Free => ctx.send_free(dst, item),
+                    ScatterMode::Charged => ctx.send(dst, item),
+                }
+            }
+        }
+        own.expect("scatter: missing root element")
+    } else {
+        assert!(items.is_none(), "scatter: non-root must pass None");
+        ctx.recv(root)
+    }
+}
+
+/// Barrier: all ranks synchronise their virtual clocks to the latest
+/// participant (gather + broadcast of a token built by `make_token`).
+pub fn barrier<M: Wire + Clone>(ctx: &mut Ctx<M>, root: usize, make_token: impl Fn() -> M) {
+    let _ = gather(ctx, root, make_token());
+    let _ = broadcast(
+        ctx,
+        root,
+        if ctx.rank() == root {
+            Some(make_token())
+        } else {
+            None
+        },
+    );
+}
+
+/// Reduce to root with a binary fold: the root returns `Some(fold of all
+/// contributions in rank order)`, others `None`.
+pub fn reduce<M: Wire>(
+    ctx: &mut Ctx<M>,
+    root: usize,
+    msg: M,
+    fold: impl Fn(M, M) -> M,
+) -> Option<M> {
+    gather(ctx, root, msg).map(|items| {
+        let mut it = items.into_iter();
+        let first = it.next().expect("reduce: empty gather");
+        it.fold(first, fold)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, WireVec};
+    use crate::platform::Platform;
+
+    fn engine(p: usize) -> Engine {
+        Engine::new(Platform::uniform("t", p, 0.01, 1024, 10.0))
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let report = engine(4).run(|ctx| {
+            let msg = broadcast(
+                ctx,
+                0,
+                if ctx.is_root() {
+                    Some(WireVec(vec![42u32]))
+                } else {
+                    None
+                },
+            );
+            msg.0[0]
+        });
+        assert_eq!(report.results, vec![42, 42, 42, 42]);
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let report = engine(5).run(|ctx| gather(ctx, 0, ctx.rank() as u64));
+        assert_eq!(report.results[0], Some(vec![0, 1, 2, 3, 4]));
+        for r in 1..5 {
+            assert_eq!(report.results[r], None);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_one_item_each() {
+        let report = engine(3).run(|ctx| {
+            let items = if ctx.is_root() {
+                Some(vec![10u64, 20, 30])
+            } else {
+                None
+            };
+            scatter(ctx, 0, items, ScatterMode::Charged)
+        });
+        assert_eq!(report.results, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn scatter_free_cheaper_than_charged() {
+        let payloads = || vec![WireVec(vec![0u8; 2_000_000]); 3];
+        let t = |mode: ScatterMode| {
+            engine(3)
+                .run(move |ctx| {
+                    let items = if ctx.is_root() {
+                        Some(payloads())
+                    } else {
+                        None
+                    };
+                    let _ = scatter(ctx, 0, items, mode);
+                    ctx.elapsed()
+                })
+                .total_time
+        };
+        assert!(t(ScatterMode::Free) < t(ScatterMode::Charged));
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let report = engine(3).run(|ctx| {
+            // Rank 2 is 3 s behind everyone before the barrier.
+            if ctx.rank() == 2 {
+                ctx.compute_par(300.0);
+            }
+            barrier(ctx, 0, || 0u8);
+            ctx.elapsed()
+        });
+        let max = report.results.iter().cloned().fold(0.0f64, f64::max);
+        for &t in &report.results {
+            assert!(t >= 3.0, "clock {t} not advanced past the slow rank");
+            assert!(max - t < 0.1, "clocks should be near-aligned");
+        }
+    }
+
+    #[test]
+    fn reduce_folds_in_rank_order() {
+        let report = engine(4).run(|ctx| reduce(ctx, 0, ctx.rank() as u64 + 1, |a, b| a * 10 + b));
+        assert_eq!(report.results[0], Some(((10 + 2) * 10 + 3) * 10 + 4));
+    }
+
+    #[test]
+    fn broadcast_timing_charges_links() {
+        // 4 ranks, 10 ms/Mbit links, 1 Mbit message => each non-root rank
+        // pays at least one 10 ms transfer.
+        let report = engine(4).run(|ctx| {
+            let msg = broadcast(
+                ctx,
+                0,
+                if ctx.is_root() {
+                    Some(WireVec(vec![0u8; 125_000]))
+                } else {
+                    None
+                },
+            );
+            let _ = msg;
+            ctx.elapsed()
+        });
+        for r in 1..4 {
+            assert!(report.results[r] >= 0.01, "rank {r}: {}", report.results[r]);
+        }
+    }
+}

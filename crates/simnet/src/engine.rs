@@ -1,0 +1,661 @@
+//! The message-passing runtime.
+//!
+//! [`Engine::run`] spawns one OS thread per platform processor and hands
+//! each a [`Ctx`]: its rank, a virtual-time ledger, and mailboxes to every
+//! other rank (per-pair FIFO channels, so messages between a pair arrive
+//! in send order — MPI's ordering guarantee). The API mirrors the MPI
+//! subset the paper's algorithms use: [`Ctx::send`] / [`Ctx::recv`] plus
+//! the collectives in [`crate::comm`].
+//!
+//! **Virtual time.** Computation is charged explicitly via
+//! [`Ctx::compute_par`] / [`Ctx::compute_seq`] in megaflops; the engine
+//! converts using the processor's cycle-time. Message timing follows the
+//! platform's link matrix with serial inter-segment contention; see
+//! [`crate::contention`] for the determinism argument.
+//!
+//! **Failure.** If any rank panics, its channels disconnect and every
+//! rank blocked on [`Ctx::recv`] panics with a "peer terminated" message;
+//! the panic then propagates out of [`Engine::run`].
+
+use crate::clock::{Phase, TimeLedger};
+use crate::contention::InterSegmentLinks;
+use crate::platform::Platform;
+use crate::report::RunReport;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+type TraceSink = Option<Arc<Mutex<Vec<TraceEvent>>>>;
+
+/// Types that can travel through the engine: anything sendable that can
+/// report its wire size in bits (the paper's message-cost unit).
+pub trait Wire: Send + 'static {
+    /// Serialized size of this message in bits.
+    fn size_bits(&self) -> u64;
+}
+
+/// A `Vec` wrapper implementing [`Wire`] with `len × size_of::<T>() × 8`
+/// bits. Convenient for shipping raw numeric payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireVec<T>(pub Vec<T>);
+
+impl<T: Send + 'static> Wire for WireVec<T> {
+    fn size_bits(&self) -> u64 {
+        (self.0.len() * std::mem::size_of::<T>() * 8) as u64
+    }
+}
+
+macro_rules! impl_wire_fixed {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn size_bits(&self) -> u64 {
+                (std::mem::size_of::<$t>() * 8) as u64
+            }
+        }
+    )*};
+}
+
+impl_wire_fixed!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+impl Wire for () {
+    fn size_bits(&self) -> u64 {
+        0
+    }
+}
+
+impl<A: Send + 'static, B: Send + 'static> Wire for (A, B) {
+    fn size_bits(&self) -> u64 {
+        (std::mem::size_of::<(A, B)>() * 8) as u64
+    }
+}
+
+/// Engine configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommConfig {
+    /// Per-message sender-side software overhead in seconds (MPI call +
+    /// protocol latency). The transfer itself is DMA-style: it occupies
+    /// the link, not the sending CPU. [`Engine::new`] initialises this
+    /// from the platform's own latency.
+    pub latency_s: f64,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            latency_s: crate::platform::DEFAULT_MSG_LATENCY_S,
+        }
+    }
+}
+
+/// In-flight message.
+struct Envelope<M> {
+    sent_at: f64,
+    /// Set when the sender (the root) already reserved the link.
+    arrives_at: Option<f64>,
+    transfer_secs: f64,
+    payload: M,
+}
+
+/// The per-rank execution context handed to the program closure.
+pub struct Ctx<M: Wire> {
+    rank: usize,
+    platform: Arc<Platform>,
+    config: CommConfig,
+    links: Arc<InterSegmentLinks>,
+    ledger: TimeLedger,
+    txs: Vec<Sender<Envelope<M>>>,
+    rxs: Vec<Option<Receiver<Envelope<M>>>>,
+    trace: TraceSink,
+}
+
+impl<M: Wire> Ctx<M> {
+    #[inline]
+    fn record(&self, start: f64, kind: TraceKind) {
+        if let Some(sink) = &self.trace {
+            sink.lock().push(TraceEvent {
+                rank: self.rank,
+                start,
+                end: self.ledger.now,
+                kind,
+            });
+        }
+    }
+}
+
+impl<M: Wire> Ctx<M> {
+    /// This rank's id (`0` is the root/master).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the run.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.platform.num_procs()
+    }
+
+    /// `true` for rank 0.
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// The platform this run executes on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn elapsed(&self) -> f64 {
+        self.ledger.now
+    }
+
+    /// Read-only view of this rank's time ledger.
+    pub fn ledger(&self) -> &TimeLedger {
+        &self.ledger
+    }
+
+    /// Charges `mflops` megaflops of **parallel-phase** computation at
+    /// this processor's cycle-time.
+    pub fn compute_par(&mut self, mflops: f64) {
+        let start = self.ledger.now;
+        let secs = mflops * self.platform.proc(self.rank).cycle_time;
+        self.ledger.compute(secs, Phase::Par);
+        self.record(start, TraceKind::ComputePar);
+    }
+
+    /// Charges `mflops` megaflops of **sequential-phase** computation
+    /// (root-only work while the rest of the system idles).
+    pub fn compute_seq(&mut self, mflops: f64) {
+        let start = self.ledger.now;
+        let secs = mflops * self.platform.proc(self.rank).cycle_time;
+        self.ledger.compute(secs, Phase::Seq);
+        self.record(start, TraceKind::ComputeSeq);
+    }
+
+    /// Sends `payload` to `dst`, charging the wire size reported by the
+    /// payload.
+    pub fn send(&mut self, dst: usize, payload: M) {
+        let bits = payload.size_bits();
+        self.send_bits(dst, payload, bits);
+    }
+
+    /// Sends `payload` to `dst` **free of transfer cost** (only the
+    /// per-message latency applies). Used for `ScatterMode::Free`
+    /// data staging — see DESIGN.md.
+    pub fn send_free(&mut self, dst: usize, payload: M) {
+        self.send_bits(dst, payload, 0);
+    }
+
+    /// Sends `payload` to `dst`, charging an explicit wire size.
+    ///
+    /// # Panics
+    /// Panics on self-sends and out-of-range destinations.
+    pub fn send_bits(&mut self, dst: usize, payload: M, bits: u64) {
+        assert!(dst < self.num_ranks(), "send: rank {dst} out of range");
+        assert_ne!(dst, self.rank, "send: self-send not supported");
+        let trace_start = self.ledger.now;
+        self.ledger.send_overhead(self.config.latency_s);
+        self.record(trace_start, TraceKind::Send { dst });
+        let transfer_secs = self.platform.transfer_secs(self.rank, dst, bits);
+        let sent_at = self.ledger.now;
+        // Root-side link reservation keeps virtual timestamps
+        // deterministic (root program order); see crate::contention.
+        let arrives_at = if self.rank == 0 {
+            let start = self.links.reserve(
+                self.platform.segment_of(self.rank),
+                self.platform.segment_of(dst),
+                sent_at,
+                transfer_secs,
+            );
+            Some(start + transfer_secs)
+        } else {
+            None
+        };
+        let env = Envelope {
+            sent_at,
+            arrives_at,
+            transfer_secs,
+            payload,
+        };
+        self.txs[dst]
+            .send(env)
+            .expect("send: peer terminated (receiver dropped)");
+    }
+
+    /// Receives the next message from `src` (blocking), advancing this
+    /// rank's virtual clock to the message's arrival time.
+    ///
+    /// # Panics
+    /// Panics on self-receives, out-of-range sources, or when the peer
+    /// thread has terminated (panicked) without sending.
+    pub fn recv(&mut self, src: usize) -> M {
+        assert!(src < self.num_ranks(), "recv: rank {src} out of range");
+        assert_ne!(src, self.rank, "recv: self-receive not supported");
+        let rx = self.rxs[src]
+            .as_ref()
+            .expect("recv: receiver already moved");
+        let env = rx
+            .recv()
+            .expect("recv: peer terminated before sending (likely a panic on the peer rank)");
+        let arrival = match env.arrives_at {
+            Some(a) => a,
+            None => {
+                if self.rank == 0 {
+                    // Root resolves the reservation in its program order.
+                    let start = self.links.reserve(
+                        self.platform.segment_of(src),
+                        self.platform.segment_of(self.rank),
+                        env.sent_at,
+                        env.transfer_secs,
+                    );
+                    start + env.transfer_secs
+                } else {
+                    // Worker↔worker: raw transfer, no queueing (documented
+                    // approximation; only the halo ablation uses this).
+                    env.sent_at + env.transfer_secs
+                }
+            }
+        };
+        let trace_start = self.ledger.now;
+        self.ledger.receive(arrival, env.transfer_secs);
+        self.record(trace_start, TraceKind::Recv { src });
+        env.payload
+    }
+
+    /// Advances this rank's clock to at least `t` (idle wait). Used by
+    /// phase-synchronisation helpers.
+    pub fn wait_until(&mut self, t: f64) {
+        self.ledger.receive(t, 0.0);
+    }
+}
+
+/// The simulator: a platform plus engine configuration.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    platform: Arc<Platform>,
+    config: CommConfig,
+}
+
+impl Engine {
+    /// Creates an engine over a platform, adopting the platform's
+    /// message latency.
+    pub fn new(platform: Platform) -> Self {
+        let config = CommConfig {
+            latency_s: platform.msg_latency_s(),
+        };
+        Engine {
+            platform: Arc::new(platform),
+            config,
+        }
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(platform: Platform, config: CommConfig) -> Self {
+        Engine {
+            platform: Arc::new(platform),
+            config,
+        }
+    }
+
+    /// The platform this engine simulates.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Runs `program` on every rank concurrently and collects the report.
+    ///
+    /// The closure receives each rank's [`Ctx`]; its return value is
+    /// collected into [`RunReport::results`] (indexed by rank).
+    pub fn run<M, R, F>(&self, program: F) -> RunReport<R>
+    where
+        M: Wire,
+        R: Send,
+        F: Fn(&mut Ctx<M>) -> R + Sync,
+    {
+        self.run_inner(program, None)
+    }
+
+    /// Runs `program` while recording a per-rank execution [`Trace`]
+    /// (see [`crate::trace`]).
+    pub fn run_traced<M, R, F>(&self, program: F) -> (RunReport<R>, Trace)
+    where
+        M: Wire,
+        R: Send,
+        F: Fn(&mut Ctx<M>) -> R + Sync,
+    {
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let report = self.run_inner(program, Some(Arc::clone(&sink)));
+        let mut trace = Trace {
+            events: std::mem::take(&mut *sink.lock()),
+        };
+        trace.finalize();
+        (report, trace)
+    }
+
+    fn run_inner<M, R, F>(&self, program: F, trace: TraceSink) -> RunReport<R>
+    where
+        M: Wire,
+        R: Send,
+        F: Fn(&mut Ctx<M>) -> R + Sync,
+    {
+        let p = self.platform.num_procs();
+        // P×P channel matrix; [src][dst].
+        let mut senders: Vec<Vec<Sender<Envelope<M>>>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Vec<Option<Receiver<Envelope<M>>>>> =
+            (0..p).map(|_| Vec::with_capacity(p)).collect();
+        for _src in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for dst_mailboxes in receivers.iter_mut() {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                dst_mailboxes.push(Some(rx));
+            }
+            senders.push(row);
+        }
+        let links = Arc::new(InterSegmentLinks::new());
+
+        let mut outcomes: Vec<Option<(TimeLedger, R)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, (txs, rxs)) in senders.into_iter().zip(receivers).enumerate() {
+                let platform = Arc::clone(&self.platform);
+                let links = Arc::clone(&links);
+                let config = self.config;
+                let program = &program;
+                let trace = trace.clone();
+                handles.push(scope.spawn(move || {
+                    let mut ctx = Ctx {
+                        rank,
+                        platform,
+                        config,
+                        links,
+                        ledger: TimeLedger::new(),
+                        txs,
+                        rxs,
+                        trace,
+                    };
+                    let result = program(&mut ctx);
+                    (ctx.ledger, result)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pair) => outcomes[rank] = Some(pair),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        let mut ledgers = Vec::with_capacity(p);
+        let mut results = Vec::with_capacity(p);
+        for o in outcomes {
+            let (ledger, result) = o.expect("engine: missing rank outcome");
+            ledgers.push(ledger);
+            results.push(result);
+        }
+        RunReport::new(self.platform.name().to_string(), ledgers, results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn two_rank_platform() -> Platform {
+        Platform::uniform("t2", 2, 0.01, 1024, 10.0)
+    }
+
+    #[test]
+    fn compute_cost_scales_with_cycle_time() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<()>| {
+            ctx.compute_par(100.0); // 100 Mflop at 0.01 s/Mflop = 1 s
+            ctx.elapsed()
+        });
+        assert!((report.results[0] - 1.0).abs() < 1e-12);
+        assert!((report.results[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_timing_includes_transfer() {
+        let engine = Engine::new(two_rank_platform());
+        // 1 Mbit message over a 10 ms/Mbit link = 0.01 s transfer.
+        let report = engine.run(|ctx: &mut Ctx<WireVec<u8>>| {
+            if ctx.rank() == 1 {
+                ctx.send(0, WireVec(vec![0u8; 125_000])); // 1 Mbit
+                0.0
+            } else {
+                let _ = ctx.recv(1);
+                ctx.elapsed()
+            }
+        });
+        let expect = crate::platform::DEFAULT_MSG_LATENCY_S + 0.01; // latency + transfer
+        assert!(
+            (report.results[0] - expect).abs() < 1e-9,
+            "got {}",
+            report.results[0]
+        );
+    }
+
+    #[test]
+    fn send_free_skips_transfer_cost() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<WireVec<u8>>| {
+            if ctx.rank() == 0 {
+                ctx.send_free(1, WireVec(vec![0u8; 125_000]));
+                0.0
+            } else {
+                let _ = ctx.recv(0);
+                ctx.elapsed()
+            }
+        });
+        // Only the sender's per-message latency moves time.
+        assert!((report.results[1] - crate::platform::DEFAULT_MSG_LATENCY_S).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_pair_fifo_ordering() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 0 {
+                for i in 0..10u64 {
+                    ctx.send(1, i);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| ctx.recv(0)).collect::<Vec<u64>>()
+            }
+        });
+        assert_eq!(report.results[1], (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn receiver_waits_for_slow_sender() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 1 {
+                ctx.compute_par(500.0); // 5 s of work before sending
+                ctx.send(0, 7);
+            } else {
+                let v = ctx.recv(1);
+                assert_eq!(v, 7);
+            }
+            ctx.ledger().clone()
+        });
+        let root = &report.results[0];
+        assert!(root.now >= 5.0, "root must wait for the worker");
+        assert!(root.idle > 4.9, "the wait is idle time");
+    }
+
+    #[test]
+    fn intersegment_contention_serializes_root_sends() {
+        // Two segments: root in seg 0, two workers in seg 1. Root sends
+        // both workers a 1 Mbit message; the serial link forces the
+        // second transfer to queue behind the first.
+        let procs = vec![
+            crate::platform::ProcessorSpec {
+                name: "r".into(),
+                arch: "x",
+                cycle_time: 0.01,
+                memory_mb: 1024,
+                cache_kb: 0,
+                segment: 0,
+            },
+            crate::platform::ProcessorSpec {
+                name: "w1".into(),
+                arch: "x",
+                cycle_time: 0.01,
+                memory_mb: 1024,
+                cache_kb: 0,
+                segment: 1,
+            },
+            crate::platform::ProcessorSpec {
+                name: "w2".into(),
+                arch: "x",
+                cycle_time: 0.01,
+                memory_mb: 1024,
+                cache_kb: 0,
+                segment: 1,
+            },
+        ];
+        let links = vec![
+            vec![0.0, 100.0, 100.0],
+            vec![100.0, 0.0, 1.0],
+            vec![100.0, 1.0, 0.0],
+        ];
+        let engine = Engine::new(Platform::new("seg", procs, links));
+        let report = engine.run(|ctx: &mut Ctx<WireVec<u8>>| {
+            if ctx.rank() == 0 {
+                ctx.send(1, WireVec(vec![0u8; 125_000])); // 0.1 s transfer
+                ctx.send(2, WireVec(vec![0u8; 125_000]));
+                0.0
+            } else {
+                let _ = ctx.recv(0);
+                ctx.elapsed()
+            }
+        });
+        // First worker: ~latency + 0.1. Second: queued behind → ~+0.2.
+        assert!(report.results[1] < 0.15, "got {}", report.results[1]);
+        assert!(
+            report.results[2] > 0.2,
+            "second transfer should queue: {}",
+            report.results[2]
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let engine = Engine::new(crate::presets::fully_heterogeneous());
+        let run = || {
+            engine.run(|ctx: &mut Ctx<WireVec<f32>>| {
+                if ctx.rank() == 0 {
+                    let mut acc = 0.0;
+                    for src in 1..ctx.num_ranks() {
+                        let v = ctx.recv(src);
+                        acc += v.0[0] as f64;
+                    }
+                    ctx.compute_seq(10.0);
+                    (acc, ctx.elapsed())
+                } else {
+                    ctx.compute_par(50.0 * ctx.rank() as f64);
+                    ctx.send(0, WireVec(vec![ctx.rank() as f32; 1000]));
+                    (0.0, ctx.elapsed())
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x, y, "virtual timestamps must be deterministic");
+        }
+        assert_eq!(a.total_time, b.total_time);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let engine = Engine::new(two_rank_platform());
+        let _ = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 1 {
+                panic!("worker died");
+            }
+            ctx.recv(1)
+        });
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(7u64.size_bits(), 64);
+        assert_eq!(().size_bits(), 0);
+        assert_eq!(WireVec(vec![0f32; 10]).size_bits(), 320);
+        assert_eq!(3.5f64.size_bits(), 64);
+    }
+
+    #[test]
+    fn wait_until_advances_idle() {
+        let engine = Engine::new(Platform::uniform("one", 1, 0.01, 64, 0.0));
+        let report = engine.run(|ctx: &mut Ctx<()>| {
+            ctx.compute_par(100.0); // now = 1.0
+            ctx.wait_until(2.5);
+            ctx.wait_until(1.0); // in the past: no-op
+            (ctx.elapsed(), ctx.ledger().idle)
+        });
+        let (now, idle) = report.results[0];
+        assert!((now - 2.5).abs() < 1e-12);
+        assert!((idle - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn send_bits_overrides_payload_size() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 0 {
+                // Tiny payload, one-megabit declared size.
+                ctx.send_bits(1, 7, 1_000_000);
+                0.0
+            } else {
+                let v = ctx.recv(0);
+                assert_eq!(v, 7);
+                ctx.elapsed()
+            }
+        });
+        // 1 Mbit at 10 ms/Mbit = 0.01 s transfer + latency.
+        assert!(report.results[1] > 0.0099, "got {}", report.results[1]);
+    }
+
+    #[test]
+    fn ctx_accessors() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<()>| {
+            assert_eq!(ctx.platform().num_procs(), 2);
+            (ctx.rank(), ctx.num_ranks(), ctx.is_root())
+        });
+        assert_eq!(report.results[0], (0, 2, true));
+        assert_eq!(report.results[1], (1, 2, false));
+    }
+
+    #[test]
+    fn many_ranks_noop() {
+        // 128 threads spin up and tear down cleanly.
+        let engine = Engine::new(Platform::uniform("many", 128, 0.01, 64, 1.0));
+        let report = engine.run(|ctx: &mut Ctx<()>| ctx.rank());
+        assert_eq!(report.results.len(), 128);
+        assert_eq!(report.results[127], 127);
+    }
+
+    #[test]
+    fn single_rank_run() {
+        let engine = Engine::new(Platform::uniform("one", 1, 0.02, 64, 0.0));
+        let report = engine.run(|ctx: &mut Ctx<()>| {
+            ctx.compute_seq(50.0);
+            ctx.elapsed()
+        });
+        assert!((report.results[0] - 1.0).abs() < 1e-12);
+        assert!((report.total_time - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Lastovetsky & Reddy's equivalent-network framework.
+//!
+//! The paper (§3.1) assesses heterogeneous algorithms by comparing their
+//! efficiency on a heterogeneous network against their homogeneous
+//! versions on an *equivalent* homogeneous network, defined by three
+//! principles:
+//!
+//! 1. both environments have the same number of processors;
+//! 2. each homogeneous processor's speed equals the **average** speed of
+//!    the heterogeneous processors;
+//! 3. the aggregate communication characteristics are the same.
+//!
+//! [`equivalent_homogeneous`] constructs that network from any platform;
+//! [`check_equivalence`] verifies the three principles between two
+//! platforms within a tolerance (used to validate that the paper's four
+//! preset networks are, as claimed, approximately equivalent).
+
+use crate::platform::Platform;
+
+/// Builds the equivalent homogeneous network of a platform: same
+/// processor count, every cycle-time set so each node has the *mean*
+/// speed, every link set to the mean off-diagonal capacity, one switched
+/// segment.
+pub fn equivalent_homogeneous(p: &Platform) -> Platform {
+    let mean_speed = p.mean_speed(); // Mflop/s
+    let cycle_time = 1.0 / mean_speed;
+    let memory = p.procs().iter().map(|q| q.memory_mb).sum::<u64>() / p.num_procs() as u64;
+    Platform::uniform(
+        format!("{}-equivalent-homogeneous", p.name()),
+        p.num_procs(),
+        cycle_time,
+        memory,
+        p.mean_link(),
+    )
+}
+
+/// Result of an equivalence check between two platforms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalenceReport {
+    /// Principle 1: same processor count.
+    pub same_proc_count: bool,
+    /// Principle 2: relative difference of mean speeds.
+    pub mean_speed_rel_diff: f64,
+    /// Principle 3: relative difference of mean link capacities.
+    pub mean_link_rel_diff: f64,
+}
+
+impl EquivalenceReport {
+    /// `true` when all three principles hold within `tol` (relative).
+    pub fn holds_within(&self, tol: f64) -> bool {
+        self.same_proc_count && self.mean_speed_rel_diff <= tol && self.mean_link_rel_diff <= tol
+    }
+}
+
+/// Checks Lastovetsky's three equivalence principles between platforms.
+pub fn check_equivalence(a: &Platform, b: &Platform) -> EquivalenceReport {
+    let rel = |x: f64, y: f64| {
+        let denom = x.abs().max(y.abs()).max(f64::MIN_POSITIVE);
+        (x - y).abs() / denom
+    };
+    EquivalenceReport {
+        same_proc_count: a.num_procs() == b.num_procs(),
+        mean_speed_rel_diff: rel(a.mean_speed(), b.mean_speed()),
+        mean_link_rel_diff: rel(a.mean_link(), b.mean_link()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn equivalent_of_homogeneous_is_itself() {
+        let homo = presets::fully_homogeneous();
+        let eq = equivalent_homogeneous(&homo);
+        let report = check_equivalence(&homo, &eq);
+        assert!(report.holds_within(1e-12));
+    }
+
+    #[test]
+    fn equivalent_of_heterogeneous_matches_principles() {
+        let het = presets::fully_heterogeneous();
+        let eq = equivalent_homogeneous(&het);
+        assert!(eq.is_compute_homogeneous());
+        assert!(eq.is_network_homogeneous());
+        let report = check_equivalence(&het, &eq);
+        assert!(report.holds_within(1e-12));
+    }
+
+    #[test]
+    fn papers_four_networks_are_approximately_equivalent() {
+        // The paper calls its four networks "approximately equivalent"
+        // under the framework. Verify: all have 16 processors, and mean
+        // speeds / mean links agree within a modest tolerance.
+        let nets = presets::four_networks();
+        for n in &nets {
+            assert_eq!(n.num_procs(), 16);
+        }
+        let base = &nets[0];
+        for other in &nets[1..] {
+            let r = check_equivalence(base, other);
+            assert!(r.same_proc_count);
+            // The published platforms match speed-wise only to ~36%
+            // (0.0131 s/Mflop vs a 117.9 Mflop/s heterogeneous mean) and
+            // link-wise to ~66% (pairwise mean 78 ms/Mbit vs 26.64) —
+            // "approximately" is generous in the original; we verify the
+            // published numbers as they are and bound the drift.
+            assert!(
+                r.mean_speed_rel_diff < 0.40,
+                "{}: speed diff {}",
+                other.name(),
+                r.mean_speed_rel_diff
+            );
+            assert!(
+                r.mean_link_rel_diff < 0.70,
+                "{}: link diff {}",
+                other.name(),
+                r.mean_link_rel_diff
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_counts_fail() {
+        let a = presets::thunderhead(4);
+        let b = presets::thunderhead(8);
+        let r = check_equivalence(&a, &b);
+        assert!(!r.same_proc_count);
+        assert!(!r.holds_within(1.0));
+    }
+}

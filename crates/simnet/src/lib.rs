@@ -1,0 +1,72 @@
+//! # simnet — virtual-time heterogeneous cluster simulator
+//!
+//! The paper evaluates its algorithms on four 16-node networks of
+//! workstations (Tables 1–2) and a 256-node Beowulf cluster. This crate
+//! stands in for those machines: it runs every *rank* as a real OS thread
+//! executing real computation, while **time is virtual** — derived purely
+//! from the platform model:
+//!
+//! * compute cost = megaflops × the processor's cycle-time `w_i`
+//!   (seconds per megaflop, the paper's Table 1 metric),
+//! * message cost = megabits × the link capacity `c_ij`
+//!   (milliseconds per megabit, the paper's Table 2 metric),
+//! * transfers that cross communication-segment boundaries contend for
+//!   the serial inter-segment link (FIFO in virtual time), as described
+//!   in §3.1 of the paper.
+//!
+//! Because reported times are functions of the platform model only, runs
+//! are deterministic, host-independent, and reproduce the *relationships*
+//! (who wins, by what factor) that the paper's testbed produced.
+//!
+//! ## Module map
+//!
+//! * [`platform`] — processors, segments and the link-capacity matrix.
+//! * [`presets`] — the paper's four networks and the Thunderhead cluster.
+//! * [`equivalent`] — Lastovetsky & Reddy's "equivalent homogeneous
+//!   network" construction and checker (the paper's evaluation framework).
+//! * [`clock`] — per-rank virtual clocks and time ledgers.
+//! * [`contention`] — serial inter-segment link reservation.
+//! * [`engine`] — the message-passing runtime (threads + channels).
+//! * [`comm`] — collectives: broadcast, scatter, gather, barrier, reduce.
+//! * [`report`] — COM/SEQ/PAR decomposition, imbalance, speedup.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::engine::{Engine, WireVec};
+//! use simnet::presets;
+//!
+//! let platform = presets::fully_heterogeneous();
+//! let engine = Engine::new(platform);
+//! let report = engine.run(|ctx| {
+//!     // Every rank computes 100 Mflop; rank 0 gathers a token from all.
+//!     ctx.compute_par(100.0);
+//!     if ctx.rank() == 0 {
+//!         for src in 1..ctx.num_ranks() {
+//!             let _tok: WireVec<f32> = ctx.recv(src);
+//!         }
+//!     } else {
+//!         ctx.send(0, WireVec(vec![0.0f32]));
+//!     }
+//!     ctx.elapsed()
+//! });
+//! // The slowest processor (UltraSparc, 0.0451 s/Mflop) dominates.
+//! assert!(report.total_time > 4.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod comm;
+pub mod contention;
+pub mod engine;
+pub mod equivalent;
+pub mod platform;
+pub mod presets;
+pub mod report;
+pub mod trace;
+
+pub use engine::{Ctx, Engine, Wire};
+pub use platform::{Platform, ProcessorSpec};
+pub use report::RunReport;

@@ -1,0 +1,365 @@
+//! The paper's evaluation platforms, transcribed from Tables 1 and 2.
+//!
+//! Four 16-node networks of workstations (fully heterogeneous, fully
+//! homogeneous, partially heterogeneous, partially homogeneous) plus the
+//! Thunderhead Beowulf cluster at NASA GSFC. The four networks are
+//! *approximately equivalent* under Lastovetsky & Reddy's framework — see
+//! [`crate::equivalent`] for the checker.
+
+use crate::platform::{Platform, ProcessorSpec};
+
+/// Homogeneous-network link capacity in ms per megabit (paper §3.1).
+pub const HOMOGENEOUS_LINK_MS: f64 = 26.64;
+
+/// Homogeneous workstation cycle-time in seconds per megaflop (paper §3.1).
+pub const HOMOGENEOUS_CYCLE_TIME: f64 = 0.0131;
+
+/// Intra-segment link capacities of the heterogeneous network (Table 2
+/// diagonal blocks), ms per megabit, for segments s1..s4.
+pub const SEGMENT_INTERNAL_MS: [f64; 4] = [19.26, 17.65, 16.38, 14.05];
+
+/// Inter-segment link capacities of the heterogeneous network (Table 2
+/// off-diagonal blocks), ms per megabit; `INTERSEGMENT_MS[a][b]` for
+/// segments `a != b`.
+pub const INTERSEGMENT_MS: [[f64; 4]; 4] = [
+    [0.0, 48.31, 96.62, 154.76],
+    [48.31, 0.0, 48.31, 106.45],
+    [96.62, 48.31, 0.0, 58.14],
+    [154.76, 106.45, 58.14, 0.0],
+];
+
+/// The 16 heterogeneous workstations of Table 1: `(arch, cycle-time,
+/// memory MB, cache KB, segment)`. Segments: `s1 = {p1..p4}`,
+/// `s2 = {p5..p8}`, `s3 = {p9, p10}`, `s4 = {p11..p16}`.
+#[rustfmt::skip]
+const TABLE1: [(&str, f64, u64, u64, usize); 16] = [
+    ("FreeBSD i386 Intel Pentium 4", 0.0058, 2048, 1024, 0), // p1
+    ("Linux Intel Xeon",             0.0102, 1024,  512, 0), // p2
+    ("Linux AMD Athlon",             0.0026, 7748,  512, 0), // p3
+    ("Linux Intel Xeon",             0.0072, 1024, 1024, 0), // p4
+    ("Linux Intel Xeon",             0.0102, 1024,  512, 1), // p5
+    ("Linux Intel Xeon",             0.0072, 1024, 1024, 1), // p6
+    ("Linux Intel Xeon",             0.0072, 1024, 1024, 1), // p7
+    ("Linux Intel Xeon",             0.0102, 1024,  512, 1), // p8
+    ("Linux Intel Xeon",             0.0072, 1024, 1024, 2), // p9
+    ("SunOS SUNW UltraSparc-5",      0.0451,  512, 2048, 2), // p10
+    ("Linux AMD Athlon",             0.0131, 2048, 1024, 3), // p11
+    ("Linux AMD Athlon",             0.0131, 2048, 1024, 3), // p12
+    ("Linux AMD Athlon",             0.0131, 2048, 1024, 3), // p13
+    ("Linux AMD Athlon",             0.0131, 2048, 1024, 3), // p14
+    ("Linux AMD Athlon",             0.0131, 2048, 1024, 3), // p15
+    ("Linux AMD Athlon",             0.0131, 2048, 1024, 3), // p16
+];
+
+fn table1_procs() -> Vec<ProcessorSpec> {
+    TABLE1
+        .iter()
+        .enumerate()
+        .map(|(i, &(arch, w, mem, cache, seg))| ProcessorSpec {
+            name: format!("p{}", i + 1),
+            arch,
+            cycle_time: w,
+            memory_mb: mem,
+            cache_kb: cache,
+            segment: seg,
+        })
+        .collect()
+}
+
+fn table2_links(segments: &[usize]) -> Vec<Vec<f64>> {
+    let p = segments.len();
+    (0..p)
+        .map(|i| {
+            (0..p)
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else if segments[i] == segments[j] {
+                        SEGMENT_INTERNAL_MS[segments[i]]
+                    } else {
+                        INTERSEGMENT_MS[segments[i]][segments[j]]
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The **fully heterogeneous** network: Table 1 processors on the Table 2
+/// network (four segments joined by serial links).
+pub fn fully_heterogeneous() -> Platform {
+    let procs = table1_procs();
+    let segments: Vec<usize> = procs.iter().map(|p| p.segment).collect();
+    Platform::new("fully-heterogeneous", procs, table2_links(&segments))
+}
+
+/// The **fully homogeneous** network: 16 identical Linux workstations
+/// (`w = 0.0131` s/Mflop) on a homogeneous switched network
+/// (`c = 26.64` ms/Mbit).
+pub fn fully_homogeneous() -> Platform {
+    let mut p = Platform::uniform(
+        "fully-homogeneous",
+        16,
+        HOMOGENEOUS_CYCLE_TIME,
+        2048,
+        HOMOGENEOUS_LINK_MS,
+    );
+    // `uniform` already puts everyone in segment 0; just rename.
+    p = Platform::new("fully-homogeneous", p.procs().to_vec(), links_of(&p));
+    p
+}
+
+fn links_of(p: &Platform) -> Vec<Vec<f64>> {
+    let n = p.num_procs();
+    (0..n)
+        .map(|i| (0..n).map(|j| p.link_ms_per_mbit(i, j)).collect())
+        .collect()
+}
+
+/// The **partially heterogeneous** network: the Table 1 heterogeneous
+/// processors, but interconnected by the homogeneous network (single
+/// switched segment at 26.64 ms/Mbit).
+pub fn partially_heterogeneous() -> Platform {
+    let mut procs = table1_procs();
+    for p in &mut procs {
+        p.segment = 0;
+    }
+    let n = procs.len();
+    let links = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { HOMOGENEOUS_LINK_MS })
+                .collect()
+        })
+        .collect();
+    Platform::new("partially-heterogeneous", procs, links)
+}
+
+/// The **partially homogeneous** network: 16 identical workstations
+/// (`w = 0.0131`), but interconnected by the heterogeneous Table 2
+/// network (four segments, serial inter-segment links).
+pub fn partially_homogeneous() -> Platform {
+    let segments: Vec<usize> = TABLE1.iter().map(|&(_, _, _, _, s)| s).collect();
+    let procs: Vec<ProcessorSpec> = segments
+        .iter()
+        .enumerate()
+        .map(|(i, &seg)| ProcessorSpec {
+            name: format!("p{}", i + 1),
+            arch: "Linux AMD Athlon",
+            cycle_time: HOMOGENEOUS_CYCLE_TIME,
+            memory_mb: 2048,
+            cache_kb: 1024,
+            segment: seg,
+        })
+        .collect();
+    Platform::new("partially-homogeneous", procs, table2_links(&segments))
+}
+
+/// All four 16-node evaluation networks, in the order of the paper's
+/// Table 5 columns.
+pub fn four_networks() -> Vec<Platform> {
+    vec![
+        fully_heterogeneous(),
+        fully_homogeneous(),
+        partially_heterogeneous(),
+        partially_homogeneous(),
+    ]
+}
+
+/// Thunderhead-like Beowulf cluster: `p` identical nodes (dual 2.4 GHz
+/// Xeon era, modeled at the homogeneous cycle-time), 1 GB memory,
+/// interconnected by a Myrinet-class fabric (2 Gbit/s ≈ 0.5 ms per
+/// megabit), one switched segment.
+pub fn thunderhead(p: usize) -> Platform {
+    Platform::uniform("thunderhead", p, HOMOGENEOUS_CYCLE_TIME, 1024, 0.5).with_msg_latency(20.0e-6)
+    // Myrinet-class latency
+}
+
+/// The processor counts of the paper's Table 8 / Figure 2 sweep.
+pub const THUNDERHEAD_SWEEP: [usize; 9] = [1, 4, 16, 36, 64, 100, 144, 196, 256];
+
+/// Deterministically generates a random heterogeneous platform: `p`
+/// processors with cycle-times log-uniform in
+/// `[fastest_cycle, slowest_cycle]`, grouped into `segments` switched
+/// segments joined by serial links 2–8× slower than the intra-segment
+/// capacity. Useful for stress-testing schedulers beyond the paper's
+/// fixed Tables 1–2 (used by the property suite).
+///
+/// # Panics
+/// Panics when `p == 0`, `segments == 0` or the cycle-time bounds are
+/// not positive and ordered.
+pub fn random_heterogeneous(
+    seed: u64,
+    p: usize,
+    segments: usize,
+    fastest_cycle: f64,
+    slowest_cycle: f64,
+) -> Platform {
+    assert!(p > 0 && segments > 0);
+    assert!(0.0 < fastest_cycle && fastest_cycle <= slowest_cycle);
+    // SplitMix64 stream: self-contained determinism without rand.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    let ln_lo = fastest_cycle.ln();
+    let ln_hi = slowest_cycle.ln();
+    let procs: Vec<ProcessorSpec> = (0..p)
+        .map(|i| ProcessorSpec {
+            name: format!("r{}", i + 1),
+            arch: "randomly generated node",
+            cycle_time: (ln_lo + (ln_hi - ln_lo) * next()).exp(),
+            memory_mb: 512 + (next() * 3584.0) as u64,
+            cache_kb: 512,
+            segment: i % segments,
+        })
+        .collect();
+    let intra: Vec<f64> = (0..segments).map(|_| 10.0 + 15.0 * next()).collect();
+    // Symmetric inter-segment capacities.
+    let mut inter = vec![vec![0.0; segments]; segments];
+    for a in 0..segments {
+        for b in (a + 1)..segments {
+            let c = (intra[a].max(intra[b])) * (2.0 + 6.0 * next());
+            inter[a][b] = c;
+            inter[b][a] = c;
+        }
+    }
+    let links = (0..p)
+        .map(|i| {
+            (0..p)
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else if procs[i].segment == procs[j].segment {
+                        intra[procs[i].segment]
+                    } else {
+                        inter[procs[i].segment][procs[j].segment]
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Platform::new(format!("random-het-{seed}"), procs, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_transcription() {
+        let p = fully_heterogeneous();
+        assert_eq!(p.num_procs(), 16);
+        assert_eq!(p.proc(0).cycle_time, 0.0058); // p1
+        assert_eq!(p.proc(2).cycle_time, 0.0026); // p3, the fastest
+        assert_eq!(p.proc(2).memory_mb, 7748);
+        assert_eq!(p.proc(9).cycle_time, 0.0451); // p10, the UltraSparc
+        assert_eq!(p.proc(9).cache_kb, 2048);
+        for i in 10..16 {
+            assert_eq!(p.proc(i).cycle_time, 0.0131); // p11-p16
+        }
+    }
+
+    #[test]
+    fn table2_transcription() {
+        let p = fully_heterogeneous();
+        // Intra-segment values (diagonal blocks of Table 2).
+        assert_eq!(p.link_ms_per_mbit(0, 1), 19.26); // within s1
+        assert_eq!(p.link_ms_per_mbit(4, 5), 17.65); // within s2
+        assert_eq!(p.link_ms_per_mbit(8, 9), 16.38); // within s3
+        assert_eq!(p.link_ms_per_mbit(10, 15), 14.05); // within s4
+                                                       // Inter-segment values.
+        assert_eq!(p.link_ms_per_mbit(0, 4), 48.31); // s1-s2
+        assert_eq!(p.link_ms_per_mbit(0, 8), 96.62); // s1-s3
+        assert_eq!(p.link_ms_per_mbit(0, 10), 154.76); // s1-s4
+        assert_eq!(p.link_ms_per_mbit(4, 8), 48.31); // s2-s3
+        assert_eq!(p.link_ms_per_mbit(4, 10), 106.45); // s2-s4
+        assert_eq!(p.link_ms_per_mbit(8, 10), 58.14); // s3-s4
+    }
+
+    #[test]
+    fn segment_assignment() {
+        let p = fully_heterogeneous();
+        assert_eq!(p.segment_of(0), 0);
+        assert_eq!(p.segment_of(3), 0);
+        assert_eq!(p.segment_of(4), 1);
+        assert_eq!(p.segment_of(7), 1);
+        assert_eq!(p.segment_of(8), 2);
+        assert_eq!(p.segment_of(9), 2);
+        assert_eq!(p.segment_of(10), 3);
+        assert_eq!(p.segment_of(15), 3);
+    }
+
+    #[test]
+    fn four_network_characters() {
+        let fhet = fully_heterogeneous();
+        assert!(!fhet.is_compute_homogeneous());
+        assert!(!fhet.is_network_homogeneous());
+
+        let fhom = fully_homogeneous();
+        assert!(fhom.is_compute_homogeneous());
+        assert!(fhom.is_network_homogeneous());
+
+        let phet = partially_heterogeneous();
+        assert!(!phet.is_compute_homogeneous());
+        assert!(phet.is_network_homogeneous());
+
+        let phom = partially_homogeneous();
+        assert!(phom.is_compute_homogeneous());
+        assert!(!phom.is_network_homogeneous());
+    }
+
+    #[test]
+    fn thunderhead_scales() {
+        let t = thunderhead(256);
+        assert_eq!(t.num_procs(), 256);
+        assert!(t.is_compute_homogeneous());
+        assert_eq!(t.proc(0).memory_mb, 1024);
+        // Myrinet is much faster than the workstation LANs.
+        assert!(t.link_ms_per_mbit(0, 1) < HOMOGENEOUS_LINK_MS / 10.0);
+    }
+
+    #[test]
+    fn random_platform_is_valid_and_deterministic() {
+        let a = random_heterogeneous(42, 12, 3, 0.002, 0.05);
+        let b = random_heterogeneous(42, 12, 3, 0.002, 0.05);
+        assert_eq!(a, b, "same seed must give the same platform");
+        let c = random_heterogeneous(43, 12, 3, 0.002, 0.05);
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(a.num_procs(), 12);
+        for i in 0..12 {
+            let w = a.proc(i).cycle_time;
+            assert!((0.002..=0.05).contains(&w), "cycle time {w}");
+            assert!(a.segment_of(i) < 3);
+        }
+        // Inter-segment links are slower than intra-segment ones.
+        let intra = a.link_ms_per_mbit(0, 3); // both segment 0
+        let inter = a.link_ms_per_mbit(0, 1); // segments 0 and 1
+        assert!(inter > intra);
+    }
+
+    #[test]
+    fn speed_ordering_matches_table1() {
+        // p3 (Athlon, 0.0026) is fastest; p10 (UltraSparc) slowest.
+        let p = fully_heterogeneous();
+        let speeds = p.relative_speeds();
+        let max_idx = speeds
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let min_idx = speeds
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 2);
+        assert_eq!(min_idx, 9);
+    }
+}

@@ -1,0 +1,200 @@
+//! Run reports: the paper's performance metrics.
+//!
+//! * Total execution time (Table 5 / Table 8),
+//! * COM/SEQ/PAR decomposition on the root timeline (Table 6),
+//! * load imbalance `D = R_max/R_min` over processor run times, with and
+//!   without the root (Table 7),
+//! * speedup helpers (Figure 2).
+
+use crate::clock::TimeLedger;
+
+/// The outcome of one [`crate::Engine::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport<R> {
+    /// Name of the platform the run executed on.
+    pub platform_name: String,
+    /// Per-rank time ledgers.
+    pub ledgers: Vec<TimeLedger>,
+    /// Per-rank program results.
+    pub results: Vec<R>,
+    /// Total virtual execution time: the latest rank's final clock.
+    pub total_time: f64,
+}
+
+impl<R> RunReport<R> {
+    /// Assembles a report from per-rank ledgers and results.
+    pub fn new(platform_name: String, ledgers: Vec<TimeLedger>, results: Vec<R>) -> Self {
+        let total_time = ledgers.iter().map(|l| l.now).fold(0.0, f64::max);
+        RunReport {
+            platform_name,
+            ledgers,
+            results,
+            total_time,
+        }
+    }
+
+    /// The paper's Table 6 decomposition, computed on the root timeline:
+    /// `SEQ` = root sequential compute, `COM` = root communication time,
+    /// `PAR` = everything else (parallel compute **including worker idle
+    /// time**, as the paper specifies).
+    pub fn decomposition(&self) -> Decomposition {
+        let root = &self.ledgers[0];
+        let seq = root.compute_seq;
+        let com = root.comm;
+        let par = (self.total_time - seq - com).max(0.0);
+        Decomposition {
+            com,
+            seq,
+            par,
+            total: self.total_time,
+        }
+    }
+
+    /// The paper's Table 7 imbalance metrics over processor run (busy)
+    /// times: `D_all` over all processors, `D_minus` excluding the root.
+    pub fn imbalance(&self) -> Imbalance {
+        Imbalance {
+            d_all: imbalance_of(self.ledgers.iter().map(|l| l.busy())),
+            d_minus: imbalance_of(self.ledgers.iter().skip(1).map(|l| l.busy())),
+        }
+    }
+}
+
+/// COM/SEQ/PAR split of a run (Table 6 semantics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decomposition {
+    /// Communication time on the root timeline.
+    pub com: f64,
+    /// Root-only sequential computation.
+    pub seq: f64,
+    /// Parallel-phase time, worker idling included.
+    pub par: f64,
+    /// Total execution time (`com + seq + par`).
+    pub total: f64,
+}
+
+/// Load-imbalance ratios (Table 7 semantics). Perfect balance is `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Imbalance {
+    /// `R_max / R_min` over all processors.
+    pub d_all: f64,
+    /// `R_max / R_min` excluding the root.
+    pub d_minus: f64,
+}
+
+fn imbalance_of(times: impl Iterator<Item = f64>) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    let mut min = f64::INFINITY;
+    let mut any = false;
+    for t in times {
+        any = true;
+        max = max.max(t);
+        min = min.min(t);
+    }
+    if !any || min <= 0.0 {
+        return 1.0;
+    }
+    max / min
+}
+
+/// Speedup of a multi-processor time over the single-processor baseline
+/// (Figure 2's y-axis). Returns 0 for non-positive times.
+pub fn speedup(single_proc_time: f64, multi_proc_time: f64) -> f64 {
+    if single_proc_time <= 0.0 || multi_proc_time <= 0.0 {
+        return 0.0;
+    }
+    single_proc_time / multi_proc_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Phase;
+
+    fn ledger(seq: f64, par: f64, comm: f64, idle: f64) -> TimeLedger {
+        let mut l = TimeLedger::new();
+        l.compute(seq, Phase::Seq);
+        l.compute(par, Phase::Par);
+        l.comm = comm;
+        l.idle = idle;
+        l.now = seq + par + comm + idle;
+        l
+    }
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let report = RunReport::new(
+            "t".into(),
+            vec![ledger(2.0, 5.0, 1.0, 0.5), ledger(0.0, 7.0, 0.5, 1.0)],
+            vec![(), ()],
+        );
+        let d = report.decomposition();
+        assert!((d.total - report.total_time).abs() < 1e-12);
+        assert!((d.com - 1.0).abs() < 1e-12);
+        assert!((d.seq - 2.0).abs() < 1e-12);
+        assert!((d.com + d.seq + d.par - d.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_time_is_max_rank_clock() {
+        let report = RunReport::new(
+            "t".into(),
+            vec![ledger(0.0, 1.0, 0.0, 0.0), ledger(0.0, 9.0, 0.0, 0.0)],
+            vec![(), ()],
+        );
+        assert!((report.total_time - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_perfect_when_equal() {
+        let report = RunReport::new(
+            "t".into(),
+            vec![
+                ledger(0.0, 4.0, 0.0, 0.0),
+                ledger(0.0, 4.0, 0.0, 0.0),
+                ledger(0.0, 4.0, 0.0, 0.0),
+            ],
+            vec![(), (), ()],
+        );
+        let i = report.imbalance();
+        assert!((i.d_all - 1.0).abs() < 1e-12);
+        assert!((i.d_minus - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_skew_and_root_exclusion() {
+        let report = RunReport::new(
+            "t".into(),
+            vec![
+                ledger(8.0, 0.0, 0.0, 0.0), // busy root
+                ledger(0.0, 2.0, 0.0, 0.0),
+                ledger(0.0, 4.0, 0.0, 0.0),
+            ],
+            vec![(), (), ()],
+        );
+        let i = report.imbalance();
+        assert!((i.d_all - 4.0).abs() < 1e-12); // 8 / 2
+        assert!((i.d_minus - 2.0).abs() < 1e-12); // 4 / 2
+    }
+
+    #[test]
+    fn idle_time_lands_in_par_not_com() {
+        // Root waits 10 s idle for workers: decomposition must charge PAR.
+        let report = RunReport::new(
+            "t".into(),
+            vec![ledger(1.0, 2.0, 0.5, 10.0), ledger(0.0, 13.0, 0.5, 0.0)],
+            vec![(), ()],
+        );
+        let d = report.decomposition();
+        assert!((d.seq - 1.0).abs() < 1e-12);
+        assert!((d.com - 0.5).abs() < 1e-12);
+        assert!(d.par > 11.9, "idle must be inside PAR: {}", d.par);
+    }
+
+    #[test]
+    fn speedup_helper() {
+        assert!((speedup(100.0, 25.0) - 4.0).abs() < 1e-12);
+        assert_eq!(speedup(0.0, 10.0), 0.0);
+        assert_eq!(speedup(10.0, 0.0), 0.0);
+    }
+}

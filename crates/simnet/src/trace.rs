@@ -1,0 +1,207 @@
+//! Execution tracing: per-rank virtual-time event timelines.
+//!
+//! [`crate::Engine::run_traced`] records every compute interval, send
+//! overhead and receive wait with its virtual start/end times, giving a
+//! Gantt-style view of a run — the tool for understanding *why* a
+//! network shows a particular COM/SEQ/PAR split or imbalance.
+//!
+//! Events are collected from all rank threads and canonically sorted, so
+//! traces of deterministic programs are themselves deterministic.
+
+use std::fmt::Write as _;
+
+/// What a rank was doing during a traced interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Parallel-phase computation.
+    ComputePar,
+    /// Sequential-phase computation (root-only work).
+    ComputeSeq,
+    /// Sender-side message injection overhead.
+    Send {
+        /// Destination rank.
+        dst: usize,
+    },
+    /// Waiting for (and receiving) a message.
+    Recv {
+        /// Source rank.
+        src: usize,
+    },
+}
+
+/// One traced interval on a rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The rank the event belongs to.
+    pub rank: usize,
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Virtual end time (seconds).
+    pub end: f64,
+    /// Activity kind.
+    pub kind: TraceKind,
+}
+
+/// A complete run trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events sorted by `(rank, start, end)`.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Canonicalises event order (called by the engine after the run).
+    pub(crate) fn finalize(&mut self) {
+        self.events.sort_by(|a, b| {
+            (a.rank, a.start, a.end)
+                .partial_cmp(&(b.rank, b.start, b.end))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    /// Events of one rank, in timeline order.
+    pub fn for_rank(&self, rank: usize) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+
+    /// Latest event end across all ranks.
+    pub fn horizon(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Renders a text Gantt chart, one row per rank, `width` columns
+    /// wide. Legend: `#` parallel compute, `S` sequential compute,
+    /// `s` send overhead, `r` receive wait, `.` idle.
+    pub fn gantt(&self, num_ranks: usize, width: usize) -> String {
+        let horizon = self.horizon().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "virtual time 0 .. {horizon:.3} s  (# par, S seq, s send, r recv, . idle)"
+        );
+        for rank in 0..num_ranks {
+            let mut row = vec!['.'; width];
+            for e in self.for_rank(rank) {
+                let a = ((e.start / horizon) * width as f64).floor() as usize;
+                let b = (((e.end / horizon) * width as f64).ceil() as usize).min(width);
+                let ch = match e.kind {
+                    TraceKind::ComputePar => '#',
+                    TraceKind::ComputeSeq => 'S',
+                    TraceKind::Send { .. } => 's',
+                    TraceKind::Recv { .. } => 'r',
+                };
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    // Compute paints over comm for readability.
+                    if *c == '.' || (*c != '#' && ch == '#') {
+                        *c = ch;
+                    }
+                }
+            }
+            let _ = writeln!(out, "r{rank:03} |{}|", row.into_iter().collect::<String>());
+        }
+        out
+    }
+
+    /// Total traced busy seconds per rank (compute + send + recv).
+    pub fn busy_per_rank(&self, num_ranks: usize) -> Vec<f64> {
+        let mut busy = vec![0.0; num_ranks];
+        for e in &self.events {
+            if e.rank < num_ranks {
+                busy[e.rank] += e.end - e.start;
+            }
+        }
+        busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Ctx, Engine};
+    use crate::Platform;
+
+    fn traced_run() -> (crate::RunReport<usize>, Trace) {
+        let engine = Engine::new(Platform::uniform("t", 3, 0.01, 64, 5.0));
+        engine.run_traced(|ctx: &mut Ctx<u64>| {
+            ctx.compute_par(100.0 * (ctx.rank() + 1) as f64);
+            if ctx.is_root() {
+                ctx.compute_seq(50.0);
+                for src in 1..ctx.num_ranks() {
+                    let _ = ctx.recv(src);
+                }
+            } else {
+                ctx.send(0, ctx.rank() as u64);
+            }
+            ctx.rank()
+        })
+    }
+
+    #[test]
+    fn trace_captures_all_kinds() {
+        let (_, trace) = traced_run();
+        let kinds: Vec<_> = trace.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::ComputePar));
+        assert!(kinds.contains(&TraceKind::ComputeSeq));
+        assert!(kinds.iter().any(|k| matches!(k, TraceKind::Send { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, TraceKind::Recv { .. })));
+    }
+
+    #[test]
+    fn events_are_well_formed_and_sorted() {
+        let (_, trace) = traced_run();
+        for e in &trace.events {
+            assert!(e.end >= e.start, "negative interval: {e:?}");
+            assert!(e.rank < 3);
+        }
+        for w in trace.events.windows(2) {
+            assert!(
+                (w[0].rank, w[0].start) <= (w[1].rank, w[1].start),
+                "not sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn per_rank_intervals_do_not_overlap() {
+        let (_, trace) = traced_run();
+        for rank in 0..3 {
+            let evs: Vec<_> = trace.for_rank(rank).collect();
+            for w in evs.windows(2) {
+                assert!(w[1].start >= w[0].end - 1e-12, "rank {rank}: overlap {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_busy_matches_ledger() {
+        let (report, trace) = traced_run();
+        let busy = trace.busy_per_rank(3);
+        for (rank, ledger) in report.ledgers.iter().enumerate() {
+            // Trace busy covers compute + send overhead + recv wait
+            // (comm + idle), i.e. everything except untraced gaps.
+            let expect = ledger.compute_par + ledger.compute_seq + ledger.comm + ledger.idle;
+            assert!(
+                (busy[rank] - expect).abs() < 1e-9,
+                "rank {rank}: trace {} vs ledger {}",
+                busy[rank],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn gantt_renders_every_rank() {
+        let (_, trace) = traced_run();
+        let chart = trace.gantt(3, 40);
+        assert_eq!(chart.lines().count(), 4); // header + 3 ranks
+        assert!(chart.contains("r000"));
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let (_, a) = traced_run();
+        let (_, b) = traced_run();
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,0 +1,207 @@
+//! Integration tests asserting the *shapes* of the paper's experimental
+//! findings — the qualitative relationships that the benchmark binaries
+//! regenerate at full scale (see EXPERIMENTS.md).
+
+use heterospec::cube::synth::{wtc_scene, WtcConfig};
+use heterospec::hetero::config::{AlgoParams, RunOptions};
+use heterospec::simnet::engine::Engine;
+use heterospec::simnet::presets;
+use heterospec::simnet::report::speedup;
+
+fn scene() -> heterospec::cube::synth::SyntheticScene {
+    wtc_scene(WtcConfig {
+        lines: 256,
+        samples: 64,
+        bands: 128,
+        ..Default::default()
+    })
+}
+
+fn total(
+    name: &str,
+    engine: &Engine,
+    s: &heterospec::cube::synth::SyntheticScene,
+    p: &AlgoParams,
+    o: &RunOptions,
+) -> f64 {
+    match name {
+        "ATDCA" => {
+            heterospec::hetero::par::atdca::run(engine, &s.cube, p, o)
+                .report
+                .total_time
+        }
+        "UFCLS" => {
+            heterospec::hetero::par::ufcls::run(engine, &s.cube, p, o)
+                .report
+                .total_time
+        }
+        "PCT" => {
+            heterospec::hetero::par::pct::run(engine, &s.cube, p, o)
+                .report
+                .total_time
+        }
+        "MORPH" => {
+            heterospec::hetero::par::morph::run(engine, &s.cube, p, o)
+                .report
+                .total_time
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Table 5 shape: the hetero algorithms adapt — their fully-heterogeneous
+/// time is within 2x of their fully-homogeneous time, while the homo
+/// versions degrade by much more.
+#[test]
+fn table5_shape_adaptation() {
+    let s = scene();
+    let p = AlgoParams::default();
+    let het = Engine::new(presets::fully_heterogeneous());
+    let hom = Engine::new(presets::fully_homogeneous());
+    for algo in ["ATDCA", "MORPH"] {
+        let het_on_het = total(algo, &het, &s, &p, &RunOptions::hetero());
+        let het_on_hom = total(algo, &hom, &s, &p, &RunOptions::hetero());
+        let hom_on_het = total(algo, &het, &s, &p, &RunOptions::homo());
+        let ratio_hetero = het_on_het.max(het_on_hom) / het_on_het.min(het_on_hom);
+        let ratio_homo = hom_on_het / het_on_het;
+        assert!(
+            ratio_hetero < 2.0,
+            "{algo}: hetero should be roughly flat across networks ({het_on_het:.1} vs {het_on_hom:.1})"
+        );
+        assert!(
+            ratio_homo > 2.0,
+            "{algo}: homo on het net should blow up (got {ratio_homo:.1}x)"
+        );
+    }
+}
+
+/// Table 6 shape: communication is a small fraction of total time, and
+/// PCT has the largest sequential share of the four algorithms.
+#[test]
+fn table6_shape_decomposition() {
+    let s = scene();
+    let p = AlgoParams::default();
+    let engine = Engine::new(presets::fully_heterogeneous());
+    let mut seq_shares = Vec::new();
+    for algo in ["ATDCA", "UFCLS", "PCT", "MORPH"] {
+        let run = match algo {
+            "ATDCA" => {
+                heterospec::hetero::par::atdca::run(&engine, &s.cube, &p, &RunOptions::hetero())
+                    .report
+            }
+            "UFCLS" => {
+                heterospec::hetero::par::ufcls::run(&engine, &s.cube, &p, &RunOptions::hetero())
+                    .report
+            }
+            "PCT" => {
+                heterospec::hetero::par::pct::run(&engine, &s.cube, &p, &RunOptions::hetero())
+                    .report
+            }
+            _ => {
+                heterospec::hetero::par::morph::run(&engine, &s.cube, &p, &RunOptions::hetero())
+                    .report
+            }
+        };
+        let d = run.decomposition();
+        assert!(
+            d.com < 0.35 * d.total,
+            "{algo}: COM should be a minor share ({:.2} of {:.2})",
+            d.com,
+            d.total
+        );
+        seq_shares.push((algo, d.seq / d.total));
+    }
+    let pct_share = seq_shares.iter().find(|(a, _)| *a == "PCT").unwrap().1;
+    for (algo, share) in &seq_shares {
+        if *algo != "PCT" {
+            assert!(
+                pct_share >= *share,
+                "PCT SEQ share {pct_share:.3} should exceed {algo}'s {share:.3}"
+            );
+        }
+    }
+    // MORPH's SEQ share is the smallest (windowing algorithm).
+    let morph_share = seq_shares.iter().find(|(a, _)| *a == "MORPH").unwrap().1;
+    assert!(morph_share < pct_share);
+}
+
+/// Table 7 shape: Hetero-MORPH achieves the best balance of the four
+/// heterogeneous algorithms; homogeneous versions on the heterogeneous
+/// network are far worse.
+#[test]
+fn table7_shape_imbalance() {
+    let s = scene();
+    let p = AlgoParams::default();
+    let engine = Engine::new(presets::fully_heterogeneous());
+    let morph = heterospec::hetero::par::morph::run(&engine, &s.cube, &p, &RunOptions::hetero())
+        .report
+        .imbalance();
+    let morph_homo = heterospec::hetero::par::morph::run(&engine, &s.cube, &p, &RunOptions::homo())
+        .report
+        .imbalance();
+    assert!(
+        morph.d_minus < 2.0,
+        "Hetero-MORPH workers should balance well: {}",
+        morph.d_minus
+    );
+    assert!(
+        morph_homo.d_minus > 3.0,
+        "Homo-MORPH on het net should imbalance: {}",
+        morph_homo.d_minus
+    );
+    assert!(
+        morph.d_minus < 0.5 * morph_homo.d_minus,
+        "WEA should at least halve the imbalance: {} vs {}",
+        morph.d_minus,
+        morph_homo.d_minus
+    );
+}
+
+/// Figure 2 shape: speedups grow with processor count in the paper's
+/// range; MORPH scales better than PCT at high counts.
+#[test]
+fn fig2_shape_scaling() {
+    let s = scene();
+    let p = AlgoParams::default();
+    let mut last = std::collections::HashMap::new();
+    for cpus in [1usize, 4, 16, 64] {
+        let engine = Engine::new(presets::thunderhead(cpus));
+        for algo in ["ATDCA", "PCT", "MORPH"] {
+            let t = total(algo, &engine, &s, &p, &RunOptions::hetero());
+            last.insert((algo, cpus), t);
+        }
+    }
+    for algo in ["ATDCA", "MORPH"] {
+        let s1 = last[&(algo, 1usize)];
+        let s64 = speedup(s1, last[&(algo, 64usize)]);
+        let s16 = speedup(s1, last[&(algo, 16usize)]);
+        assert!(s16 > 3.0, "{algo}: speedup at 16 too low ({s16:.1})");
+        assert!(s64 > s16 * 0.8, "{algo}: speedup should not collapse at 64");
+    }
+    // PCT is allowed to plateau (its sequential eigen step is the
+    // paper's explanation for its worst-of-four scaling), but it must
+    // still gain from parallelism at moderate counts.
+    let pct16 = speedup(last[&("PCT", 1usize)], last[&("PCT", 16usize)]);
+    assert!(pct16 > 1.5, "PCT: speedup at 16 too low ({pct16:.1})");
+    let morph64 = speedup(last[&("MORPH", 1usize)], last[&("MORPH", 64usize)]);
+    let pct64 = speedup(last[&("PCT", 1usize)], last[&("PCT", 64usize)]);
+    assert!(
+        morph64 > pct64,
+        "MORPH ({morph64:.1}x) should out-scale PCT ({pct64:.1}x)"
+    );
+}
+
+/// Sequential cost ordering (Tables 3-4 parentheses): UFCLS < ATDCA <
+/// PCT < MORPH in single-processor time.
+#[test]
+fn sequential_cost_ordering() {
+    let s = scene();
+    let p = AlgoParams::default();
+    let atdca = heterospec::hetero::seq::atdca(&s.cube, &p).mflops;
+    let ufcls = heterospec::hetero::seq::ufcls(&s.cube, &p).mflops;
+    let pct = heterospec::hetero::seq::pct(&s.cube, &p).mflops;
+    let morph = heterospec::hetero::seq::morph(&s.cube, &p).mflops;
+    assert!(ufcls < atdca, "UFCLS {ufcls} !< ATDCA {atdca}");
+    assert!(atdca < pct, "ATDCA {atdca} !< PCT {pct}");
+    assert!(pct < morph, "PCT {pct} !< MORPH {morph}");
+}

@@ -1,0 +1,297 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the workspace.
+
+use heterospec::cube::metrics::{brightness, euclidean, sad};
+use heterospec::cube::HyperCube;
+use heterospec::hetero::wea;
+use heterospec::linalg::covariance::CovarianceAccumulator;
+use heterospec::linalg::lstsq;
+use heterospec::linalg::lu::LuDecomposition;
+use heterospec::linalg::matrix::axpy;
+use heterospec::linalg::ortho::OrthoBasis;
+use heterospec::linalg::Matrix;
+use proptest::prelude::*;
+
+fn spectrum(bands: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.0f32..1.0, bands)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SAD is a pseudometric on spectra: non-negative, symmetric, zero
+    /// on identical inputs, bounded by π.
+    #[test]
+    fn sad_is_pseudometric(x in spectrum(32), y in spectrum(32)) {
+        let d = sad(&x, &y);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&d));
+        prop_assert!((d - sad(&y, &x)).abs() < 1e-12);
+        prop_assert!(sad(&x, &x) < 1e-3);
+    }
+
+    /// SAD is scale-invariant: SAD(kx, y) = SAD(x, y) for k > 0.
+    #[test]
+    fn sad_scale_invariant(x in spectrum(32), y in spectrum(32), k in 0.1f32..10.0) {
+        let scaled: Vec<f32> = x.iter().map(|&v| v * k).collect();
+        prop_assert!((sad(&scaled, &y) - sad(&x, &y)).abs() < 1e-4);
+    }
+
+    /// Triangle inequality for SAD on non-negative spectra.
+    #[test]
+    fn sad_triangle(a in spectrum(16), b in spectrum(16), c in spectrum(16)) {
+        prop_assert!(sad(&a, &c) <= sad(&a, &b) + sad(&b, &c) + 1e-9);
+    }
+
+    /// Brightness and Euclidean agree: ||x||^2 = d(x, 0)^2.
+    #[test]
+    fn brightness_euclidean_consistency(x in spectrum(24)) {
+        let zero = vec![0.0f32; 24];
+        let d = euclidean(&x, &zero);
+        prop_assert!((brightness(&x) - d * d).abs() < 1e-6 * (1.0 + brightness(&x)));
+    }
+
+    /// Row apportioning conserves the total and respects proportionality
+    /// within one row.
+    #[test]
+    fn apportion_conserves(fracs in proptest::collection::vec(0.01f64..1.0, 2..20),
+                           total in 1usize..5000) {
+        let sum: f64 = fracs.iter().sum();
+        let normed: Vec<f64> = fracs.iter().map(|f| f / sum).collect();
+        let counts = wea::apportion_rows(&normed, total);
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        for (c, f) in counts.iter().zip(&normed) {
+            let ideal = f * total as f64;
+            prop_assert!((*c as f64 - ideal).abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Memory-bounded redistribution conserves totals and respects caps.
+    #[test]
+    fn memory_bounds_conserve(counts in proptest::collection::vec(0usize..100, 3..8),
+                              extra in 0usize..50) {
+        let total: usize = counts.iter().sum();
+        let n = counts.len();
+        let fracs = vec![1.0 / n as f64; n];
+        // Caps that definitely fit: per-node cap = total, plus slack.
+        let caps: Vec<usize> = counts.iter().map(|c| c + extra + total / n + 1).collect();
+        let out = wea::apply_memory_bounds(&counts, &fracs, &caps).unwrap();
+        prop_assert_eq!(out.iter().sum::<usize>(), total);
+        for (o, cap) in out.iter().zip(&caps) {
+            prop_assert!(o <= cap);
+        }
+    }
+
+    /// Covariance accumulation is merge-invariant: any split of the
+    /// sample stream merges to the same statistics.
+    #[test]
+    fn covariance_merge_invariant(samples in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 4), 2..40),
+            split in 0usize..40) {
+        let split = split % samples.len();
+        let mut whole = CovarianceAccumulator::new(4);
+        for s in &samples { whole.push(s); }
+        let mut a = CovarianceAccumulator::new(4);
+        let mut b = CovarianceAccumulator::new(4);
+        for s in &samples[..split] { a.push(s); }
+        for s in &samples[split..] { b.push(s); }
+        a.merge(&b).unwrap();
+        prop_assert_eq!(a.count(), whole.count());
+        let ca = a.covariance().unwrap();
+        let cw = whole.covariance().unwrap();
+        prop_assert!(ca.approx_eq(&cw, 1e-9));
+    }
+
+    /// LU solves random diagonally-dominant systems to high accuracy.
+    #[test]
+    fn lu_solves_dominant_systems(vals in proptest::collection::vec(-1.0f64..1.0, 16),
+                                  rhs in proptest::collection::vec(-1.0f64..1.0, 4)) {
+        let mut a = Matrix::from_vec(4, 4, vals);
+        for i in 0..4 { a[(i, i)] += 5.0; }
+        let x = LuDecomposition::new(&a).unwrap().solve(&rhs).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (p, q) in ax.iter().zip(&rhs) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    /// FCLS abundances always satisfy both constraints on random
+    /// problems with well-separated endmembers.
+    #[test]
+    fn fcls_constraints_hold(a0 in 0.0f64..1.0, seedpx in proptest::collection::vec(0.01f64..1.0, 8)) {
+        let u = Matrix::from_rows(&[
+            &[1.0, 0.8, 0.6, 0.4, 0.3, 0.2, 0.1, 0.05],
+            &[0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0],
+        ]);
+        // Mix plus perturbation.
+        let mut x = vec![0.0; 8];
+        axpy(a0, u.row(0), &mut x);
+        axpy(1.0 - a0, u.row(1), &mut x);
+        for (xi, p) in x.iter_mut().zip(&seedpx) {
+            *xi += 0.01 * p;
+        }
+        let r = lstsq::fcls(&u, &x).unwrap();
+        let sum: f64 = r.abundances.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3, "sum = {}", sum);
+        for &a in &r.abundances {
+            prop_assert!(a >= 0.0);
+        }
+    }
+
+    /// The orthogonal-complement score is bounded by the squared norm
+    /// and decreases (weakly) as the basis grows.
+    #[test]
+    fn complement_score_monotone(x in proptest::collection::vec(-1.0f64..1.0, 12),
+                                 b1 in proptest::collection::vec(-1.0f64..1.0, 12),
+                                 b2 in proptest::collection::vec(-1.0f64..1.0, 12)) {
+        let mut basis = OrthoBasis::new(12);
+        let norm2: f64 = x.iter().map(|v| v * v).sum();
+        let s0 = basis.complement_score(&x);
+        prop_assert!((s0 - norm2).abs() < 1e-9);
+        basis.push(&b1);
+        let s1 = basis.complement_score(&x);
+        basis.push(&b2);
+        let s2 = basis.complement_score(&x);
+        prop_assert!(s1 <= s0 + 1e-9);
+        prop_assert!(s2 <= s1 + 1e-9);
+    }
+
+    /// Cube line extraction is consistent with pixel indexing for any
+    /// geometry.
+    #[test]
+    fn cube_extraction_consistent(lines in 1usize..12, samples in 1usize..12,
+                                  bands in 1usize..8, first in 0usize..12, n in 1usize..12) {
+        let first = first % lines;
+        let n = 1 + (n % (lines - first));
+        let mut cube = HyperCube::zeros(lines, samples, bands);
+        for i in 0..cube.num_pixels() {
+            let (l, s) = cube.coord_of(i);
+            cube.pixel_mut(l, s)[0] = (l * 100 + s) as f32;
+        }
+        let sub = cube.extract_lines(first, n);
+        prop_assert_eq!(sub.lines(), n);
+        for l in 0..n {
+            for s in 0..samples {
+                prop_assert_eq!(sub.pixel(l, s), cube.pixel(first + l, s));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Morphological duality on random cubes: at every pixel, the
+    /// erosion-selected neighbour's cumulative distance never exceeds
+    /// the dilation-selected neighbour's.
+    #[test]
+    fn erosion_min_dilation_max(vals in proptest::collection::vec(0.01f32..1.0, 6 * 6 * 3)) {
+        use heterospec::morpho::cumdist::cumdist_map;
+        use heterospec::morpho::ops::{dilation, erosion};
+        use heterospec::morpho::StructuringElement;
+        let cube = HyperCube::from_vec(6, 6, 3, vals);
+        let se = StructuringElement::square(1);
+        let dist = cumdist_map(&cube, &se);
+        let ero = erosion(&cube, &se);
+        let dil = dilation(&cube, &se);
+        for l in 0..6 {
+            for s in 0..6 {
+                let (el, es) = ero.at(l, s);
+                let (dl, ds) = dil.at(l, s);
+                prop_assert!(dist[el * 6 + es] <= dist[dl * 6 + ds] + 1e-12);
+            }
+        }
+    }
+
+    /// MEI scores are bounded by π and never decrease with iterations.
+    #[test]
+    fn mei_bounded_and_monotone(vals in proptest::collection::vec(0.01f32..1.0, 5 * 5 * 2)) {
+        use heterospec::morpho::mei::mei;
+        use heterospec::morpho::StructuringElement;
+        let cube = HyperCube::from_vec(5, 5, 2, vals);
+        let se = StructuringElement::square(1);
+        let one = mei(&cube, &se, 1);
+        let two = mei(&cube, &se, 2);
+        for (a, b) in one.scores.iter().zip(&two.scores) {
+            prop_assert!(*a >= 0.0 && *a <= std::f64::consts::PI + 1e-12);
+            prop_assert!(b + 1e-12 >= *a, "scores must be max-accumulated");
+        }
+    }
+
+    /// Serial-link reservations never overlap and respect request times.
+    #[test]
+    fn contention_serializes(durations in proptest::collection::vec(0.01f64..2.0, 1..12),
+                             earliest in proptest::collection::vec(0.0f64..5.0, 1..12)) {
+        use heterospec::simnet::contention::InterSegmentLinks;
+        let links = InterSegmentLinks::new();
+        let n = durations.len().min(earliest.len());
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        for i in 0..n {
+            let start = links.reserve(0, 1, earliest[i], durations[i]);
+            prop_assert!(start >= earliest[i] - 1e-12);
+            intervals.push((start, start + durations[i]));
+        }
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in intervals.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1 - 1e-12, "overlap: {w:?}");
+        }
+    }
+
+    /// Makespan WEA fractions are a probability vector that never
+    /// starves the fastest processor.
+    #[test]
+    fn makespan_fractions_sane(mflops in 0.1f64..100.0, mbits in 0.0f64..10.0) {
+        use heterospec::hetero::wea::{hetero_fractions, RowCost, WeaConfig};
+        let platform = heterospec::simnet::presets::fully_heterogeneous();
+        let f = hetero_fractions(
+            &platform,
+            RowCost { mflops_per_row: mflops, mbits_per_row: mbits, fixed_mflops: 0.0 },
+            WeaConfig::default(),
+        );
+        prop_assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for &x in &f {
+            prop_assert!(x >= 0.0);
+        }
+        // The root has no staging cost and the fastest CPU save one:
+        // it always gets at least the uniform share.
+        prop_assert!(f[0] >= 1.0 / 16.0 - 1e-9, "root share {}", f[0]);
+        // p3 (fast, root's switched segment) never gets less than p10
+        // (slowest CPU, behind a serial inter-segment link).
+        prop_assert!(f[2] >= f[9] - 1e-12, "p3 {} < p10 {}", f[2], f[9]);
+    }
+}
+
+/// The engine's virtual timestamps are deterministic under arbitrary
+/// (valid) master/worker traffic patterns.
+#[test]
+fn engine_determinism_random_traffic() {
+    use heterospec::simnet::engine::{Ctx, Engine, WireVec};
+    use heterospec::simnet::presets;
+    let run = |seed: u64| {
+        let engine = Engine::new(presets::fully_heterogeneous());
+        let report = engine.run(move |ctx: &mut Ctx<WireVec<f32>>| {
+            // Pseudo-random per-rank compute, then a gather+broadcast.
+            let mut state = seed ^ (ctx.rank() as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+            for _ in 0..3 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let mflops = ((state >> 33) % 1000) as f64;
+                ctx.compute_par(mflops);
+                if ctx.is_root() {
+                    for src in 1..ctx.num_ranks() {
+                        let _ = ctx.recv(src);
+                    }
+                    for dst in 1..ctx.num_ranks() {
+                        ctx.send(dst, WireVec(vec![0.0f32; 64]));
+                    }
+                } else {
+                    ctx.send(0, WireVec(vec![0.0f32; 256]));
+                    let _ = ctx.recv(0);
+                }
+            }
+            ctx.elapsed()
+        });
+        report.results
+    };
+    for seed in [1u64, 42, 20010916] {
+        assert_eq!(run(seed), run(seed), "seed {seed} not deterministic");
+    }
+}
