@@ -18,9 +18,11 @@
 use hetero_hsi::config::{AlgoParams, RunOptions};
 use hetero_hsi::framework::ParallelRun;
 use hsi_cube::synth::{wtc_scene, SyntheticScene, WtcConfig};
-use serde::{Deserialize, Serialize};
+use microjson::Json;
 use simnet::engine::Engine;
 use std::path::PathBuf;
+
+pub mod microjson;
 
 /// Thunderhead-class cycle time used for sequential baselines
 /// (secs/Mflop), matching the paper's single-processor columns.
@@ -103,7 +105,7 @@ fn strip<T>(run: ParallelRun<T>) -> ParallelRun<()> {
 }
 
 /// One timing record of the 8 × 4 experiment matrix.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MatrixEntry {
     /// Algorithm (`ATDCA`…)
     pub algorithm: String,
@@ -125,6 +127,36 @@ pub struct MatrixEntry {
     pub d_minus: f64,
 }
 
+impl MatrixEntry {
+    fn to_json(&self) -> Json {
+        microjson::object(vec![
+            ("algorithm", Json::String(self.algorithm.clone())),
+            ("variant", Json::String(self.variant.clone())),
+            ("network", Json::String(self.network.clone())),
+            ("total", Json::Number(self.total)),
+            ("com", Json::Number(self.com)),
+            ("seq", Json::Number(self.seq)),
+            ("par", Json::Number(self.par)),
+            ("d_all", Json::Number(self.d_all)),
+            ("d_minus", Json::Number(self.d_minus)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<MatrixEntry> {
+        Some(MatrixEntry {
+            algorithm: value.get("algorithm")?.as_str()?.to_string(),
+            variant: value.get("variant")?.as_str()?.to_string(),
+            network: value.get("network")?.as_str()?.to_string(),
+            total: value.get("total")?.as_f64()?,
+            com: value.get("com")?.as_f64()?,
+            seq: value.get("seq")?.as_f64()?,
+            par: value.get("par")?.as_f64()?,
+            d_all: value.get("d_all")?.as_f64()?,
+            d_minus: value.get("d_minus")?.as_f64()?,
+        })
+    }
+}
+
 /// Runs (or loads from cache) the full 8-algorithm × 4-network matrix
 /// shared by Tables 5, 6 and 7.
 pub fn run_matrix(scene: &SyntheticScene, params: &AlgoParams) -> Vec<MatrixEntry> {
@@ -135,7 +167,12 @@ pub fn run_matrix(scene: &SyntheticScene, params: &AlgoParams) -> Vec<MatrixEntr
         scene.cube.bands()
     ));
     if let Ok(text) = std::fs::read_to_string(&cache) {
-        if let Ok(entries) = serde_json::from_str::<Vec<MatrixEntry>>(&text) {
+        if let Some(entries) = Json::parse(&text)
+            .ok()
+            .as_ref()
+            .and_then(Json::as_array)
+            .and_then(|items| items.iter().map(MatrixEntry::from_json).collect())
+        {
             eprintln!("# loaded cached matrix from {}", cache.display());
             return entries;
         }
@@ -167,12 +204,13 @@ pub fn run_matrix(scene: &SyntheticScene, params: &AlgoParams) -> Vec<MatrixEntr
             }
         }
     }
-    let _ = std::fs::write(&cache, serde_json::to_string_pretty(&entries).unwrap());
+    let json = Json::Array(entries.iter().map(MatrixEntry::to_json).collect());
+    let _ = std::fs::write(&cache, json.pretty());
     entries
 }
 
 /// One record of the Thunderhead scalability sweep (Table 8 / Fig. 2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepEntry {
     /// Algorithm name.
     pub algorithm: String,
@@ -182,6 +220,26 @@ pub struct SweepEntry {
     pub total: f64,
     /// Sequential component.
     pub seq: f64,
+}
+
+impl SweepEntry {
+    fn to_json(&self) -> Json {
+        microjson::object(vec![
+            ("algorithm", Json::String(self.algorithm.clone())),
+            ("cpus", Json::Number(self.cpus as f64)),
+            ("total", Json::Number(self.total)),
+            ("seq", Json::Number(self.seq)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<SweepEntry> {
+        Some(SweepEntry {
+            algorithm: value.get("algorithm")?.as_str()?.to_string(),
+            cpus: value.get("cpus")?.as_usize()?,
+            total: value.get("total")?.as_f64()?,
+            seq: value.get("seq")?.as_f64()?,
+        })
+    }
 }
 
 /// Runs (or loads) the Thunderhead sweep over the paper's processor
@@ -194,7 +252,12 @@ pub fn run_thunderhead_sweep(scene: &SyntheticScene, params: &AlgoParams) -> Vec
         scene.cube.bands()
     ));
     if let Ok(text) = std::fs::read_to_string(&cache) {
-        if let Ok(entries) = serde_json::from_str::<Vec<SweepEntry>>(&text) {
+        if let Some(entries) = Json::parse(&text)
+            .ok()
+            .as_ref()
+            .and_then(Json::as_array)
+            .and_then(|items| items.iter().map(SweepEntry::from_json).collect())
+        {
             eprintln!("# loaded cached sweep from {}", cache.display());
             return entries;
         }
@@ -215,7 +278,8 @@ pub fn run_thunderhead_sweep(scene: &SyntheticScene, params: &AlgoParams) -> Vec
             });
         }
     }
-    let _ = std::fs::write(&cache, serde_json::to_string_pretty(&entries).unwrap());
+    let json = Json::Array(entries.iter().map(SweepEntry::to_json).collect());
+    let _ = std::fs::write(&cache, json.pretty());
     entries
 }
 

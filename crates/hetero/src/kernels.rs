@@ -10,6 +10,14 @@
 //!
 //! All argmax scans break ties toward the lowest `(line, sample)` in
 //! row-major order, keeping results independent of partitioning.
+//!
+//! The scan kernels (argmax family, covariance, labelling) are
+//! **data-parallel over a fixed line-chunk grid** ([`PAR_CHUNK_LINES`])
+//! with order-preserving reduction, so their outputs are bit-identical
+//! for any thread count; the thread budget is whatever `rayon` pool the
+//! caller installed (one per simulated rank under `simnet::engine`).
+//! Wall-clock speed changes, **virtual time does not**: the returned
+//! megaflop counts are analytic in the scan size either way.
 
 use crate::flops;
 use crate::msg::Candidate;
@@ -19,6 +27,29 @@ use hsi_linalg::covariance::CovarianceAccumulator;
 use hsi_linalg::lstsq::FclsProblem;
 use hsi_linalg::ortho::OrthoBasis;
 use hsi_linalg::Matrix;
+use rayon::prelude::*;
+
+/// Fixed line-chunk granularity of the data-parallel kernels.
+///
+/// The chunk grid depends only on the requested line range — never on
+/// the worker count — and chunk results are folded in chunk order, so
+/// every kernel returns bit-identical results for **any** thread count
+/// (including 1). See `docs/PERF.md` for the determinism argument.
+pub const PAR_CHUNK_LINES: usize = 8;
+
+/// Splits `[lo, hi)` into the fixed chunk grid: chunk `c` covers
+/// `[lo + c·PAR_CHUNK_LINES, min(lo + (c+1)·PAR_CHUNK_LINES, hi))`.
+#[inline]
+fn chunk_bounds(range: (usize, usize), c: usize) -> (usize, usize) {
+    let clo = range.0 + c * PAR_CHUNK_LINES;
+    ((clo), (clo + PAR_CHUNK_LINES).min(range.1))
+}
+
+/// Number of chunks covering `[lo, hi)` (0 for empty ranges).
+#[inline]
+fn chunk_count(range: (usize, usize)) -> usize {
+    range.1.saturating_sub(range.0).div_ceil(PAR_CHUNK_LINES)
+}
 
 /// A scored pixel in **local** block coordinates.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,30 +75,60 @@ impl ScoredPixel {
     }
 }
 
-fn argmax_pixels(
+/// Chunk-parallel argmax over the pixels of a line range.
+///
+/// `make_scorer` builds one (possibly stateful) scoring closure per
+/// chunk, so scorers may own scratch buffers without synchronisation.
+/// Each chunk is scanned sequentially in row-major order keeping its
+/// first strict maximum; chunk winners are then folded **in chunk
+/// order**, replacing only on a strictly greater score. Both levels use
+/// the same strict `>`, so the overall winner is exactly the first
+/// row-major maximum — identical to a sequential scan for any worker
+/// count, including on duplicate scores.
+fn argmax_pixels<S>(
     cube: &HyperCube,
     range: (usize, usize),
-    mut score_fn: impl FnMut(&[f32]) -> f64,
-) -> Option<ScoredPixel> {
-    let (lo, hi) = range;
-    let mut best: Option<ScoredPixel> = None;
-    for line in lo..hi {
-        for sample in 0..cube.samples() {
-            let s = score_fn(cube.pixel(line, sample));
-            let better = match &best {
-                None => true,
-                Some(b) => s > b.score,
-            };
-            if better {
-                best = Some(ScoredPixel {
-                    line,
-                    sample,
-                    score: s,
-                });
+    make_scorer: impl Fn() -> S + Sync,
+) -> Option<ScoredPixel>
+where
+    S: FnMut(&[f32]) -> f64,
+{
+    let bests: Vec<Option<ScoredPixel>> = (0..chunk_count(range))
+        .into_par_iter()
+        .map(|c| {
+            let (clo, chi) = chunk_bounds(range, c);
+            let mut score_fn = make_scorer();
+            let mut best: Option<ScoredPixel> = None;
+            for line in clo..chi {
+                for sample in 0..cube.samples() {
+                    let s = score_fn(cube.pixel(line, sample));
+                    let better = match &best {
+                        None => true,
+                        Some(b) => s > b.score,
+                    };
+                    if better {
+                        best = Some(ScoredPixel {
+                            line,
+                            sample,
+                            score: s,
+                        });
+                    }
+                }
             }
+            best
+        })
+        .collect();
+    let mut overall: Option<ScoredPixel> = None;
+    for b in bests.into_iter().flatten() {
+        let better = match &overall {
+            None => true,
+            Some(o) => b.score > o.score,
+        };
+        if better {
+            overall = Some(b);
         }
     }
-    best
+    overall
 }
 
 /// ATDCA step 2: the brightest pixel (`argmax xᵀx`) within lines
@@ -75,7 +136,7 @@ fn argmax_pixels(
 pub fn brightest(cube: &HyperCube, range: (usize, usize)) -> (Option<ScoredPixel>, f64) {
     let n = cube.bands();
     let pixels = (range.1 - range.0) * cube.samples();
-    let result = argmax_pixels(cube, range, brightness);
+    let result = argmax_pixels(cube, range, || brightness);
     (result, flops::mflop(flops::brightness(n) * pixels as f64))
 }
 
@@ -89,12 +150,14 @@ pub fn max_projection(
     let n = cube.bands();
     let k = basis.len();
     let pixels = (range.1 - range.0) * cube.samples();
-    let mut buf = vec![0.0f64; n];
-    let result = argmax_pixels(cube, range, |px| {
-        for (b, &v) in buf.iter_mut().zip(px) {
-            *b = v as f64;
+    let result = argmax_pixels(cube, range, || {
+        let mut buf = vec![0.0f64; n];
+        move |px: &[f32]| {
+            for (b, &v) in buf.iter_mut().zip(px) {
+                *b = v as f64;
+            }
+            basis.complement_score(&buf)
         }
-        basis.complement_score(&buf)
     });
     (
         result,
@@ -112,11 +175,13 @@ pub fn max_fcls_error(
     let n = cube.bands();
     let t = problem.num_endmembers();
     let pixels = (range.1 - range.0) * cube.samples();
-    let result = argmax_pixels(cube, range, |px| {
-        problem
-            .solve_f32(px)
-            .map(|u| u.residual_sq)
-            .unwrap_or(f64::NEG_INFINITY)
+    let result = argmax_pixels(cube, range, || {
+        |px: &[f32]| {
+            problem
+                .solve_f32(px)
+                .map(|u| u.residual_sq)
+                .unwrap_or(f64::NEG_INFINITY)
+        }
     });
     (result, flops::mflop(flops::fcls(n, t) * pixels as f64))
 }
@@ -172,16 +237,32 @@ pub fn unique_set(
 }
 
 /// PCT steps 4–5: accumulates the block's mean/covariance partial sums.
+///
+/// Each fixed line chunk feeds the cache-blocked
+/// [`CovarianceAccumulator::push_pixels_f32`] over its contiguous BIP
+/// region; chunk partials are merged **in chunk order**, so the result
+/// is identical for any thread count. (The chunked summation groups
+/// floating-point additions differently from a single unchunked stream,
+/// but virtual-time accounting is analytic in the pixel count, so
+/// experiment timings are unaffected — see `docs/PERF.md`.)
 pub fn covariance_partial(cube: &HyperCube, range: (usize, usize)) -> (CovarianceAccumulator, f64) {
     let n = cube.bands();
     let (lo, hi) = range;
+    let stride = cube.samples() * n;
+    let partials: Vec<CovarianceAccumulator> = (0..chunk_count(range))
+        .into_par_iter()
+        .map(|c| {
+            let (clo, chi) = chunk_bounds(range, c);
+            let mut acc = CovarianceAccumulator::new(n);
+            acc.push_pixels_f32(&cube.as_slice()[clo * stride..chi * stride]);
+            acc
+        })
+        .collect();
     let mut acc = CovarianceAccumulator::new(n);
-    for line in lo..hi {
-        for sample in 0..cube.samples() {
-            acc.push_f32(cube.pixel(line, sample));
-        }
+    for p in &partials {
+        acc.merge(p).expect("covariance_partial: same dim");
     }
-    let pixels = (hi - lo) * cube.samples();
+    let pixels = hi.saturating_sub(lo) * cube.samples();
     (
         acc,
         flops::mflop(flops::covariance_accumulate(n) * pixels as f64),
@@ -201,8 +282,6 @@ pub fn pct_label(
     let n = cube.bands();
     let c = transform.rows();
     let (lo, hi) = range;
-    let mut labels = Vec::with_capacity((hi - lo) * cube.samples());
-    let mut centred = vec![0.0f64; n];
     let mut reps32: Vec<Vec<f32>> = class_reps
         .iter()
         .map(|r| r.iter().map(|&v| v as f32).collect())
@@ -211,20 +290,31 @@ pub fn pct_label(
     if reps32.is_empty() {
         reps32.push(vec![0.0; c]);
     }
-    for line in lo..hi {
-        for sample in 0..cube.samples() {
-            let px = cube.pixel(line, sample);
-            for (i, &v) in px.iter().enumerate() {
-                centred[i] = v as f64 - mean[i];
+    let reps32 = &reps32;
+    let chunks: Vec<Vec<u16>> = (0..chunk_count(range))
+        .into_par_iter()
+        .map(|ci| {
+            let (clo, chi) = chunk_bounds(range, ci);
+            let mut part = Vec::with_capacity((chi - clo) * cube.samples());
+            let mut centred = vec![0.0f64; n];
+            for line in clo..chi {
+                for sample in 0..cube.samples() {
+                    let px = cube.pixel(line, sample);
+                    for (i, &v) in px.iter().enumerate() {
+                        centred[i] = v as f64 - mean[i];
+                    }
+                    let projected = transform
+                        .matvec(&centred)
+                        .expect("pct_label: transform shape");
+                    let proj32: Vec<f32> = projected.iter().map(|&v| v as f32).collect();
+                    let best = hsi_cube::metrics::nearest_by_sad(&proj32, reps32).unwrap_or(0);
+                    part.push(best as u16);
+                }
             }
-            let projected = transform
-                .matvec(&centred)
-                .expect("pct_label: transform shape");
-            let proj32: Vec<f32> = projected.iter().map(|&v| v as f32).collect();
-            let best = hsi_cube::metrics::nearest_by_sad(&proj32, &reps32).unwrap_or(0);
-            labels.push(best as u16);
-        }
-    }
+            part
+        })
+        .collect();
+    let labels = chunks.concat();
     let pixels = (hi - lo) * cube.samples();
     let mflops = flops::mflop(
         (flops::pct_transform(n, c) + flops::pct_classify(c, class_reps.len().max(1)))
@@ -238,14 +328,22 @@ pub fn pct_label(
 pub fn sad_label(cube: &HyperCube, range: (usize, usize), classes: &[Vec<f32>]) -> (Vec<u16>, f64) {
     let n = cube.bands();
     let (lo, hi) = range;
-    let mut labels = Vec::with_capacity((hi - lo) * cube.samples());
-    for line in lo..hi {
-        for sample in 0..cube.samples() {
-            let best =
-                hsi_cube::metrics::nearest_by_sad(cube.pixel(line, sample), classes).unwrap_or(0);
-            labels.push(best as u16);
-        }
-    }
+    let chunks: Vec<Vec<u16>> = (0..chunk_count(range))
+        .into_par_iter()
+        .map(|ci| {
+            let (clo, chi) = chunk_bounds(range, ci);
+            let mut part = Vec::with_capacity((chi - clo) * cube.samples());
+            for line in clo..chi {
+                for sample in 0..cube.samples() {
+                    let best = hsi_cube::metrics::nearest_by_sad(cube.pixel(line, sample), classes)
+                        .unwrap_or(0);
+                    part.push(best as u16);
+                }
+            }
+            part
+        })
+        .collect();
+    let labels = chunks.concat();
     let pixels = (hi - lo) * cube.samples();
     (
         labels,

@@ -81,6 +81,57 @@ impl CovarianceAccumulator {
         }
     }
 
+    /// Accumulates a batch of `f32` samples stored back-to-back
+    /// (`data.len()` must be a multiple of `dim`), **bit-identically**
+    /// to calling [`Self::push_f32`] once per sample.
+    ///
+    /// This is the cache-blocked SYRK-style path: samples are processed
+    /// in panels of [`Self::PANEL`] pixels, widened to `f64` once per
+    /// panel (instead of once per multiply as in the scalar loop), and
+    /// the triangular update runs band-row by band-row so the active
+    /// `cross` row (≤ `dim` f64s) stays L1-resident across the panel
+    /// while the scalar path re-streams the whole `O(dim²/2)` triangle
+    /// from outer cache for every pixel. Within each `cross[k]` and
+    /// `sum[i]` element the additions still happen in sample order, so
+    /// the floating-point result is exactly that of the per-sample loop.
+    pub fn push_pixels_f32(&mut self, data: &[f32]) {
+        let d = self.dim;
+        assert!(
+            d > 0 && data.len().is_multiple_of(d),
+            "push_pixels_f32: data length {} not a multiple of dim {d}",
+            data.len()
+        );
+        let mut scratch = vec![0.0f64; Self::PANEL * d];
+        for panel in data.chunks(Self::PANEL * d) {
+            let pixels = panel.len() / d;
+            for (dst, &src) in scratch.iter_mut().zip(panel) {
+                *dst = src as f64;
+            }
+            self.count += pixels as u64;
+            let mut base = 0;
+            for i in 0..d {
+                let width = d - i;
+                let crow = &mut self.cross[base..base + width];
+                let mut si = self.sum[i];
+                for p in 0..pixels {
+                    let row = &scratch[p * d..p * d + d];
+                    let xi = row[i];
+                    si += xi;
+                    for (c, &xj) in crow.iter_mut().zip(&row[i..]) {
+                        *c += xi * xj;
+                    }
+                }
+                self.sum[i] = si;
+                base += width;
+            }
+        }
+    }
+
+    /// Panel width (pixels) of the blocked [`Self::push_pixels_f32`]
+    /// update: `PANEL × dim` f64 scratch ≈ 28 KB at 224 bands, sized to
+    /// sit inside L1/L2 alongside the active `cross` row.
+    pub const PANEL: usize = 16;
+
     /// Merges another accumulator into this one (the master's combine step).
     pub fn merge(&mut self, other: &CovarianceAccumulator) -> Result<()> {
         if other.dim != self.dim {
@@ -263,6 +314,47 @@ mod tests {
         b.push_f32(&[0.5_f32, 0.25_f32]);
         assert_eq!(a.count(), b.count());
         assert_eq!(a.mean().unwrap(), b.mean().unwrap());
+    }
+
+    #[test]
+    fn blocked_push_is_bit_identical_to_scalar() {
+        // The blocked panel update must match per-sample accumulation
+        // bit for bit, including across panel boundaries (> PANEL
+        // samples) and for ragged final panels.
+        let dim = 7;
+        let samples = CovarianceAccumulator::PANEL * 2 + 3;
+        let mut state: u64 = 7;
+        let data: Vec<f32> = (0..samples * dim)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32) / (1 << 24) as f32
+            })
+            .collect();
+        let mut scalar = CovarianceAccumulator::new(dim);
+        for px in data.chunks(dim) {
+            scalar.push_f32(px);
+        }
+        let mut blocked = CovarianceAccumulator::new(dim);
+        blocked.push_pixels_f32(&data);
+        assert_eq!(scalar, blocked, "blocked update drifted from scalar");
+    }
+
+    #[test]
+    fn blocked_push_accepts_empty_and_single() {
+        let mut acc = CovarianceAccumulator::new(3);
+        acc.push_pixels_f32(&[]);
+        assert_eq!(acc.count(), 0);
+        acc.push_pixels_f32(&[1.0, 2.0, 3.0]);
+        let mut one = CovarianceAccumulator::new(3);
+        one.push_f32(&[1.0, 2.0, 3.0]);
+        assert_eq!(acc, one);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of dim")]
+    fn blocked_push_rejects_ragged_data() {
+        let mut acc = CovarianceAccumulator::new(3);
+        acc.push_pixels_f32(&[1.0, 2.0]);
     }
 
     #[test]

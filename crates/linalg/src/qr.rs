@@ -125,8 +125,8 @@ impl QrDecomposition {
         let scale = self.r.max_abs().max(f64::MIN_POSITIVE);
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.r[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.r[(i, j)] * xj;
             }
             let d = self.r[(i, i)];
             if d.abs() < 1e-13 * scale {

@@ -11,6 +11,35 @@
 use crate::se::StructuringElement;
 use hsi_cube::metrics::sad;
 use hsi_cube::HyperCube;
+use rayon::prelude::*;
+
+/// Fixed line-chunk granularity of the parallel morphology kernels.
+/// The grid depends only on the image height, never on the thread
+/// count, and chunk results are concatenated in index order — so every
+/// operation is bit-identical to its sequential scan.
+pub(crate) const PAR_CHUNK_LINES: usize = 8;
+
+/// Runs `per_line` over every line in fixed chunks (parallel across
+/// chunks, sequential within), concatenating the per-line outputs in
+/// line order.
+pub(crate) fn par_lines_flat_map<T: Send>(
+    lines: usize,
+    per_line: impl Fn(usize, &mut Vec<T>) + Sync,
+) -> Vec<T> {
+    let chunks: Vec<Vec<T>> = (0..lines.div_ceil(PAR_CHUNK_LINES))
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * PAR_CHUNK_LINES;
+            let hi = (lo + PAR_CHUNK_LINES).min(lines);
+            let mut part = Vec::new();
+            for line in lo..hi {
+                per_line(line, &mut part);
+            }
+            part
+        })
+        .collect();
+    chunks.into_iter().flatten().collect()
+}
 
 /// Clamps `(line, sample)` + offset to the image, returning valid
 /// coordinates under edge replication.
@@ -41,15 +70,16 @@ pub fn cumdist_at(cube: &HyperCube, se: &StructuringElement, line: usize, sample
 /// `D_B` for every pixel, as a row-major map.
 ///
 /// This is the hot kernel of the MORPH family: `|B|` SAD evaluations per
-/// pixel. Complexity `O(lines × samples × |B| × bands)`.
+/// pixel. Complexity `O(lines × samples × |B| × bands)`. Line chunks are
+/// computed in parallel (each pixel's `D_B` is independent) and
+/// concatenated in line order, so the map is bit-identical to a
+/// sequential scan for any thread count.
 pub fn cumdist_map(cube: &HyperCube, se: &StructuringElement) -> Vec<f64> {
-    let mut map = Vec::with_capacity(cube.num_pixels());
-    for line in 0..cube.lines() {
+    par_lines_flat_map(cube.lines(), |line, part| {
         for sample in 0..cube.samples() {
-            map.push(cumdist_at(cube, se, line, sample));
+            part.push(cumdist_at(cube, se, line, sample));
         }
-    }
-    map
+    })
 }
 
 #[cfg(test)]

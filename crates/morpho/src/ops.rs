@@ -16,7 +16,7 @@
 //! and then ranks neighbourhoods by table lookup — the standard
 //! factorisation; the cost model in `hetero-hsi` mirrors it.
 
-use crate::cumdist::{clamped, cumdist_map};
+use crate::cumdist::{clamped, cumdist_map, par_lines_flat_map};
 use crate::se::StructuringElement;
 use hsi_cube::HyperCube;
 
@@ -53,6 +53,11 @@ impl Selection {
 
 /// Runs erosion or dilation given a precomputed `D_B` map (so callers
 /// doing both per iteration — like MEI — pay for the map once).
+///
+/// Output pixels are independent, so line chunks run in parallel and
+/// concatenate in line order: the selection (including the documented
+/// sorted-offset tie-break, which is purely per-pixel) is bit-identical
+/// to a sequential scan for any thread count.
 pub fn select_with_map(
     cube: &HyperCube,
     se: &StructuringElement,
@@ -61,8 +66,7 @@ pub fn select_with_map(
 ) -> Selection {
     assert_eq!(dist.len(), cube.num_pixels(), "select: wrong map size");
     let samples = cube.samples();
-    let mut coords = Vec::with_capacity(cube.num_pixels());
-    for line in 0..cube.lines() {
+    let coords = par_lines_flat_map(cube.lines(), |line, part| {
         for sample in 0..samples {
             let mut best: Option<((usize, usize), f64)> = None;
             for &(dl, ds) in se.offsets() {
@@ -77,9 +81,9 @@ pub fn select_with_map(
                     best = Some(((l, s), d));
                 }
             }
-            coords.push(best.expect("SE is never empty").0);
+            part.push(best.expect("SE is never empty").0);
         }
-    }
+    });
     Selection {
         coords,
         lines: cube.lines(),
@@ -99,18 +103,18 @@ pub fn dilation(cube: &HyperCube, se: &StructuringElement) -> Selection {
     select_with_map(cube, se, &map, Extremum::Max)
 }
 
-/// Materialises the cube `G` with `G(x,y) = F(selection.at(x,y))`.
+/// Materialises the cube `G` with `G(x,y) = F(selection.at(x,y))`
+/// (gather parallelised over line chunks; pure copies, so the output is
+/// exactly the sequential one).
 pub fn apply_selection(cube: &HyperCube, sel: &Selection) -> HyperCube {
     assert_eq!(sel.shape(), (cube.lines(), cube.samples()));
-    let mut out = HyperCube::zeros(cube.lines(), cube.samples(), cube.bands());
-    for line in 0..cube.lines() {
+    let data = par_lines_flat_map(cube.lines(), |line, part: &mut Vec<f32>| {
         for sample in 0..cube.samples() {
             let (l, s) = sel.at(line, sample);
-            out.pixel_mut(line, sample)
-                .copy_from_slice(cube.pixel(l, s));
+            part.extend_from_slice(cube.pixel(l, s));
         }
-    }
-    out
+    });
+    HyperCube::from_vec(cube.lines(), cube.samples(), cube.bands(), data)
 }
 
 #[cfg(test)]

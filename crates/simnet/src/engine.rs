@@ -278,6 +278,9 @@ impl<M: Wire> Ctx<M> {
 pub struct Engine {
     platform: Arc<Platform>,
     config: CommConfig,
+    /// Explicit data-parallel width per rank thread; `None` = automatic
+    /// (`host cores / ranks`, clamped to at least 1).
+    threads_per_rank: Option<usize>,
 }
 
 impl Engine {
@@ -290,6 +293,7 @@ impl Engine {
         Engine {
             platform: Arc::new(platform),
             config,
+            threads_per_rank: None,
         }
     }
 
@@ -298,7 +302,34 @@ impl Engine {
         Engine {
             platform: Arc::new(platform),
             config,
+            threads_per_rank: None,
         }
+    }
+
+    /// Sets the data-parallel thread budget each rank installs for its
+    /// kernels (the shared `rayon` pool width per rank thread). `0`
+    /// restores the automatic default — `host cores / ranks`, clamped
+    /// to at least 1 — which keeps `ranks × threads_per_rank ≤ cores`
+    /// so real compute never oversubscribes the host.
+    ///
+    /// The setting affects **wall-clock speed only**: every kernel in
+    /// this workspace is bit-deterministic across thread counts, and
+    /// virtual-time charging is analytic, so reports are identical for
+    /// any value (asserted by the `parallel_invariance` tests).
+    pub fn with_threads_per_rank(mut self, threads: usize) -> Self {
+        self.threads_per_rank = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
+    /// The data-parallel width each rank will install: the explicit
+    /// [`Self::with_threads_per_rank`] value, or the automatic default.
+    pub fn threads_per_rank(&self) -> usize {
+        self.threads_per_rank.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            (cores / self.platform.num_procs()).max(1)
+        })
     }
 
     /// The platform this engine simulates.
@@ -357,6 +388,7 @@ impl Engine {
             senders.push(row);
         }
         let links = Arc::new(InterSegmentLinks::new());
+        let width = self.threads_per_rank();
 
         let mut outcomes: Vec<Option<(TimeLedger, R)>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -368,6 +400,15 @@ impl Engine {
                 let program = &program;
                 let trace = trace.clone();
                 handles.push(scope.spawn(move || {
+                    // Each rank installs a size-bounded kernel pool, so
+                    // rank-level and data-level parallelism compose
+                    // without oversubscription (ranks × width ≤ cores by
+                    // default). Kernel results don't depend on the
+                    // width, only wall-clock time does.
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(width)
+                        .build()
+                        .expect("engine: kernel pool");
                     let mut ctx = Ctx {
                         rank,
                         platform,
@@ -378,7 +419,7 @@ impl Engine {
                         rxs,
                         trace,
                     };
-                    let result = program(&mut ctx);
+                    let result = pool.install(|| program(&mut ctx));
                     (ctx.ledger, result)
                 }));
             }

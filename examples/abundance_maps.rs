@@ -60,7 +60,10 @@ fn main() {
 
     for class in [6usize, 7] {
         // Gypsum wall board and Vegetation: visually distinctive classes.
-        println!("\nabundance of {:?} (FCLS, darker = less):", scene.class_names[class]);
+        println!(
+            "\nabundance of {:?} (FCLS, darker = less):",
+            scene.class_names[class]
+        );
         render(&abundances[class], 1.0);
     }
 
@@ -70,7 +73,10 @@ fn main() {
 
     println!("\nthermal hot spots (should coincide with the residual peaks):");
     for t in &scene.targets {
-        println!("  '{}' at (line {:>2}, sample {:>2})", t.name, t.coord.0, t.coord.1);
+        println!(
+            "  '{}' at (line {:>2}, sample {:>2})",
+            t.name, t.coord.0, t.coord.1
+        );
     }
 
     // Quantitative check: mean abundance of each debris class inside its
@@ -79,10 +85,10 @@ fn main() {
     for (class, name) in scene.class_names.iter().enumerate() {
         let mut sum = 0.0;
         let mut count = 0usize;
-        for i in 0..cube.num_pixels() {
+        for (i, &a) in abundances[class].iter().enumerate() {
             let (l, s) = cube.coord_of(i);
             if scene.truth.get(l, s) as usize == class {
-                sum += abundances[class][i];
+                sum += a;
                 count += 1;
             }
         }

@@ -1,0 +1,211 @@
+//! Property tests for the data-parallel kernel layer: every parallel
+//! kernel must be **bit-identical** to its sequential scan for any
+//! thread count, any cube geometry (hence any chunk-grid alignment),
+//! and in particular on duplicate scores, where the documented
+//! lowest-`(line, sample)` tie-break must survive parallel reduction.
+//!
+//! The chunk grid is fixed (`PAR_CHUNK_LINES` lines per chunk,
+//! independent of worker count) and chunk results merge in index order,
+//! so width-invariance plus a width-1 sequential reference pins the
+//! exact scalar semantics.
+
+use heterospec::cube::HyperCube;
+use heterospec::hetero::kernels;
+use heterospec::linalg::covariance::CovarianceAccumulator;
+use heterospec::linalg::ortho::OrthoBasis;
+use heterospec::linalg::Matrix;
+use heterospec::morpho::cumdist::cumdist_map;
+use heterospec::morpho::ops::{dilation, erosion};
+use heterospec::morpho::StructuringElement;
+use proptest::prelude::*;
+
+/// Geometry ceilings: small enough to keep the suite fast, large enough
+/// that cubes straddle chunk boundaries (`PAR_CHUNK_LINES` = 8) both
+/// evenly and with ragged tails.
+const MAX_LINES: usize = 21;
+const MAX_SAMPLES: usize = 6;
+const MAX_BANDS: usize = 5;
+const MAX_VALS: usize = MAX_LINES * MAX_SAMPLES * MAX_BANDS;
+
+/// Thread widths exercised against the width-1 reference: even, odd,
+/// and oversubscribed relative to the chunk count.
+const WIDTHS: [usize; 3] = [2, 3, 8];
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("test pool")
+}
+
+/// Builds a cube of the given geometry from a prefix of `vals`.
+fn cube_from(vals: &[f32], lines: usize, samples: usize, bands: usize) -> HyperCube {
+    HyperCube::from_vec(
+        lines,
+        samples,
+        bands,
+        vals[..lines * samples * bands].to_vec(),
+    )
+}
+
+/// Folds raw `(lo, span)` draws into a valid line sub-range of `lines`.
+fn line_range(lines: usize, lo: usize, span: usize) -> (usize, usize) {
+    let lo = lo % lines;
+    let span = 1 + span % (lines - lo);
+    (lo, lo + span)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The argmax scans (brightness, orthogonal projection) return the
+    /// same winner — score *and* coordinates — at every width.
+    #[test]
+    fn argmax_kernels_width_invariant(
+        vals in proptest::collection::vec(0.0f32..1.0, MAX_VALS),
+        lines in 1usize..=MAX_LINES,
+        samples in 1usize..=MAX_SAMPLES,
+        bands in 2usize..=MAX_BANDS,
+        lo in 0usize..MAX_LINES,
+        span in 0usize..MAX_LINES,
+    ) {
+        let cube = cube_from(&vals, lines, samples, bands);
+        let range = line_range(lines, lo, span);
+        let mut basis = OrthoBasis::new(bands);
+        let first: Vec<f64> = cube.pixel(0, 0).iter().map(|&v| v as f64).collect();
+        basis.push(&first);
+        let bright = pool(1).install(|| kernels::brightest(&cube, range).0);
+        let proj = pool(1).install(|| kernels::max_projection(&cube, &basis, range).0);
+        for w in WIDTHS {
+            let p = pool(w);
+            prop_assert_eq!(p.install(|| kernels::brightest(&cube, range).0), bright.clone());
+            prop_assert_eq!(
+                p.install(|| kernels::max_projection(&cube, &basis, range).0),
+                proj.clone()
+            );
+        }
+    }
+
+    /// Duplicate scores: on a constant cube every pixel ties, so the
+    /// winner must be the *first* pixel of the range in row-major order
+    /// — at every width.
+    #[test]
+    fn argmax_tie_break_survives_parallelism(
+        lines in 1usize..=MAX_LINES,
+        samples in 1usize..=MAX_SAMPLES,
+        bands in 2usize..=MAX_BANDS,
+        lo in 0usize..MAX_LINES,
+        span in 0usize..MAX_LINES,
+        level in 0.1f32..1.0,
+    ) {
+        let cube = HyperCube::from_vec(
+            lines, samples, bands, vec![level; lines * samples * bands]);
+        let range = line_range(lines, lo, span);
+        for w in [1, 2, 3, 8] {
+            let best = pool(w)
+                .install(|| kernels::brightest(&cube, range).0)
+                .expect("non-empty range");
+            prop_assert_eq!((best.line, best.sample), (range.0, 0), "width {}", w);
+        }
+    }
+
+    /// The covariance path is bit-identical three ways: blocked panel
+    /// update vs per-pixel scalar pushes, arbitrary pixel-boundary
+    /// splits of the blocked update, and the chunk-parallel kernel
+    /// across widths.
+    #[test]
+    fn covariance_blocked_split_and_parallel_identical(
+        vals in proptest::collection::vec(-1.0f32..1.0, MAX_VALS),
+        lines in 1usize..=MAX_LINES,
+        samples in 1usize..=MAX_SAMPLES,
+        bands in 2usize..=MAX_BANDS,
+        split in 0usize..MAX_VALS,
+    ) {
+        let cube = cube_from(&vals, lines, samples, bands);
+        let mut scalar = CovarianceAccumulator::new(bands);
+        for i in 0..cube.num_pixels() {
+            scalar.push_f32(cube.pixel_flat(i));
+        }
+        let mut blocked = CovarianceAccumulator::new(bands);
+        blocked.push_pixels_f32(cube.as_slice());
+        prop_assert_eq!(&scalar, &blocked);
+        // Any pixel-boundary split feeds the same per-element
+        // accumulation order, so halves == whole exactly.
+        let cut = (split % (cube.num_pixels() + 1)) * bands;
+        let mut halves = CovarianceAccumulator::new(bands);
+        halves.push_pixels_f32(&cube.as_slice()[..cut]);
+        halves.push_pixels_f32(&cube.as_slice()[cut..]);
+        prop_assert_eq!(&scalar, &halves);
+        // The chunk-parallel kernel regroups sums at chunk seams, but
+        // the grid is width-independent: identical at every width.
+        let reference = pool(1).install(|| kernels::covariance_partial(&cube, (0, lines)).0);
+        for w in WIDTHS {
+            let got = pool(w).install(|| kernels::covariance_partial(&cube, (0, lines)).0);
+            prop_assert_eq!(&got, &reference, "width {}", w);
+        }
+    }
+
+    /// The classification scans (PCT feature-space labels, full-space
+    /// SAD labels) emit identical label vectors at every width.
+    #[test]
+    fn label_kernels_width_invariant(
+        vals in proptest::collection::vec(0.01f32..1.0, MAX_VALS),
+        lines in 1usize..=MAX_LINES,
+        samples in 1usize..=MAX_SAMPLES,
+        bands in 2usize..=MAX_BANDS,
+        lo in 0usize..MAX_LINES,
+        span in 0usize..MAX_LINES,
+    ) {
+        let cube = cube_from(&vals, lines, samples, bands);
+        let range = line_range(lines, lo, span);
+        let classes: Vec<Vec<f32>> = vec![
+            cube.pixel(0, 0).to_vec(),
+            cube.pixel(lines - 1, samples - 1).to_vec(),
+        ];
+        // A 2-component "transform": first two coordinate projections.
+        let mut rows = vec![vec![0.0f64; bands]; 2];
+        rows[0][0] = 1.0;
+        rows[1][bands - 1] = 1.0;
+        let transform = Matrix::from_rows(&[&rows[0], &rows[1]]);
+        let mean = vec![0.5f64; bands];
+        let reps: Vec<Vec<f64>> = vec![vec![0.1, 0.2], vec![0.4, 0.1]];
+        let sad_ref = pool(1).install(|| kernels::sad_label(&cube, range, &classes).0);
+        let pct_ref =
+            pool(1).install(|| kernels::pct_label(&cube, range, &transform, &mean, &reps).0);
+        for w in WIDTHS {
+            let p = pool(w);
+            prop_assert_eq!(
+                p.install(|| kernels::sad_label(&cube, range, &classes).0),
+                sad_ref.clone()
+            );
+            prop_assert_eq!(
+                p.install(|| kernels::pct_label(&cube, range, &transform, &mean, &reps).0),
+                pct_ref.clone()
+            );
+        }
+    }
+
+    /// Morphology — the cumulative-SAD map and both selections
+    /// (including the sorted-offset tie-break on equal distances) — is
+    /// width-invariant.
+    #[test]
+    fn morphology_width_invariant(
+        vals in proptest::collection::vec(0.01f32..1.0, MAX_VALS),
+        lines in 1usize..=MAX_LINES,
+        samples in 1usize..=MAX_SAMPLES,
+        bands in 2usize..=MAX_BANDS,
+        radius in 1usize..=2,
+    ) {
+        let cube = cube_from(&vals, lines, samples, bands);
+        let se = StructuringElement::square(radius);
+        let map_ref = pool(1).install(|| cumdist_map(&cube, &se));
+        let ero_ref = pool(1).install(|| erosion(&cube, &se));
+        let dil_ref = pool(1).install(|| dilation(&cube, &se));
+        for w in WIDTHS {
+            let p = pool(w);
+            prop_assert_eq!(p.install(|| cumdist_map(&cube, &se)), map_ref.clone());
+            prop_assert_eq!(p.install(|| erosion(&cube, &se)), ero_ref.clone());
+            prop_assert_eq!(p.install(|| dilation(&cube, &se)), dil_ref.clone());
+        }
+    }
+}

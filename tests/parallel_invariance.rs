@@ -1,0 +1,130 @@
+//! Regression: the kernel-thread pool must be **invisible** to the
+//! virtual-time simulation. Every experiment output (the quantities
+//! behind Tables 3–8 and Figures 1–2 — total times, COM/SEQ/PAR
+//! decompositions, imbalance ratios, per-rank ledgers) and every
+//! analysis result must be byte-identical whether the engine runs its
+//! rank programs on 1 kernel thread or many.
+//!
+//! Virtual time is analytic (Mflop counts × per-processor cycle times),
+//! and the data-parallel kernels are bit-identical to their sequential
+//! scans — so *exact* equality is the contract, not approximate.
+
+use heterospec::cube::synth::{wtc_scene, WtcConfig};
+use heterospec::hetero::config::{AlgoParams, RunOptions};
+use heterospec::simnet::engine::Engine;
+use heterospec::simnet::presets;
+
+fn scene() -> heterospec::cube::synth::SyntheticScene {
+    wtc_scene(WtcConfig {
+        lines: 48,
+        samples: 32,
+        bands: 32,
+        ..Default::default()
+    })
+}
+
+fn params() -> AlgoParams {
+    AlgoParams {
+        num_targets: 4,
+        morph_iterations: 2,
+        ..Default::default()
+    }
+}
+
+/// Bitwise equality of two run reports: ledgers, totals, decomposition,
+/// imbalance.
+fn assert_reports_identical(
+    a: &heterospec::simnet::report::RunReport<()>,
+    b: &heterospec::simnet::report::RunReport<()>,
+    what: &str,
+) {
+    assert_eq!(a.total_time, b.total_time, "{what}: total_time");
+    assert_eq!(a.ledgers, b.ledgers, "{what}: per-rank ledgers");
+    let (da, db) = (a.decomposition(), b.decomposition());
+    assert_eq!(
+        (da.com, da.seq, da.par),
+        (db.com, db.seq, db.par),
+        "{what}: COM/SEQ/PAR decomposition"
+    );
+    let (ia, ib) = (a.imbalance(), b.imbalance());
+    assert_eq!(
+        (ia.d_all, ia.d_minus),
+        (ib.d_all, ib.d_minus),
+        "{what}: imbalance ratios"
+    );
+}
+
+fn engines() -> (Engine, Engine) {
+    (
+        Engine::new(presets::fully_heterogeneous()).with_threads_per_rank(1),
+        Engine::new(presets::fully_heterogeneous()).with_threads_per_rank(4),
+    )
+}
+
+#[test]
+fn atdca_virtual_time_unchanged_by_kernel_threads() {
+    let s = scene();
+    let p = params();
+    let (e1, e4) = engines();
+    for options in [RunOptions::hetero(), RunOptions::homo()] {
+        let a = heterospec::hetero::par::atdca::run(&e1, &s.cube, &p, &options);
+        let b = heterospec::hetero::par::atdca::run(&e4, &s.cube, &p, &options);
+        assert_eq!(a.result, b.result, "ATDCA targets");
+        assert_reports_identical(&a.report, &b.report, "ATDCA");
+    }
+}
+
+#[test]
+fn ufcls_virtual_time_unchanged_by_kernel_threads() {
+    let s = scene();
+    let p = params();
+    let (e1, e4) = engines();
+    let a = heterospec::hetero::par::ufcls::run(&e1, &s.cube, &p, &RunOptions::hetero());
+    let b = heterospec::hetero::par::ufcls::run(&e4, &s.cube, &p, &RunOptions::hetero());
+    assert_eq!(a.result, b.result, "UFCLS targets");
+    assert_reports_identical(&a.report, &b.report, "UFCLS");
+}
+
+#[test]
+fn pct_virtual_time_unchanged_by_kernel_threads() {
+    let s = scene();
+    let p = params();
+    let (e1, e4) = engines();
+    let a = heterospec::hetero::par::pct::run(&e1, &s.cube, &p, &RunOptions::hetero());
+    let b = heterospec::hetero::par::pct::run(&e4, &s.cube, &p, &RunOptions::hetero());
+    assert_eq!(a.result.0, b.result.0, "PCT label image");
+    assert_eq!(a.result.1.mean, b.result.1.mean, "PCT mean");
+    assert_eq!(
+        a.result.1.class_reps, b.result.1.class_reps,
+        "PCT class representatives"
+    );
+    assert_reports_identical(&a.report, &b.report, "PCT");
+}
+
+#[test]
+fn morph_virtual_time_unchanged_by_kernel_threads() {
+    let s = scene();
+    let p = params();
+    let (e1, e4) = engines();
+    let a = heterospec::hetero::par::morph::run(&e1, &s.cube, &p, &RunOptions::hetero());
+    let b = heterospec::hetero::par::morph::run(&e4, &s.cube, &p, &RunOptions::hetero());
+    assert_eq!(a.result.0, b.result.0, "MORPH label image");
+    assert_eq!(a.result.1, b.result.1, "MORPH endmember spectra");
+    assert_reports_identical(&a.report, &b.report, "MORPH");
+}
+
+/// The automatic thread width (`cores / ranks`, clamped to ≥ 1) is what
+/// `Engine::new` uses; pinning it explicitly must not change anything
+/// either.
+#[test]
+fn default_width_matches_explicit() {
+    let s = scene();
+    let p = params();
+    let auto = Engine::new(presets::fully_heterogeneous());
+    let pinned =
+        Engine::new(presets::fully_heterogeneous()).with_threads_per_rank(auto.threads_per_rank());
+    let a = heterospec::hetero::par::atdca::run(&auto, &s.cube, &p, &RunOptions::hetero());
+    let b = heterospec::hetero::par::atdca::run(&pinned, &s.cube, &p, &RunOptions::hetero());
+    assert_eq!(a.result, b.result);
+    assert_reports_identical(&a.report, &b.report, "ATDCA auto-vs-pinned");
+}

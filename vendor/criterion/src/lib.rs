@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's `harness = false` benches compiling and
+//! runnable without crates.io. Each `bench_function` runs a short
+//! warm-up, then measures for a fixed wall-clock budget and prints the
+//! mean iteration time — no statistics, plots or baselines. Honest
+//! numbers for quick comparisons; the machine-readable perf trajectory
+//! lives in `BENCH_kernels.json` (see `crates/bench`).
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    group: Option<String>,
+}
+
+impl Criterion {
+    /// Starts a named group; names prefix the contained benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = match &self.group {
+            Some(group) => format!("{group}/{}", id.as_ref()),
+            None => id.as_ref().to_string(),
+        };
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_secs_f64() * 1e9 / bencher.iters as f64
+        };
+        println!(
+            "bench {label:<50} {:>12.1} ns/iter ({} iters)",
+            mean_ns, bencher.iters
+        );
+        self
+    }
+}
+
+/// A benchmark group (shim: only a name prefix).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (the shim has no statistical sampling).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let previous = self.criterion.group.replace(self.name.clone());
+        self.criterion.bench_function(id, f);
+        self.criterion.group = previous;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to the closure of `bench_function`; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly: short warm-up, then a fixed budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < MEASURE {
+            black_box(f());
+            iters += 1;
+        }
+        self.elapsed = started.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Declares the benchmark entry list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(10);
+        g.bench_function("add", |b| b.iter(|| black_box(2) + black_box(3)));
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn runs_to_completion() {
+        benches();
+    }
+}

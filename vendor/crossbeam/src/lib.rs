@@ -1,0 +1,230 @@
+//! Offline stand-in for the `crossbeam` crate: only `crossbeam::channel`
+//! with unbounded MPMC channels, which is all `simnet` uses.
+//!
+//! Disconnection semantics match crossbeam's: `recv` drains queued
+//! messages even after all senders dropped, then errors; `send` errors
+//! when every receiver is gone. Both endpoints are `Clone`.
+
+pub mod channel {
+    //! Unbounded MPMC channel on `Mutex<VecDeque>` + `Condvar`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half (cloneable).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half (cloneable).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the rejected message like crossbeam's.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; errors only when every receiver has dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            queue.push_back(msg);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake all blocked receivers so they can
+                // observe the disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender has dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+
+        /// Non-blocking receive: `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..100 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn recv_errors_after_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1)); // drains the queue first
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_receivers_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn blocking_recv_wakes_on_send() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(99u32).unwrap();
+            assert_eq!(handle.join().unwrap(), 99);
+        }
+
+        #[test]
+        fn blocking_recv_wakes_on_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let handle = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(tx);
+            assert_eq!(handle.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn cloned_endpoints_share_the_queue() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let rx2 = rx.clone();
+            tx2.send(7u32).unwrap();
+            assert_eq!(rx2.recv().unwrap(), 7);
+            drop(tx);
+            tx2.send(8).unwrap(); // one sender still alive
+            assert_eq!(rx.recv().unwrap(), 8);
+        }
+
+        #[test]
+        fn try_recv_is_nonblocking() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.try_recv(), None);
+            tx.send(5).unwrap();
+            assert_eq!(rx.try_recv(), Some(5));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream
+//! generator behind the vendored `rand` traits.
+//!
+//! The generator is the standard ChaCha block function (Bernstein) with
+//! 8 rounds, a 256-bit key taken from the seed, zero nonce, and a 64-bit
+//! block counter. Output words are the little-endian keystream words in
+//! block order — cryptographic-quality uniformity is far more than the
+//! synthetic-scene generator needs, but ChaCha8 is cheap and keeps
+//! scenes bit-reproducible across platforms (pure integer arithmetic).
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words (seed).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word within `block` (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CHACHA_CONST);
+        input[4..12].copy_from_slice(&self.key);
+        input[12] = self.counter as u32;
+        input[13] = (self.counter >> 32) as u32;
+        // Nonce words 14–15 stay zero.
+        let mut working = input;
+        for _ in 0..4 {
+            // One double round: column round + diagonal round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, i)) in self.block.iter_mut().zip(working.iter().zip(&input)) {
+            *out = w.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "{same} collisions in 32 draws");
+    }
+
+    #[test]
+    fn keystream_crosses_block_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // 40 words spans three 16-word blocks.
+        let stream: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        let mut again = ChaCha8Rng::seed_from_u64(3);
+        let replay: Vec<u32> = (0..40).map(|_| again.next_u32()).collect();
+        assert_eq!(stream, replay);
+    }
+
+    #[test]
+    fn uniformish_unit_floats() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_rounds_of_bias_in_bits() {
+        // Every bit position should be ~50% set.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0u32; 32];
+        for _ in 0..4096 {
+            let w = rng.next_u32();
+            for (bit, c) in counts.iter_mut().enumerate() {
+                *c += (w >> bit) & 1;
+            }
+        }
+        for (bit, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - 2048).abs() < 300,
+                "bit {bit} set {c} times of 4096"
+            );
+        }
+    }
+}

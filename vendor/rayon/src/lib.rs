@@ -1,0 +1,335 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the small slice of rayon's API it actually
+//! uses: indexed parallel iteration over ranges (`into_par_iter` +
+//! `map`/`for_each`/`collect`/`reduce`) and size-bounded thread pools
+//! (`ThreadPoolBuilder` → `ThreadPool::install`).
+//!
+//! Semantics matter more than raw scheduling sophistication here:
+//!
+//! * work is split into **contiguous index blocks**, one per worker
+//!   thread, and `collect` preserves index order — so callers that keep
+//!   their own deterministic chunking (as every kernel in this workspace
+//!   does) observe results independent of the worker count;
+//! * `ThreadPool::install` bounds the parallelism *within the calling
+//!   thread* via a thread-local width, which is exactly what
+//!   `simnet::engine` needs to run one OS thread per simulated rank
+//!   without oversubscribing the host (`ranks × threads-per-rank ≤
+//!   cores` by construction);
+//! * when the effective width is 1 the iterators degenerate to plain
+//!   sequential loops with no thread spawns at all.
+//!
+//! Worker threads are spawned per parallel call via `std::thread::scope`.
+//! For the coarse-grained kernels this workspace runs (thousands of
+//! pixels per chunk) the spawn cost is noise; a persistent work-stealing
+//! pool is deliberately out of scope for the shim.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Parallelism width installed on this thread (None = use the
+    /// process-wide default, i.e. the number of host cores).
+    static INSTALLED_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of host cores (the default pool width).
+fn default_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The parallelism width in effect on the current thread.
+pub fn current_num_threads() -> usize {
+    INSTALLED_WIDTH
+        .with(|w| w.get())
+        .unwrap_or_else(default_width)
+        .max(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (the shim never
+/// actually fails to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (host-core) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width; `0` selects the host default, as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool (infallible in the shim).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            width: self.num_threads.unwrap_or_else(default_width).max(1),
+        })
+    }
+}
+
+/// A size-bounded pool. In the shim a pool is only a *width*: `install`
+/// publishes it thread-locally and the parallel iterators honour it.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's width governing any parallel iterators
+    /// it executes (including on panics, the previous width is restored).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let previous = INSTALLED_WIDTH.with(|w| w.replace(Some(self.width)));
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// This pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// Runs `f(0..n)` across the current width, writing results in index
+/// order. The work is split into one contiguous block per worker.
+fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let width = current_num_threads().min(n.max(1));
+    if width <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    let block = n.div_ceil(width);
+    std::thread::scope(|scope| {
+        for (b, chunk) in slots.chunks_mut(block).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                // Workers run sequentially inside: nested parallel calls
+                // must not multiply the thread count.
+                let inner = ThreadPool { width: 1 };
+                inner.install(|| {
+                    let base = b * block;
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(f(base + i));
+                    }
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("rayon shim: worker skipped a slot"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The concrete parallel iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` in parallel.
+    pub fn map<T, F>(self, f: F) -> ParRangeMap<T, F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `f` on every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        run_indexed(n, |i| f(start + i));
+    }
+}
+
+/// The `map` stage of a [`ParRange`].
+pub struct ParRangeMap<T, F> {
+    range: Range<usize>,
+    f: F,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T, F> ParRangeMap<T, F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    /// Collects results **in index order**.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<T>,
+    {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        let f = self.f;
+        C::from_ordered(run_indexed(n, |i| f(start + i)))
+    }
+
+    /// Reduces the mapped values. The shim folds the ordered results
+    /// left-to-right from `identity()`, which is deterministic for any
+    /// worker count (a strictly stronger guarantee than rayon's
+    /// unspecified reduction tree — callers relying on bit-stable
+    /// floating-point reductions get them for free here).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        let f = self.f;
+        run_indexed(n, |i| f(start + i))
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Ordered collection of parallel results (`rayon::iter::FromParallelIterator`).
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in index order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_folds_in_order() {
+        // String concatenation is order-sensitive: the fold must be
+        // left-to-right regardless of the worker count.
+        for width in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            let s: String = pool.install(|| {
+                (0..10)
+                    .into_par_iter()
+                    .map(|i| i.to_string())
+                    .reduce(String::new, |a, b| a + &b)
+            });
+            assert_eq!(s, "0123456789");
+        }
+    }
+
+    #[test]
+    fn install_bounds_width_and_restores() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_visits_every_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let v: Vec<u8> = (5..5).into_par_iter().map(|_| 0u8).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn workers_run_sequentially_inside() {
+        // Nested parallel calls inside a worker must see width 1.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let widths: Vec<usize> = pool.install(|| {
+            (0..4)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        // With >1 installed width the scoped workers pin themselves to 1.
+        if pool.current_num_threads() > 1 {
+            assert!(widths.iter().all(|&w| w == 1), "{widths:?}");
+        }
+    }
+}
