@@ -25,9 +25,9 @@
 
 use crate::config::AlgoParams;
 use crate::flops;
-use crate::kernels;
+pub use crate::sched::ChunkPolicy;
+use crate::sched::MorphChunks;
 use hsi_cube::{HyperCube, LabelImage};
-use hsi_morpho::StructuringElement;
 use simnet::Platform;
 
 /// Outcome of a scheduled run (virtual time + the analysis result).
@@ -72,52 +72,6 @@ fn chunk_mflops(
     flops::mflop(mei + label)
 }
 
-/// The work shared by both schedulers: MEI candidates per chunk and the
-/// final labelling, with real computation via the standard kernels.
-struct MorphWork<'a> {
-    cube: &'a HyperCube,
-    params: &'a AlgoParams,
-    se: StructuringElement,
-    halo: usize,
-}
-
-impl<'a> MorphWork<'a> {
-    fn new(cube: &'a HyperCube, params: &'a AlgoParams) -> Self {
-        let se = StructuringElement::square(params.se_radius);
-        MorphWork {
-            cube,
-            params,
-            se,
-            halo: params.se_radius,
-        }
-    }
-
-    /// Runs MEI on chunk `[first, first+n)` and returns global-coordinate
-    /// scored candidates.
-    fn candidates(&self, first: usize, n: usize) -> Vec<(Vec<f32>, f64)> {
-        let (block, pre) = self.cube.extract_lines_with_overlap(first, n, self.halo);
-        let (top, _) = kernels::mei_top(
-            &block,
-            &self.se,
-            self.params.morph_iterations,
-            (pre, pre + n),
-            self.params.num_classes,
-            self.params.sad_threshold,
-        );
-        top.iter()
-            .map(|p| (block.pixel(p.line, p.sample).to_vec(), p.score))
-            .collect()
-    }
-
-    fn label_chunk(&self, first: usize, n: usize, reps: &[Vec<f32>], out: &mut LabelImage) {
-        let block = self.cube.extract_lines(first, n);
-        let (labels, _) = kernels::sad_label(&block, (0, n), reps);
-        for (i, &l) in labels.iter().enumerate() {
-            out.set(first + i / self.cube.samples(), i % self.cube.samples(), l);
-        }
-    }
-}
-
 fn validate(platform: &Platform, true_cycle: &[f64], cube: &HyperCube) {
     assert_eq!(
         true_cycle.len(),
@@ -140,7 +94,7 @@ pub fn static_wea_morph(
     let p = platform.num_procs();
     let fractions = crate::wea::speed_fractions(platform);
     let counts = crate::wea::apportion_rows(&fractions, cube.lines());
-    let work = MorphWork::new(cube, params);
+    let work = MorphChunks::new(cube, params);
 
     let mut busy = vec![0.0; p];
     let mut all_cands: Vec<(Vec<f32>, f64)> = Vec::new();
@@ -149,7 +103,7 @@ pub fn static_wea_morph(
     for (i, &n) in counts.iter().enumerate() {
         if n > 0 {
             all_cands.extend(work.candidates(first, n));
-            busy[i] = chunk_mflops(n, 2 * work.halo, cube.samples(), cube.bands(), params)
+            busy[i] = chunk_mflops(n, 2 * work.halo(), cube.samples(), cube.bands(), params)
                 * true_cycle[i];
         }
         assignments.push((first, n));
@@ -160,7 +114,7 @@ pub fn static_wea_morph(
     let mut labels = LabelImage::unlabeled(cube.lines(), cube.samples());
     for &(first, n) in &assignments {
         if n > 0 {
-            work.label_chunk(first, n, &reps, &mut labels);
+            work.label_into(first, n, &reps, &mut labels);
         }
     }
     let total_time = busy.iter().cloned().fold(0.0f64, f64::max);
@@ -170,32 +124,6 @@ pub fn static_wea_morph(
         chunks: counts.iter().map(|&n| usize::from(n > 0)).collect(),
         busy,
         labels,
-    }
-}
-
-/// How the self-scheduler sizes its chunks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ChunkPolicy {
-    /// Fixed chunk size in image lines.
-    Fixed(usize),
-    /// Guided self-scheduling (Polychronopoulos & Kuck): each grab takes
-    /// `ceil(remaining / P)` lines, floored at `min` — large chunks while
-    /// plenty remains (low overhead), small chunks near the end (good
-    /// balance).
-    Guided {
-        /// Smallest chunk the scheduler will hand out.
-        min: usize,
-    },
-}
-
-impl ChunkPolicy {
-    fn next_chunk(&self, remaining: usize, workers: usize) -> usize {
-        match *self {
-            ChunkPolicy::Fixed(n) => n.min(remaining),
-            ChunkPolicy::Guided { min } => {
-                remaining.div_ceil(workers.max(1)).max(min).min(remaining)
-            }
-        }
     }
 }
 
@@ -239,7 +167,7 @@ pub fn self_schedule_morph_policy(
         assert!(min > 0, "guided minimum chunk must be positive");
     }
     let p = platform.num_procs();
-    let work = MorphWork::new(cube, params);
+    let work = MorphChunks::new(cube, params);
 
     // Demand-driven event loop in virtual time: serve the next chunk to
     // the earliest-free worker (ties to the lowest rank — the order a
@@ -260,7 +188,7 @@ pub fn self_schedule_morph_policy(
                 w = i;
             }
         }
-        let cost = chunk_mflops(n, 2 * work.halo, cube.samples(), cube.bands(), params)
+        let cost = chunk_mflops(n, 2 * work.halo(), cube.samples(), cube.bands(), params)
             * true_cycle[w]
             + per_chunk_overhead_s;
         free_at[w] += cost;
@@ -275,7 +203,7 @@ pub fn self_schedule_morph_policy(
         crate::seq::reduce_candidates(&all_cands, params.sad_threshold, params.num_classes);
     let mut labels = LabelImage::unlabeled(cube.lines(), cube.samples());
     for &(cf, cn, _) in &chunk_owner {
-        work.label_chunk(cf, cn, &reps, &mut labels);
+        work.label_into(cf, cn, &reps, &mut labels);
     }
     let total_time = free_at.iter().cloned().fold(0.0f64, f64::max);
     ScheduleOutcome {
@@ -432,15 +360,6 @@ mod tests {
             guided.total_time,
             fixed.total_time
         );
-    }
-
-    #[test]
-    fn chunk_policy_arithmetic() {
-        assert_eq!(ChunkPolicy::Fixed(8).next_chunk(100, 4), 8);
-        assert_eq!(ChunkPolicy::Fixed(8).next_chunk(5, 4), 5);
-        assert_eq!(ChunkPolicy::Guided { min: 2 }.next_chunk(100, 4), 25);
-        assert_eq!(ChunkPolicy::Guided { min: 2 }.next_chunk(5, 4), 2);
-        assert_eq!(ChunkPolicy::Guided { min: 2 }.next_chunk(1, 4), 1);
     }
 
     /// Every chunk is processed exactly once: chunk counts sum to the

@@ -111,7 +111,10 @@ pub fn distribute(
         }
         own.expect("root assignment missing")
     } else {
-        let (first_line, n_lines, pre, cube) = ctx.recv(0).into_partition();
+        let (first_line, n_lines, pre, cube) = ctx
+            .recv(0)
+            .into_partition()
+            .expect("distribute: protocol violation");
         LocalBlock {
             first_line,
             n_lines,
@@ -140,7 +143,10 @@ pub fn gather_labels(
         };
         place(block.first_line, &labels);
         for src in 1..ctx.num_ranks() {
-            let (first, labs) = ctx.recv(src).into_labels();
+            let (first, labs) = ctx
+                .recv(src)
+                .into_labels()
+                .expect("gather_labels: protocol violation");
             place(first, &labs);
         }
         Some(out)
@@ -177,21 +183,22 @@ pub fn run_rooted<T: Send>(
     let RunReport {
         platform_name,
         ledgers,
-        results,
+        mut results,
+        failures,
         total_time,
     } = report;
-    let mut result = None;
-    for (rank, r) in results.into_iter().enumerate() {
-        if rank == 0 {
-            result = r;
-        }
-    }
+    let result = results
+        .get_mut(0)
+        .and_then(Option::take)
+        .flatten()
+        .unwrap_or_else(|| panic!("root produced no result (failures: {failures:?})"));
     ParallelRun {
-        result: result.expect("root produced no result"),
+        result,
         report: RunReport {
             platform_name,
             ledgers,
             results: Vec::new(),
+            failures,
             total_time,
         },
     }
@@ -241,7 +248,7 @@ mod tests {
             }
             block.n_lines
         });
-        let total: usize = report.results.iter().sum();
+        let total: usize = report.results.iter().map(|r| r.unwrap()).sum();
         assert_eq!(total, cube.lines());
     }
 
@@ -258,10 +265,10 @@ mod tests {
             (block.pre, block.cube.lines() - block.pre - block.n_lines)
         });
         // Interior ranks get halo on both sides; rank 0 has none above.
-        assert_eq!(report.results[0].0, 0);
-        assert_eq!(report.results[0].1, 2);
-        assert_eq!(report.results[1].0, 2);
-        assert_eq!(report.results[3].1, 0);
+        assert_eq!(report.result(0).0, 0);
+        assert_eq!(report.result(0).1, 2);
+        assert_eq!(report.result(1).0, 2);
+        assert_eq!(report.result(3).1, 0);
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! Fault-tolerant master/worker drivers.
+//!
+//! The paper's §5 names fault tolerance as the open problem of
+//! heterogeneous remote-sensing clusters: a static WEA partition is only
+//! optimal while every processor survives. This module runs any
+//! [`ChunkedAlgo`] under `simnet`'s deterministic fault plans in two
+//! recovery modes:
+//!
+//! * [`run_replan`] — **static WEA with re-planning**: each round is cut
+//!   into one batch per worker, sized by relative speed (the WEA
+//!   apportionment of [`crate::wea::apportion_rows`]). The master awaits
+//!   each batch under an analytic completion deadline; when a worker's
+//!   failure marker surfaces, every unfinished batch of that worker is
+//!   re-apportioned over the survivors and re-dispatched. Recovery cost
+//!   scales with the *lost partition*.
+//! * [`run_self_sched`] — **chunked self-scheduling**: rounds are cut
+//!   into fixed-size chunks handed to whichever worker is free; a dead
+//!   worker's only in-flight chunk goes back on the queue. Recovery cost
+//!   scales with a *single chunk*, which is why self-scheduling wins for
+//!   mid-run crashes (experiment A5).
+//!
+//! Rank 0 is a **coordinator only** — unlike [`crate::par`], where the
+//! root also works a partition. A dedicated master keeps the dispatch
+//! loop deterministic (it never has to interleave its own compute with
+//! polling) and survives every plan that crashes workers only.
+//!
+//! **Determinism.** All scheduling decisions are functions of virtual
+//! time: the master polls workers in rank order at deadlines computed
+//! from the analytic cost model ([`ChunkedAlgo::chunk_mflops`]) or at
+//! fixed poll intervals, and `simnet` delivers messages and failure
+//! markers at cost-model times. Two runs with the same fault plan
+//! produce bit-identical [`RunReport`]s and outputs (asserted by the
+//! `fault_injection` integration suite).
+
+use crate::sched::ChunkedAlgo;
+use crate::wea::apportion_rows;
+use simnet::engine::{Engine, Wire};
+use simnet::report::RunReport;
+use simnet::{Ctx, RecvError};
+use std::collections::VecDeque;
+
+/// Knobs of the fault-tolerant drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtOptions {
+    /// Chunk size (lines) of the self-scheduling mode.
+    pub chunk_lines: usize,
+    /// Deadline factor κ of the re-planning mode: a batch estimated at
+    /// `e` seconds is declared late after `κ·e` (late batches merely
+    /// extend the deadline — only a failure marker is authoritative).
+    pub failure_threshold: f64,
+    /// Deadline extension (seconds) after a late batch.
+    pub margin_s: f64,
+    /// Idle poll interval (seconds) of the self-scheduling master.
+    pub poll_interval_s: f64,
+}
+
+impl Default for FtOptions {
+    fn default() -> Self {
+        FtOptions {
+            chunk_lines: 8,
+            failure_threshold: 4.0,
+            margin_s: 0.05,
+            poll_interval_s: 0.02,
+        }
+    }
+}
+
+/// One detected worker loss and the work it orphaned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// The lost worker's rank.
+    pub rank: usize,
+    /// Virtual time the worker actually failed.
+    pub at: f64,
+    /// Virtual time the master observed the failure.
+    pub detected_at: f64,
+    /// Image lines that were re-dispatched.
+    pub lines: usize,
+    /// Round in which the loss was detected.
+    pub round: usize,
+}
+
+/// Outcome of a fault-tolerant run.
+#[derive(Debug, Clone)]
+pub struct FtRun<O> {
+    /// The analysis result, complete despite any worker losses.
+    pub output: O,
+    /// Every detected loss, in detection order.
+    pub recoveries: Vec<Recovery>,
+    /// Timing report (failures of crashed workers included).
+    pub report: RunReport<()>,
+}
+
+/// Master/worker wire protocol. Headers are a few machine words; state
+/// and partial payloads carry the algorithm-reported wire sizes.
+enum FtMsg<S, P> {
+    /// Round start: the state every worker needs (the round number
+    /// rides on each `Assign`).
+    Round { state: S, bits: u64 },
+    /// Work order for lines `[first, first + n)`.
+    Assign {
+        id: u64,
+        round: usize,
+        first: usize,
+        n: usize,
+    },
+    /// A chunk's result.
+    Partial {
+        id: u64,
+        first: usize,
+        data: P,
+        bits: u64,
+    },
+    /// No more rounds; the worker exits.
+    Finish,
+}
+
+impl<S: Send + 'static, P: Send + 'static> Wire for FtMsg<S, P> {
+    fn size_bits(&self) -> u64 {
+        match self {
+            FtMsg::Round { bits, .. } => 96 + bits,
+            FtMsg::Assign { .. } => 192,
+            FtMsg::Partial { bits, .. } => 128 + bits,
+            FtMsg::Finish => 8,
+        }
+    }
+}
+
+/// The recovery mode of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Replan,
+    SelfSched,
+}
+
+/// Runs `algo` with static speed-proportional batches, re-planning the
+/// orphaned lines over the survivors when a worker is lost.
+///
+/// # Panics
+/// Panics if the platform has fewer than two processors, if every
+/// worker is lost, or if the fault plan crashes rank 0 (the master).
+pub fn run_replan<A>(engine: &Engine, algo: &A, opts: &FtOptions) -> FtRun<A::Output>
+where
+    A: ChunkedAlgo + Sync,
+    A::Output: Send,
+{
+    run_mode(engine, algo, opts, Mode::Replan)
+}
+
+/// Runs `algo` with fixed-size chunk self-scheduling, re-queueing a
+/// lost worker's in-flight chunk.
+///
+/// The chunk grid is fixed by [`FtOptions::chunk_lines`], so the output
+/// is identical whichever workers compute which chunks — crashed or
+/// not (asserted by the `fault_injection` suite).
+///
+/// # Panics
+/// Panics if the platform has fewer than two processors, if every
+/// worker is lost, or if the fault plan crashes rank 0 (the master).
+pub fn run_self_sched<A>(engine: &Engine, algo: &A, opts: &FtOptions) -> FtRun<A::Output>
+where
+    A: ChunkedAlgo + Sync,
+    A::Output: Send,
+{
+    run_mode(engine, algo, opts, Mode::SelfSched)
+}
+
+fn run_mode<A>(engine: &Engine, algo: &A, opts: &FtOptions, mode: Mode) -> FtRun<A::Output>
+where
+    A: ChunkedAlgo + Sync,
+    A::Output: Send,
+{
+    assert!(
+        engine.platform().num_procs() >= 2,
+        "ft: need a master and at least one worker"
+    );
+    let report = engine.run(|ctx: &mut Ctx<FtMsg<A::State, A::Partial>>| {
+        if ctx.is_root() {
+            let out = match mode {
+                Mode::Replan => master_replan(ctx, algo, opts),
+                Mode::SelfSched => master_self_sched(ctx, algo, opts),
+            };
+            Some(out)
+        } else {
+            worker_loop(ctx, algo);
+            None
+        }
+    });
+    let RunReport {
+        platform_name,
+        ledgers,
+        mut results,
+        failures,
+        total_time,
+    } = report;
+    let (output, recoveries) = results
+        .get_mut(0)
+        .and_then(Option::take)
+        .flatten()
+        .unwrap_or_else(|| panic!("ft: master produced no result (failures: {failures:?})"));
+    FtRun {
+        output,
+        recoveries,
+        report: RunReport {
+            platform_name,
+            ledgers,
+            results: Vec::new(),
+            failures,
+            total_time,
+        },
+    }
+}
+
+/// Worker side of both modes: obey `Round`/`Assign` orders from the
+/// master until `Finish`.
+fn worker_loop<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, algo: &A) {
+    let mut state: Option<A::State> = None;
+    loop {
+        match ctx.recv(0) {
+            FtMsg::Round { state: s, .. } => state = Some(s),
+            FtMsg::Assign {
+                id,
+                round,
+                first,
+                n,
+            } => {
+                let st = state.as_ref().expect("ft: Assign before any Round");
+                ctx.compute_par(algo.chunk_mflops(round, n));
+                let data = algo.run_chunk(round, st, first, n);
+                let bits = algo.partial_bits(&data);
+                ctx.send(
+                    0,
+                    FtMsg::Partial {
+                        id,
+                        first,
+                        data,
+                        bits,
+                    },
+                );
+            }
+            FtMsg::Finish => break,
+            FtMsg::Partial { .. } => unreachable!("ft: master never sends Partial"),
+        }
+    }
+}
+
+/// Splits lines `[first, first + n)` over the surviving workers in
+/// proportion to speed; returns `(first, n, worker)` slices.
+fn split_lines(
+    first: usize,
+    n: usize,
+    alive: &[bool],
+    speeds: &[f64],
+) -> Vec<(usize, usize, usize)> {
+    let workers: Vec<usize> = (1..alive.len()).filter(|&w| alive[w]).collect();
+    assert!(!workers.is_empty(), "ft: all workers lost");
+    let total: f64 = workers.iter().map(|&w| speeds[w]).sum();
+    let fractions: Vec<f64> = workers.iter().map(|&w| speeds[w] / total).collect();
+    let rows = apportion_rows(&fractions, n);
+    let mut out = Vec::new();
+    let mut f = first;
+    for (i, &w) in workers.iter().enumerate() {
+        if rows[i] > 0 {
+            out.push((f, rows[i], w));
+            f += rows[i];
+        }
+    }
+    out
+}
+
+/// Broadcasts the round-start state to every surviving worker.
+fn broadcast_state<S, P>(ctx: &mut Ctx<FtMsg<S, P>>, alive: &[bool], state: &S, bits: u64)
+where
+    S: Clone + Send + 'static,
+    P: Send + 'static,
+{
+    let targets: Vec<usize> = (1..alive.len()).filter(|&w| alive[w]).collect();
+    for w in targets {
+        ctx.send(
+            w,
+            FtMsg::Round {
+                state: state.clone(),
+                bits,
+            },
+        );
+    }
+}
+
+/// A dispatched batch of the re-planning master.
+struct Batch {
+    id: u64,
+    worker: usize,
+    first: usize,
+    n: usize,
+    deadline: f64,
+    done: bool,
+}
+
+fn master_replan<A: ChunkedAlgo>(
+    ctx: &mut Ctx<FtMsg<A::State, A::Partial>>,
+    algo: &A,
+    opts: &FtOptions,
+) -> (A::Output, Vec<Recovery>) {
+    let p = ctx.num_ranks();
+    let speeds: Vec<f64> = (0..p).map(|i| ctx.platform().proc(i).speed()).collect();
+    let mut alive = vec![true; p];
+    let mut recoveries: Vec<Recovery> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut state = algo.initial_state();
+
+    for round in 0..algo.rounds() {
+        broadcast_state(ctx, &alive, &state, algo.state_bits(&state));
+
+        // One speed-proportional batch per surviving worker (the WEA
+        // apportionment), each with an analytic completion deadline.
+        let mut ready_at = vec![0.0f64; p];
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut dispatch = |ctx: &mut Ctx<FtMsg<A::State, A::Partial>>,
+                            batches: &mut Vec<Batch>,
+                            ready_at: &mut Vec<f64>,
+                            first: usize,
+                            n: usize,
+                            w: usize| {
+            let id = next_id;
+            next_id += 1;
+            ctx.send(
+                w,
+                FtMsg::Assign {
+                    id,
+                    round,
+                    first,
+                    n,
+                },
+            );
+            let est = algo.chunk_mflops(round, n) / speeds[w];
+            let start = ready_at[w].max(ctx.elapsed());
+            ready_at[w] = start + est * opts.failure_threshold;
+            batches.push(Batch {
+                id,
+                worker: w,
+                first,
+                n,
+                deadline: ready_at[w] + opts.margin_s,
+                done: false,
+            });
+        };
+        for (first, n, w) in split_lines(0, algo.lines(), &alive, &speeds) {
+            dispatch(ctx, &mut batches, &mut ready_at, first, n, w);
+        }
+
+        let mut partials: Vec<(usize, A::Partial)> = Vec::new();
+        let mut i = 0;
+        while i < batches.len() {
+            if batches[i].done {
+                i += 1;
+                continue;
+            }
+            let w = batches[i].worker;
+            let now = ctx.elapsed();
+            let deadline = batches[i].deadline.max(now);
+            match ctx.recv_deadline(w, deadline) {
+                Ok(FtMsg::Partial {
+                    id, first, data, ..
+                }) => {
+                    // Per-pair FIFO: this is w's earliest outstanding
+                    // batch — usually batch i itself, but match by id.
+                    if let Some(b) = batches.iter_mut().find(|b| b.id == id && !b.done) {
+                        b.done = true;
+                        partials.push((first, data));
+                    }
+                }
+                Ok(_) => unreachable!("ft: workers only send Partial"),
+                Err(RecvError::Timeout { .. }) => {
+                    // Late ≠ dead: only a failure marker is
+                    // authoritative. Extend and keep waiting.
+                    batches[i].deadline = ctx.elapsed() + opts.margin_s;
+                }
+                Err(RecvError::Failed(f)) => {
+                    let detected_at = ctx.elapsed();
+                    alive[w] = false;
+                    let orphans: Vec<(usize, usize)> = batches
+                        .iter_mut()
+                        .filter(|b| b.worker == w && !b.done)
+                        .map(|b| {
+                            b.done = true;
+                            (b.first, b.n)
+                        })
+                        .collect();
+                    let lost_lines: usize = orphans.iter().map(|&(_, n)| n).sum();
+                    recoveries.push(Recovery {
+                        rank: w,
+                        at: f.at,
+                        detected_at,
+                        lines: lost_lines,
+                        round,
+                    });
+                    ctx.mark_recovery(detected_at, w);
+                    for (of, on) in orphans {
+                        for (nf, nn, nw) in split_lines(of, on, &alive, &speeds) {
+                            dispatch(ctx, &mut batches, &mut ready_at, nf, nn, nw);
+                        }
+                    }
+                }
+            }
+        }
+
+        partials.sort_by_key(|&(first, _)| first);
+        let (next, mflops) = algo.reduce(round, state, partials);
+        ctx.compute_seq(mflops);
+        state = next;
+    }
+
+    for w in 1..p {
+        // Dead workers drop the message silently.
+        ctx.send(w, FtMsg::Finish);
+    }
+    (algo.finish(state), recoveries)
+}
+
+fn master_self_sched<A: ChunkedAlgo>(
+    ctx: &mut Ctx<FtMsg<A::State, A::Partial>>,
+    algo: &A,
+    opts: &FtOptions,
+) -> (A::Output, Vec<Recovery>) {
+    let p = ctx.num_ranks();
+    let mut alive = vec![true; p];
+    let mut recoveries: Vec<Recovery> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut state = algo.initial_state();
+    let chunk = opts.chunk_lines.max(1);
+
+    for round in 0..algo.rounds() {
+        broadcast_state(ctx, &alive, &state, algo.state_bits(&state));
+
+        // The FIXED chunk grid: output does not depend on which worker
+        // computes which chunk, so crashes cannot change the result.
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+        let mut first = 0;
+        while first < algo.lines() {
+            let n = chunk.min(algo.lines() - first);
+            queue.push_back((first, n));
+            first += n;
+        }
+        let total_chunks = queue.len();
+        let mut done = 0usize;
+        let mut outstanding: Vec<Option<(u64, usize, usize)>> = vec![None; p];
+        let mut partials: Vec<(usize, A::Partial)> = Vec::new();
+
+        while done < total_chunks {
+            assert!(
+                (1..p).any(|w| alive[w]),
+                "ft: all workers lost in round {round}"
+            );
+            // Hand every free surviving worker the next queued chunk.
+            for w in 1..p {
+                if alive[w] && outstanding[w].is_none() {
+                    if let Some((cf, cn)) = queue.pop_front() {
+                        let id = next_id;
+                        next_id += 1;
+                        ctx.send(
+                            w,
+                            FtMsg::Assign {
+                                id,
+                                round,
+                                first: cf,
+                                n: cn,
+                            },
+                        );
+                        outstanding[w] = Some((id, cf, cn));
+                    }
+                }
+            }
+            // Poll outstanding workers in rank order at the current
+            // virtual instant (a past deadline never advances time).
+            let now = ctx.elapsed();
+            let mut productive = false;
+            for w in 1..p {
+                if !alive[w] {
+                    continue;
+                }
+                let Some((id, cf, cn)) = outstanding[w] else {
+                    continue;
+                };
+                match ctx.recv_deadline(w, now) {
+                    Ok(FtMsg::Partial {
+                        id: pid,
+                        first: pf,
+                        data,
+                        ..
+                    }) => {
+                        if pid == id {
+                            outstanding[w] = None;
+                            partials.push((pf, data));
+                            done += 1;
+                            productive = true;
+                        }
+                    }
+                    Ok(_) => unreachable!("ft: workers only send Partial"),
+                    Err(RecvError::Timeout { .. }) => {}
+                    Err(RecvError::Failed(f)) => {
+                        let detected_at = ctx.elapsed();
+                        alive[w] = false;
+                        outstanding[w] = None;
+                        // Back on the queue front — the next free worker
+                        // picks the orphaned chunk up first.
+                        queue.push_front((cf, cn));
+                        recoveries.push(Recovery {
+                            rank: w,
+                            at: f.at,
+                            detected_at,
+                            lines: cn,
+                            round,
+                        });
+                        ctx.mark_recovery(detected_at, w);
+                        productive = true;
+                    }
+                }
+            }
+            if !productive && done < total_chunks {
+                ctx.wait_until(ctx.elapsed() + opts.poll_interval_s);
+            }
+        }
+
+        partials.sort_by_key(|&(first, _)| first);
+        let (next, mflops) = algo.reduce(round, state, partials);
+        ctx.compute_seq(mflops);
+        state = next;
+    }
+
+    for w in 1..p {
+        ctx.send(w, FtMsg::Finish);
+    }
+    (algo.finish(state), recoveries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgoParams;
+    use crate::sched::AtdcaChunks;
+    use hsi_cube::synth::{wtc_scene, WtcConfig};
+    use simnet::{presets, FailureCause, FaultPlan};
+
+    fn scene() -> hsi_cube::synth::SyntheticScene {
+        wtc_scene(WtcConfig::tiny())
+    }
+
+    fn params() -> AlgoParams {
+        AlgoParams {
+            num_targets: 6,
+            ..Default::default()
+        }
+    }
+
+    fn coords(targets: &[crate::seq::DetectedTarget]) -> Vec<(usize, usize)> {
+        targets.iter().map(|t| (t.line, t.sample)).collect()
+    }
+
+    #[test]
+    fn self_sched_fault_free_matches_sequential() {
+        let s = scene();
+        let p = params();
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let engine = Engine::new(presets::fully_heterogeneous());
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let run = run_self_sched(&engine, &algo, &FtOptions::default());
+        assert_eq!(coords(&run.output), coords(&seq.result));
+        assert!(run.recoveries.is_empty());
+        assert!(run.report.ok());
+    }
+
+    #[test]
+    fn replan_fault_free_matches_sequential() {
+        let s = scene();
+        let p = params();
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let engine = Engine::new(presets::fully_heterogeneous());
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let run = run_replan(&engine, &algo, &FtOptions::default());
+        assert_eq!(coords(&run.output), coords(&seq.result));
+        assert!(run.recoveries.is_empty());
+    }
+
+    #[test]
+    fn self_sched_recovers_from_mid_run_crash() {
+        let s = scene();
+        let p = params();
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let engine = Engine::new(presets::fully_heterogeneous())
+            .with_faults(FaultPlan::new().crash(3, 0.05));
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let run = run_self_sched(&engine, &algo, &FtOptions::default());
+        assert_eq!(coords(&run.output), coords(&seq.result));
+        assert_eq!(run.recoveries.len(), 1);
+        assert_eq!(run.recoveries[0].rank, 3);
+        assert!(run.recoveries[0].detected_at >= run.recoveries[0].at);
+        let f = run.report.failure_of(3).expect("failure recorded");
+        assert_eq!(f.cause, FailureCause::Crash);
+    }
+
+    #[test]
+    fn replan_recovers_from_mid_run_crash() {
+        let s = scene();
+        let p = params();
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let engine = Engine::new(presets::fully_heterogeneous())
+            .with_faults(FaultPlan::new().crash(5, 0.05));
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let run = run_replan(&engine, &algo, &FtOptions::default());
+        assert_eq!(coords(&run.output), coords(&seq.result));
+        assert_eq!(run.recoveries.len(), 1);
+        assert_eq!(run.recoveries[0].rank, 5);
+        assert!(run.recoveries[0].lines > 0);
+    }
+
+    #[test]
+    fn identical_fault_plans_are_bit_deterministic() {
+        let s = scene();
+        let p = params();
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let run_once = || {
+            let engine = Engine::new(presets::fully_heterogeneous())
+                .with_faults(FaultPlan::new().crash(2, 0.03).slowdown(4, 0.0, 0.2, 3.0));
+            run_self_sched(&engine, &algo, &FtOptions::default())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.report, b.report);
+        assert_eq!(coords(&a.output), coords(&b.output));
+        assert_eq!(a.recoveries, b.recoveries);
+    }
+}

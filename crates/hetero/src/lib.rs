@@ -28,22 +28,34 @@
 //!
 //! Virtual-time costs are charged from the analytic per-kernel megaflop
 //! formulas in [`flops`]; see DESIGN.md for the fidelity argument.
+//!
+//! Fault tolerance (the paper's §5 "future perspectives") lives in two
+//! modules: [`sched`] generalises chunked self-scheduling behind the
+//! [`sched::ChunkedAlgo`] trait for all four algorithms, and [`ft`]
+//! provides fault-tolerant master/worker drivers — static WEA partitions
+//! with re-planning on worker loss, and chunked self-scheduling with
+//! chunk re-queueing — over `simnet`'s deterministic fault plans.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod config;
 pub mod dynamic;
 pub mod eval;
 pub mod flops;
 pub mod framework;
+pub mod ft;
 pub mod kernels;
 pub mod msg;
 pub mod optimality;
 pub mod par;
+pub mod sched;
 pub mod seq;
 pub mod vd;
 pub mod wea;
 
 pub use config::{AlgoParams, PartitionStrategy, RunOptions};
 pub use framework::ParallelRun;
+pub use ft::{FtOptions, FtRun, Recovery};
+pub use sched::{ChunkPolicy, ChunkedAlgo};

@@ -103,6 +103,27 @@ impl Wire for Msg {
     }
 }
 
+/// A message of the wrong variant arrived where a specific one was
+/// expected. Decoders return this instead of panicking, so
+/// fault-recovery paths can *observe* a stale in-flight message (e.g. a
+/// partial result from an abandoned worker) and skip it rather than
+/// abort the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMismatch {
+    /// The variant the decoder expected.
+    pub expected: &'static str,
+    /// The variant that actually arrived.
+    pub got: &'static str,
+}
+
+impl std::fmt::Display for WireMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {}, got {}", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for WireMismatch {}
+
 impl Msg {
     /// Wraps an owned sub-cube block as a partition message.
     pub fn partition(first_line: usize, n_lines: usize, pre: usize, block: &HyperCube) -> Msg {
@@ -116,12 +137,30 @@ impl Msg {
         }
     }
 
-    /// Unwraps a partition message into `(first_line, n_lines, pre,
+    /// This message's variant name (for [`WireMismatch`] diagnostics).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Msg::Partition { .. } => "Partition",
+            Msg::Candidate(_) => "Candidate",
+            Msg::Candidates(_) => "Candidates",
+            Msg::Spectra(_) => "Spectra",
+            Msg::Stats(_) => "Stats",
+            Msg::PctModel { .. } => "PctModel",
+            Msg::Labels { .. } => "Labels",
+            Msg::Token => "Token",
+        }
+    }
+
+    fn mismatch(&self, expected: &'static str) -> WireMismatch {
+        WireMismatch {
+            expected,
+            got: self.variant_name(),
+        }
+    }
+
+    /// Decodes a partition message into `(first_line, n_lines, pre,
     /// cube)`.
-    ///
-    /// # Panics
-    /// Panics when called on a different variant.
-    pub fn into_partition(self) -> (usize, usize, usize, HyperCube) {
+    pub fn into_partition(self) -> Result<(usize, usize, usize, HyperCube), WireMismatch> {
         match self {
             Msg::Partition {
                 first_line,
@@ -132,72 +171,73 @@ impl Msg {
                 data,
             } => {
                 let total_lines = data.len() / (samples as usize * bands as usize);
-                (
+                Ok((
                     first_line as usize,
                     n_lines as usize,
                     pre as usize,
                     HyperCube::from_vec(total_lines, samples as usize, bands as usize, data),
-                )
+                ))
             }
-            other => panic!("expected Partition, got {other:?}"),
+            other => Err(other.mismatch("Partition")),
         }
     }
 
-    /// Unwraps a candidate.
-    ///
-    /// # Panics
-    /// Panics when called on a different variant.
-    pub fn into_candidate(self) -> Candidate {
+    /// Decodes a candidate.
+    pub fn into_candidate(self) -> Result<Candidate, WireMismatch> {
         match self {
-            Msg::Candidate(c) => c,
-            other => panic!("expected Candidate, got {other:?}"),
+            Msg::Candidate(c) => Ok(c),
+            other => Err(other.mismatch("Candidate")),
         }
     }
 
-    /// Unwraps a candidate list.
-    ///
-    /// # Panics
-    /// Panics when called on a different variant.
-    pub fn into_candidates(self) -> Vec<Candidate> {
+    /// Decodes a candidate list.
+    pub fn into_candidates(self) -> Result<Vec<Candidate>, WireMismatch> {
         match self {
-            Msg::Candidates(c) => c,
-            other => panic!("expected Candidates, got {other:?}"),
+            Msg::Candidates(c) => Ok(c),
+            other => Err(other.mismatch("Candidates")),
         }
     }
 
-    /// Unwraps a spectra list.
-    ///
-    /// # Panics
-    /// Panics when called on a different variant.
-    pub fn into_spectra(self) -> Vec<Vec<f32>> {
+    /// Decodes a spectra list.
+    pub fn into_spectra(self) -> Result<Vec<Vec<f32>>, WireMismatch> {
         match self {
-            Msg::Spectra(s) => s,
-            other => panic!("expected Spectra, got {other:?}"),
+            Msg::Spectra(s) => Ok(s),
+            other => Err(other.mismatch("Spectra")),
         }
     }
 
-    /// Unwraps flat statistics.
-    ///
-    /// # Panics
-    /// Panics when called on a different variant.
-    pub fn into_stats(self) -> Vec<f64> {
+    /// Decodes flat statistics.
+    pub fn into_stats(self) -> Result<Vec<f64>, WireMismatch> {
         match self {
-            Msg::Stats(s) => s,
-            other => panic!("expected Stats, got {other:?}"),
+            Msg::Stats(s) => Ok(s),
+            other => Err(other.mismatch("Stats")),
         }
     }
 
-    /// Unwraps a label block as `(first_line, labels)`.
-    ///
-    /// # Panics
-    /// Panics when called on a different variant.
-    pub fn into_labels(self) -> (usize, Vec<u16>) {
+    /// Decodes the PCT model broadcast as `(transform, mean, classes)`.
+    pub fn into_pct_model(self) -> Result<PctModelParts, WireMismatch> {
         match self {
-            Msg::Labels { first_line, labels } => (first_line as usize, labels),
-            other => panic!("expected Labels, got {other:?}"),
+            Msg::PctModel {
+                transform,
+                mean,
+                classes,
+            } => Ok((transform, mean, classes)),
+            other => Err(other.mismatch("PctModel")),
+        }
+    }
+
+    /// Decodes a label block as `(first_line, labels)`.
+    pub fn into_labels(self) -> Result<(usize, Vec<u16>), WireMismatch> {
+        match self {
+            Msg::Labels { first_line, labels } => Ok((first_line as usize, labels)),
+            other => Err(other.mismatch("Labels")),
         }
     }
 }
+
+/// The decoded pieces of a [`Msg::PctModel`] broadcast:
+/// `(transform rows, image mean, transformed class representatives)`.
+pub type PctModelParts = (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>);
 
 #[cfg(test)]
 mod tests {
@@ -208,7 +248,7 @@ mod tests {
         let cube = HyperCube::from_vec(3, 2, 4, (0..24).map(|i| i as f32).collect());
         let msg = Msg::partition(10, 2, 1, &cube);
         assert_eq!(msg.size_bits(), 5 * 32 + 24 * 32);
-        let (first, n, pre, back) = msg.into_partition();
+        let (first, n, pre, back) = msg.into_partition().unwrap();
         assert_eq!((first, n, pre), (10, 2, 1));
         assert_eq!(back, cube);
     }
@@ -251,9 +291,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expected Candidate")]
-    fn wrong_variant_panics() {
-        Msg::Token.into_candidate();
+    fn wrong_variant_is_typed_error() {
+        let err = Msg::Token.into_candidate().unwrap_err();
+        assert_eq!(
+            err,
+            WireMismatch {
+                expected: "Candidate",
+                got: "Token"
+            }
+        );
+        assert_eq!(err.to_string(), "expected Candidate, got Token");
+        let err = Msg::Stats(vec![]).into_spectra().unwrap_err();
+        assert_eq!(err.got, "Stats");
+        assert!(Msg::Token.into_pct_model().is_err());
+        assert!(Msg::Token.into_partition().is_err());
+        assert!(Msg::Token.into_candidates().is_err());
+        assert!(Msg::Token.into_labels().is_err());
+        assert!(Msg::Token.into_stats().is_err());
     }
 
     #[test]
@@ -270,11 +324,11 @@ mod tests {
     #[test]
     fn stats_roundtrip() {
         let msg = Msg::Stats(vec![1.0, 2.0, 3.0]);
-        assert_eq!(msg.into_stats(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(msg.into_stats().unwrap(), vec![1.0, 2.0, 3.0]);
         let msg = Msg::Labels {
             first_line: 7,
             labels: vec![1, 2],
         };
-        assert_eq!(msg.into_labels(), (7, vec![1, 2]));
+        assert_eq!(msg.into_labels().unwrap(), (7, vec![1, 2]));
     }
 }

@@ -76,7 +76,11 @@ pub fn run(
             let winner_spectrum = if ctx.is_root() {
                 let mut cands = vec![candidate];
                 for src in 1..ctx.num_ranks() {
-                    cands.push(ctx.recv(src).into_candidate());
+                    cands.push(
+                        ctx.recv(src)
+                            .into_candidate()
+                            .expect("atdca: protocol violation"),
+                    );
                 }
                 ctx.compute_seq(flops::mflop(
                     flops::projection_score(n, k) * cands.len() as f64,
@@ -94,7 +98,10 @@ pub fn run(
                 best.spectrum
             } else {
                 ctx.send(0, Msg::Candidate(candidate));
-                ctx.recv(0).into_spectra().remove(0)
+                ctx.recv(0)
+                    .into_spectra()
+                    .expect("atdca: protocol violation")
+                    .remove(0)
             };
 
             // All ranks grow their local orthonormal basis.

@@ -91,7 +91,11 @@ pub fn run(
                 .map(|c| (c.spectrum.clone(), c.score))
                 .collect();
             for src in 1..ctx.num_ranks() {
-                for cand in ctx.recv(src).into_candidates() {
+                for cand in ctx
+                    .recv(src)
+                    .into_candidates()
+                    .expect("morph: protocol violation")
+                {
                     scored.push((cand.spectrum, cand.score));
                 }
             }
@@ -104,7 +108,9 @@ pub fn run(
             reps
         } else {
             ctx.send(0, Msg::Candidates(cands));
-            ctx.recv(0).into_spectra()
+            ctx.recv(0)
+                .into_spectra()
+                .expect("morph: protocol violation")
         };
 
         // Step 4: SAD labelling of the owned lines.

@@ -87,7 +87,11 @@ pub fn run(
                 .map(|c| (c.spectrum.clone(), c.score))
                 .collect();
             for src in 1..ctx.num_ranks() {
-                for cand in ctx.recv(src).into_candidates() {
+                for cand in ctx
+                    .recv(src)
+                    .into_candidates()
+                    .expect("pct: protocol violation")
+                {
                     scored.push((cand.spectrum, cand.score));
                 }
             }
@@ -98,7 +102,7 @@ pub fn run(
             let mut total = CovarianceAccumulator::new(n);
             total.merge(&acc).expect("dim");
             for src in 1..ctx.num_ranks() {
-                let flat = ctx.recv(src).into_stats();
+                let flat = ctx.recv(src).into_stats().expect("pct: protocol violation");
                 let other = CovarianceAccumulator::from_flat(n, &flat).expect("flat shape");
                 total.merge(&other).expect("dim");
             }
@@ -134,20 +138,15 @@ pub fn run(
         } else {
             ctx.send(0, Msg::Candidates(local_cands));
             ctx.send(0, Msg::Stats(acc.to_flat()));
-            match ctx.recv(0) {
-                Msg::PctModel {
-                    transform,
-                    mean,
-                    classes,
-                } => {
-                    let rows: Vec<&[f64]> = transform.iter().map(|r| r.as_slice()).collect();
-                    PctModel {
-                        transform: Matrix::from_rows(&rows),
-                        mean,
-                        class_reps: classes,
-                    }
-                }
-                other => panic!("expected PctModel, got {other:?}"),
+            let (transform, mean, classes) = ctx
+                .recv(0)
+                .into_pct_model()
+                .expect("pct: protocol violation");
+            let rows: Vec<&[f64]> = transform.iter().map(|r| r.as_slice()).collect();
+            PctModel {
+                transform: Matrix::from_rows(&rows),
+                mean,
+                class_reps: classes,
             }
         };
 

@@ -80,7 +80,11 @@ pub fn run(
             let winner = if ctx.is_root() {
                 let mut cands = vec![candidate];
                 for src in 1..ctx.num_ranks() {
-                    cands.push(ctx.recv(src).into_candidate());
+                    cands.push(
+                        ctx.recv(src)
+                            .into_candidate()
+                            .expect("ufcls: protocol violation"),
+                    );
                 }
                 ctx.compute_seq(flops::mflop(flops::fcls(n, k.max(1)) * cands.len() as f64));
                 let best = best_candidate(cands);
@@ -90,7 +94,11 @@ pub fn run(
                 best
             } else {
                 ctx.send(0, Msg::Candidate(candidate));
-                let spectrum = ctx.recv(0).into_spectra().remove(0);
+                let spectrum = ctx
+                    .recv(0)
+                    .into_spectra()
+                    .expect("ufcls: protocol violation")
+                    .remove(0);
                 crate::msg::Candidate {
                     line: 0,
                     sample: 0,

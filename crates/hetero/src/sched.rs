@@ -1,0 +1,966 @@
+//! Chunked work decomposition shared by every scheduler.
+//!
+//! PR 1 of the dynamic-scheduling work ([`crate::dynamic`]) hard-wired
+//! chunked self-scheduling to the MORPH classifier. The fault-tolerant
+//! drivers in [`crate::ft`] need the same decomposition for *all four*
+//! algorithms, so this module factors it behind one trait:
+//!
+//! * a [`ChunkedAlgo`] describes an algorithm as a sequence of
+//!   **rounds**; in every round the image lines are cut into chunks,
+//!   each chunk yields a [`ChunkedAlgo::Partial`], and the master
+//!   reduces the round's partials into the next
+//!   [`ChunkedAlgo::State`];
+//! * the four implementations — [`AtdcaChunks`], [`UfclsChunks`],
+//!   [`PctChunks`], [`MorphChunks`] — reuse the exact worker kernels of
+//!   [`crate::kernels`], so any chunk grid reproduces the partitioned
+//!   algorithms' analysis results;
+//! * [`ChunkPolicy`] (moved here from `dynamic`, which re-exports it)
+//!   sizes the chunks a demand-driven scheduler hands out.
+//!
+//! **Determinism.** The argmax algorithms (ATDCA, UFCLS) produce the
+//! *same* output for every chunk grid: chunk winners are folded with the
+//! row-major tie-break of [`crate::par`]'s `best_candidate`, so the
+//! global winner equals a sequential scan's. PCT and MORPH outputs
+//! depend on the grid (per-chunk candidate pools differ, exactly as the
+//! paper's per-partition unique sets do), which is why the fault-tolerant
+//! self-scheduler uses a *fixed* grid: results are then identical no
+//! matter which worker computes which chunk — or which workers crash.
+
+use crate::config::AlgoParams;
+use crate::flops;
+use crate::kernels;
+use crate::msg::Candidate;
+use crate::par::{best_candidate, empty_candidate};
+use crate::seq::{reduce_candidates, transform_reps, DetectedTarget, PctModel};
+use hsi_cube::{HyperCube, LabelImage};
+use hsi_linalg::covariance::CovarianceAccumulator;
+use hsi_linalg::eigen::SymmetricEigen;
+use hsi_linalg::lstsq::FclsProblem;
+use hsi_linalg::ortho::OrthoBasis;
+use hsi_linalg::Matrix;
+use hsi_morpho::StructuringElement;
+
+/// How a demand-driven scheduler sizes its chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// Fixed chunk size in image lines.
+    Fixed(usize),
+    /// Guided self-scheduling (Polychronopoulos & Kuck): each grab takes
+    /// `ceil(remaining / P)` lines, floored at `min` — large chunks while
+    /// plenty remains (low overhead), small chunks near the end (good
+    /// balance).
+    Guided {
+        /// Smallest chunk the scheduler will hand out.
+        min: usize,
+    },
+}
+
+impl ChunkPolicy {
+    /// Lines of the next chunk given the remaining lines and the worker
+    /// count.
+    pub fn next_chunk(&self, remaining: usize, workers: usize) -> usize {
+        match *self {
+            ChunkPolicy::Fixed(n) => n.min(remaining),
+            ChunkPolicy::Guided { min } => {
+                remaining.div_ceil(workers.max(1)).max(min).min(remaining)
+            }
+        }
+    }
+}
+
+/// An algorithm decomposed into rounds of independent line chunks.
+///
+/// A driver executes `rounds()` rounds. Each round it ships the current
+/// state to the workers, has chunks of lines computed via
+/// [`ChunkedAlgo::run_chunk`], and reduces the partials — sorted by
+/// first line — into the next state with [`ChunkedAlgo::reduce`]. After
+/// the last round, [`ChunkedAlgo::finish`] extracts the output.
+///
+/// Chunks carry **global** line coordinates over the full cube; every
+/// rank is assumed to reach the image data (the coordinator-only
+/// master/worker model of [`crate::ft`] — data staging costs are the
+/// drivers' concern, not the trait's).
+pub trait ChunkedAlgo {
+    /// Master-held state broadcast to workers at each round start.
+    type State: Clone + Send + 'static;
+    /// Per-chunk result returned to the master.
+    type Partial: Send + 'static;
+    /// The final analysis result.
+    type Output;
+
+    /// Short algorithm name (reports and benches).
+    fn name(&self) -> &'static str;
+    /// Total image lines to cover each round.
+    fn lines(&self) -> usize;
+    /// Number of rounds.
+    fn rounds(&self) -> usize;
+    /// The state before round 0.
+    fn initial_state(&self) -> Self::State;
+    /// Analytic compute cost (megaflops) of an `n`-line chunk in
+    /// `round` — the cost a worker charges and a master uses for
+    /// completion estimates. A pure function of `(round, n)` so every
+    /// scheduler prices identical work identically.
+    fn chunk_mflops(&self, round: usize, n: usize) -> f64;
+    /// Wire size (bits) of a state broadcast.
+    fn state_bits(&self, state: &Self::State) -> u64;
+    /// Wire size (bits) of a partial result.
+    fn partial_bits(&self, partial: &Self::Partial) -> u64;
+    /// Computes the partial for global lines `[first, first + n)`.
+    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize)
+        -> Self::Partial;
+    /// Merges a round's partials (sorted by first line) into the next
+    /// state; returns it with the master's merge cost in megaflops.
+    fn reduce(
+        &self,
+        round: usize,
+        state: Self::State,
+        partials: Vec<(usize, Self::Partial)>,
+    ) -> (Self::State, f64);
+    /// Extracts the output from the final state.
+    fn finish(&self, state: Self::State) -> Self::Output;
+}
+
+fn spectra_bits(spectra: &[Vec<f32>]) -> u64 {
+    spectra.iter().map(|s| (s.len() * 32) as u64).sum()
+}
+
+fn candidate_bits(c: &Candidate) -> u64 {
+    32 + 32 + 64 + (c.spectrum.len() * 32) as u64
+}
+
+// ---------------------------------------------------------------------
+// ATDCA
+// ---------------------------------------------------------------------
+
+/// ATDCA (paper Algorithm 2) as a chunked algorithm: one round per
+/// target; each chunk nominates its brightest (round 0) or
+/// maximum-projection pixel, the reduce selects the global winner with
+/// the sequential tie-break. Output is identical for **any** chunk
+/// grid.
+pub struct AtdcaChunks<'a> {
+    cube: &'a HyperCube,
+    params: &'a AlgoParams,
+}
+
+impl<'a> AtdcaChunks<'a> {
+    /// Wraps a cube and parameters.
+    pub fn new(cube: &'a HyperCube, params: &'a AlgoParams) -> Self {
+        AtdcaChunks { cube, params }
+    }
+
+    fn basis_of(&self, targets: &[DetectedTarget]) -> OrthoBasis {
+        let mut basis = OrthoBasis::new(self.cube.bands());
+        for t in targets {
+            let wide: Vec<f64> = t.spectrum.iter().map(|&v| v as f64).collect();
+            basis.push(&wide);
+        }
+        basis
+    }
+}
+
+impl ChunkedAlgo for AtdcaChunks<'_> {
+    type State = Vec<DetectedTarget>;
+    type Partial = Candidate;
+    type Output = Vec<DetectedTarget>;
+
+    fn name(&self) -> &'static str {
+        "ATDCA"
+    }
+
+    fn lines(&self) -> usize {
+        self.cube.lines()
+    }
+
+    fn rounds(&self) -> usize {
+        self.params.num_targets
+    }
+
+    fn initial_state(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn chunk_mflops(&self, round: usize, n: usize) -> f64 {
+        let bands = self.cube.bands();
+        let pixels = (n * self.cube.samples()) as f64;
+        let per_pixel = if round == 0 {
+            flops::brightness(bands)
+        } else {
+            flops::projection_score(bands, round)
+        };
+        // Rebuilding the basis from the broadcast targets is the chunked
+        // equivalent of the per-round basis_push of `par::atdca`.
+        let rebuild: f64 = (0..round).map(|k| flops::basis_push(bands, k)).sum();
+        flops::mflop(per_pixel * pixels + rebuild)
+    }
+
+    fn state_bits(&self, state: &Self::State) -> u64 {
+        state.iter().map(|t| (t.spectrum.len() * 32) as u64).sum()
+    }
+
+    fn partial_bits(&self, partial: &Self::Partial) -> u64 {
+        candidate_bits(partial)
+    }
+
+    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize) -> Candidate {
+        let range = (first, first + n);
+        let (cand, _) = if round == 0 {
+            kernels::brightest(self.cube, range)
+        } else {
+            let basis = self.basis_of(state);
+            kernels::max_projection(self.cube, &basis, range)
+        };
+        match cand {
+            Some(p) => p.to_candidate(self.cube, 0, 0),
+            None => empty_candidate(self.cube.bands()),
+        }
+    }
+
+    fn reduce(
+        &self,
+        round: usize,
+        mut state: Self::State,
+        partials: Vec<(usize, Candidate)>,
+    ) -> (Self::State, f64) {
+        let count = partials.len();
+        let best = best_candidate(partials.into_iter().map(|(_, c)| c).collect());
+        state.push(DetectedTarget {
+            line: best.line as usize,
+            sample: best.sample as usize,
+            spectrum: best.spectrum,
+        });
+        let mflops = flops::mflop(flops::projection_score(self.cube.bands(), round) * count as f64);
+        (state, mflops)
+    }
+
+    fn finish(&self, state: Self::State) -> Self::Output {
+        state
+    }
+}
+
+// ---------------------------------------------------------------------
+// UFCLS
+// ---------------------------------------------------------------------
+
+/// UFCLS (paper Algorithm 3) as a chunked algorithm: rounds grow the
+/// endmember set by the pixel with the largest fully-constrained
+/// least-squares error. Output is identical for any chunk grid.
+pub struct UfclsChunks<'a> {
+    cube: &'a HyperCube,
+    params: &'a AlgoParams,
+}
+
+impl<'a> UfclsChunks<'a> {
+    /// Wraps a cube and parameters.
+    pub fn new(cube: &'a HyperCube, params: &'a AlgoParams) -> Self {
+        UfclsChunks { cube, params }
+    }
+
+    fn endmember_matrix(targets: &[DetectedTarget]) -> Matrix {
+        let rows: Vec<Vec<f64>> = targets
+            .iter()
+            .map(|t| t.spectrum.iter().map(|&v| v as f64).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs)
+    }
+}
+
+impl ChunkedAlgo for UfclsChunks<'_> {
+    type State = Vec<DetectedTarget>;
+    type Partial = Candidate;
+    type Output = Vec<DetectedTarget>;
+
+    fn name(&self) -> &'static str {
+        "UFCLS"
+    }
+
+    fn lines(&self) -> usize {
+        self.cube.lines()
+    }
+
+    fn rounds(&self) -> usize {
+        self.params.num_targets
+    }
+
+    fn initial_state(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn chunk_mflops(&self, round: usize, n: usize) -> f64 {
+        let bands = self.cube.bands();
+        let pixels = (n * self.cube.samples()) as f64;
+        if round == 0 {
+            flops::mflop(flops::brightness(bands) * pixels)
+        } else {
+            // Each chunk rebuilds the Gram system once, then unmixes its
+            // pixels.
+            flops::mflop(flops::fcls(bands, round) * pixels + flops::gram(bands, round))
+        }
+    }
+
+    fn state_bits(&self, state: &Self::State) -> u64 {
+        state.iter().map(|t| (t.spectrum.len() * 32) as u64).sum()
+    }
+
+    fn partial_bits(&self, partial: &Self::Partial) -> u64 {
+        candidate_bits(partial)
+    }
+
+    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize) -> Candidate {
+        let range = (first, first + n);
+        let (cand, _) = if round == 0 {
+            kernels::brightest(self.cube, range)
+        } else {
+            let u = Self::endmember_matrix(state);
+            let problem = FclsProblem::new(u).expect("ufcls: singular endmembers");
+            kernels::max_fcls_error(self.cube, &problem, range)
+        };
+        match cand {
+            Some(p) => p.to_candidate(self.cube, 0, 0),
+            None => empty_candidate(self.cube.bands()),
+        }
+    }
+
+    fn reduce(
+        &self,
+        round: usize,
+        mut state: Self::State,
+        partials: Vec<(usize, Candidate)>,
+    ) -> (Self::State, f64) {
+        let count = partials.len();
+        let best = best_candidate(partials.into_iter().map(|(_, c)| c).collect());
+        state.push(DetectedTarget {
+            line: best.line as usize,
+            sample: best.sample as usize,
+            spectrum: best.spectrum,
+        });
+        let mflops = flops::mflop(flops::fcls(self.cube.bands(), round.max(1)) * count as f64);
+        (state, mflops)
+    }
+
+    fn finish(&self, state: Self::State) -> Self::Output {
+        state
+    }
+}
+
+// ---------------------------------------------------------------------
+// PCT
+// ---------------------------------------------------------------------
+
+/// PCT round-by-round state (see [`PctChunks`]).
+#[derive(Debug, Clone)]
+pub enum PctState {
+    /// Before round 0.
+    Fresh,
+    /// After round 0: the merged class representatives. Master-held —
+    /// the covariance round does not need them, so the broadcast is
+    /// sized zero.
+    Reps(Vec<Vec<f32>>),
+    /// After round 1: the PCT model (what the real algorithm
+    /// broadcasts before the labelling step).
+    Model {
+        /// Full-spectrum class representatives (master bookkeeping).
+        reps: Vec<Vec<f32>>,
+        /// Rows of the `c × N` principal transform.
+        transform: Vec<Vec<f64>>,
+        /// The image mean spectrum.
+        mean: Vec<f64>,
+        /// Class representatives in transformed space.
+        classes: Vec<Vec<f64>>,
+    },
+    /// After round 2: the assembled labels plus the model.
+    Done {
+        /// Row-major labels of the full image.
+        labels: Vec<u16>,
+        /// Rows of the principal transform.
+        transform: Vec<Vec<f64>>,
+        /// The image mean spectrum.
+        mean: Vec<f64>,
+        /// Class representatives in transformed space.
+        classes: Vec<Vec<f64>>,
+    },
+}
+
+/// Per-chunk PCT partials (one variant per round).
+#[derive(Debug, Clone)]
+pub enum PctPartial {
+    /// Round 0: scored unique-set spectra.
+    Cands(Vec<(Vec<f32>, f64)>),
+    /// Round 1: a flattened covariance accumulator shard.
+    Stats(Vec<f64>),
+    /// Round 2: labels of the chunk's lines.
+    Labels(Vec<u16>),
+}
+
+/// PCT (paper Algorithm 4) as a chunked algorithm, three rounds:
+/// unique-set construction, covariance accumulation, and labelling with
+/// the eigendecomposition at the reduce between rounds 1 and 2. As with
+/// the partitioned algorithm, the candidate pool — hence the exact
+/// labelling — depends on the chunk grid; a fixed grid gives identical
+/// output regardless of worker assignment.
+pub struct PctChunks<'a> {
+    cube: &'a HyperCube,
+    params: &'a AlgoParams,
+}
+
+impl<'a> PctChunks<'a> {
+    /// Wraps a cube and parameters.
+    pub fn new(cube: &'a HyperCube, params: &'a AlgoParams) -> Self {
+        PctChunks { cube, params }
+    }
+}
+
+impl ChunkedAlgo for PctChunks<'_> {
+    type State = PctState;
+    type Partial = PctPartial;
+    type Output = (LabelImage, PctModel);
+
+    fn name(&self) -> &'static str {
+        "PCT"
+    }
+
+    fn lines(&self) -> usize {
+        self.cube.lines()
+    }
+
+    fn rounds(&self) -> usize {
+        3
+    }
+
+    fn initial_state(&self) -> Self::State {
+        PctState::Fresh
+    }
+
+    fn chunk_mflops(&self, round: usize, n: usize) -> f64 {
+        let bands = self.cube.bands();
+        let c = self.params.num_classes;
+        let pixels = n * self.cube.samples();
+        match round {
+            0 => flops::mflop(flops::unique_set(bands, pixels, 4 * c)),
+            1 => flops::mflop(flops::covariance_accumulate(bands) * pixels as f64),
+            _ => flops::mflop(
+                (flops::pct_transform(bands, c) + flops::pct_classify(c, c)) * pixels as f64,
+            ),
+        }
+    }
+
+    fn state_bits(&self, state: &Self::State) -> u64 {
+        match state {
+            // Reps stay at the master; workers need nothing until the
+            // model broadcast.
+            PctState::Fresh | PctState::Reps(_) => 0,
+            PctState::Model {
+                transform,
+                mean,
+                classes,
+                ..
+            }
+            | PctState::Done {
+                transform,
+                mean,
+                classes,
+                ..
+            } => {
+                let t: u64 = transform.iter().map(|r| (r.len() * 64) as u64).sum();
+                let cl: u64 = classes.iter().map(|r| (r.len() * 64) as u64).sum();
+                t + (mean.len() * 64) as u64 + cl
+            }
+        }
+    }
+
+    fn partial_bits(&self, partial: &Self::Partial) -> u64 {
+        match partial {
+            PctPartial::Cands(cs) => cs.iter().map(|(s, _)| 64 + (s.len() * 32) as u64).sum(),
+            PctPartial::Stats(v) => (v.len() * 64) as u64,
+            PctPartial::Labels(l) => (l.len() * 16) as u64,
+        }
+    }
+
+    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize) -> PctPartial {
+        let range = (first, first + n);
+        match round {
+            0 => {
+                let c = self.params.num_classes;
+                let (set, _) =
+                    kernels::unique_set(self.cube, range, self.params.sad_threshold, 4 * c);
+                PctPartial::Cands(
+                    set.iter()
+                        .map(|p| (self.cube.pixel(p.line, p.sample).to_vec(), p.score))
+                        .collect(),
+                )
+            }
+            1 => {
+                let (acc, _) = kernels::covariance_partial(self.cube, range);
+                PctPartial::Stats(acc.to_flat())
+            }
+            _ => {
+                let PctState::Model {
+                    transform,
+                    mean,
+                    classes,
+                    ..
+                } = state
+                else {
+                    panic!("pct: labelling round without a model")
+                };
+                let rows: Vec<&[f64]> = transform.iter().map(|r| r.as_slice()).collect();
+                let t = Matrix::from_rows(&rows);
+                let (labels, _) = kernels::pct_label(self.cube, range, &t, mean, classes);
+                PctPartial::Labels(labels)
+            }
+        }
+    }
+
+    fn reduce(
+        &self,
+        round: usize,
+        state: Self::State,
+        partials: Vec<(usize, PctPartial)>,
+    ) -> (Self::State, f64) {
+        let n = self.cube.bands();
+        let c = self.params.num_classes;
+        match round {
+            0 => {
+                let mut scored: Vec<(Vec<f32>, f64)> = Vec::new();
+                for (_, p) in partials {
+                    let PctPartial::Cands(cs) = p else {
+                        panic!("pct: wrong partial in round 0")
+                    };
+                    scored.extend(cs);
+                }
+                let (reps, mflops) = reduce_candidates(&scored, self.params.sad_threshold, c);
+                (PctState::Reps(reps), mflops)
+            }
+            1 => {
+                let PctState::Reps(reps) = state else {
+                    panic!("pct: covariance round without reps")
+                };
+                let shards = partials.len();
+                let mut total = CovarianceAccumulator::new(n);
+                for (_, p) in partials {
+                    let PctPartial::Stats(flat) = p else {
+                        panic!("pct: wrong partial in round 1")
+                    };
+                    let other =
+                        CovarianceAccumulator::from_flat(n, &flat).expect("pct: flat shape");
+                    total.merge(&other).expect("pct: dim");
+                }
+                let mean = total.mean().expect("pct: empty image");
+                let cov = total.covariance().expect("pct: empty image");
+                let eig = SymmetricEigen::new(&cov).expect("pct: eigen failed");
+                let transform = eig.principal_transform(c.min(n)).expect("pct: transform");
+                let classes = transform_reps(&transform, &mean, &reps);
+                let mflops = flops::mflop(
+                    (shards * n * (n + 3) / 2) as f64
+                        + flops::jacobi_eigen(n)
+                        + reps.len() as f64 * flops::pct_transform(n, transform.rows()),
+                );
+                let rows = (0..transform.rows())
+                    .map(|r| transform.row(r).to_vec())
+                    .collect();
+                (
+                    PctState::Model {
+                        reps,
+                        transform: rows,
+                        mean,
+                        classes,
+                    },
+                    mflops,
+                )
+            }
+            _ => {
+                let PctState::Model {
+                    transform,
+                    mean,
+                    classes,
+                    ..
+                } = state
+                else {
+                    panic!("pct: labelling round without a model")
+                };
+                let samples = self.cube.samples();
+                let mut labels = vec![0u16; self.cube.lines() * samples];
+                for (first, p) in partials {
+                    let PctPartial::Labels(l) = p else {
+                        panic!("pct: wrong partial in round 2")
+                    };
+                    labels[first * samples..first * samples + l.len()].copy_from_slice(&l);
+                }
+                (
+                    PctState::Done {
+                        labels,
+                        transform,
+                        mean,
+                        classes,
+                    },
+                    0.0,
+                )
+            }
+        }
+    }
+
+    fn finish(&self, state: Self::State) -> Self::Output {
+        let PctState::Done {
+            labels,
+            transform,
+            mean,
+            classes,
+        } = state
+        else {
+            panic!("pct: finish before the labelling round")
+        };
+        let rows: Vec<&[f64]> = transform.iter().map(|r| r.as_slice()).collect();
+        let image = LabelImage::from_vec(self.cube.lines(), self.cube.samples(), labels);
+        (
+            image,
+            PctModel {
+                transform: Matrix::from_rows(&rows),
+                mean,
+                class_reps: classes,
+            },
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// MORPH
+// ---------------------------------------------------------------------
+
+/// MORPH round-by-round state (see [`MorphChunks`]).
+#[derive(Debug, Clone)]
+pub enum MorphState {
+    /// Before round 0.
+    Fresh,
+    /// After round 0: merged class representatives (broadcast before
+    /// labelling).
+    Reps(Vec<Vec<f32>>),
+    /// After round 1: labels plus the representatives.
+    Done {
+        /// Row-major labels of the full image.
+        labels: Vec<u16>,
+        /// The class representatives.
+        reps: Vec<Vec<f32>>,
+    },
+}
+
+/// Per-chunk MORPH partials.
+#[derive(Debug, Clone)]
+pub enum MorphPartial {
+    /// Round 0: scored MEI candidates.
+    Cands(Vec<(Vec<f32>, f64)>),
+    /// Round 1: labels of the chunk's lines.
+    Labels(Vec<u16>),
+}
+
+/// MORPH (paper Algorithm 5) as a chunked algorithm, two rounds: MEI
+/// candidate nomination (each chunk is extracted with its halo, the
+/// paper's overlap border) and SAD labelling against the merged class
+/// representatives. [`crate::dynamic`]'s MORPH-only scheduler delegates
+/// its kernel work here.
+pub struct MorphChunks<'a> {
+    cube: &'a HyperCube,
+    params: &'a AlgoParams,
+    se: StructuringElement,
+    halo: usize,
+}
+
+impl<'a> MorphChunks<'a> {
+    /// Wraps a cube and parameters (halo = structuring-element radius).
+    pub fn new(cube: &'a HyperCube, params: &'a AlgoParams) -> Self {
+        MorphChunks {
+            cube,
+            params,
+            se: StructuringElement::square(params.se_radius),
+            halo: params.se_radius,
+        }
+    }
+
+    /// Halo lines each chunk is padded with on either side.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Runs MEI on chunk `[first, first + n)` (halo included in the
+    /// computation) and returns scored candidate spectra.
+    pub fn candidates(&self, first: usize, n: usize) -> Vec<(Vec<f32>, f64)> {
+        let (block, pre) = self.cube.extract_lines_with_overlap(first, n, self.halo);
+        let (top, _) = kernels::mei_top(
+            &block,
+            &self.se,
+            self.params.morph_iterations,
+            (pre, pre + n),
+            self.params.num_classes,
+            self.params.sad_threshold,
+        );
+        top.iter()
+            .map(|p| (block.pixel(p.line, p.sample).to_vec(), p.score))
+            .collect()
+    }
+
+    /// SAD-labels chunk `[first, first + n)` against `reps`, writing
+    /// into `out` at global coordinates.
+    pub fn label_into(&self, first: usize, n: usize, reps: &[Vec<f32>], out: &mut LabelImage) {
+        for (i, &l) in self.label_chunk(first, n, reps).iter().enumerate() {
+            out.set(first + i / self.cube.samples(), i % self.cube.samples(), l);
+        }
+    }
+
+    fn label_chunk(&self, first: usize, n: usize, reps: &[Vec<f32>]) -> Vec<u16> {
+        let block = self.cube.extract_lines(first, n);
+        let (labels, _) = kernels::sad_label(&block, (0, n), reps);
+        labels
+    }
+}
+
+impl ChunkedAlgo for MorphChunks<'_> {
+    type State = MorphState;
+    type Partial = MorphPartial;
+    type Output = (LabelImage, Vec<Vec<f32>>);
+
+    fn name(&self) -> &'static str {
+        "MORPH"
+    }
+
+    fn lines(&self) -> usize {
+        self.cube.lines()
+    }
+
+    fn rounds(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self) -> Self::State {
+        MorphState::Fresh
+    }
+
+    fn chunk_mflops(&self, round: usize, n: usize) -> f64 {
+        let bands = self.cube.bands();
+        let samples = self.cube.samples();
+        let se_len = self.se.len();
+        match round {
+            0 => flops::mflop(
+                flops::mei_iteration((n + 2 * self.halo) * samples, bands, se_len)
+                    * self.params.morph_iterations as f64,
+            ),
+            _ => flops::mflop(
+                flops::sad_classify(bands, self.params.num_classes) * (n * samples) as f64,
+            ),
+        }
+    }
+
+    fn state_bits(&self, state: &Self::State) -> u64 {
+        match state {
+            MorphState::Fresh => 0,
+            MorphState::Reps(reps) | MorphState::Done { reps, .. } => spectra_bits(reps),
+        }
+    }
+
+    fn partial_bits(&self, partial: &Self::Partial) -> u64 {
+        match partial {
+            MorphPartial::Cands(cs) => cs.iter().map(|(s, _)| 64 + (s.len() * 32) as u64).sum(),
+            MorphPartial::Labels(l) => (l.len() * 16) as u64,
+        }
+    }
+
+    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize) -> MorphPartial {
+        match round {
+            0 => MorphPartial::Cands(self.candidates(first, n)),
+            _ => {
+                let MorphState::Reps(reps) = state else {
+                    panic!("morph: labelling round without reps")
+                };
+                MorphPartial::Labels(self.label_chunk(first, n, reps))
+            }
+        }
+    }
+
+    fn reduce(
+        &self,
+        round: usize,
+        state: Self::State,
+        partials: Vec<(usize, MorphPartial)>,
+    ) -> (Self::State, f64) {
+        match round {
+            0 => {
+                let mut scored: Vec<(Vec<f32>, f64)> = Vec::new();
+                for (_, p) in partials {
+                    let MorphPartial::Cands(cs) = p else {
+                        panic!("morph: wrong partial in round 0")
+                    };
+                    scored.extend(cs);
+                }
+                let (reps, mflops) =
+                    reduce_candidates(&scored, self.params.sad_threshold, self.params.num_classes);
+                (MorphState::Reps(reps), mflops)
+            }
+            _ => {
+                let MorphState::Reps(reps) = state else {
+                    panic!("morph: labelling round without reps")
+                };
+                let samples = self.cube.samples();
+                let mut labels = vec![0u16; self.cube.lines() * samples];
+                for (first, p) in partials {
+                    let MorphPartial::Labels(l) = p else {
+                        panic!("morph: wrong partial in round 1")
+                    };
+                    labels[first * samples..first * samples + l.len()].copy_from_slice(&l);
+                }
+                (MorphState::Done { labels, reps }, 0.0)
+            }
+        }
+    }
+
+    fn finish(&self, state: Self::State) -> Self::Output {
+        let MorphState::Done { labels, reps } = state else {
+            panic!("morph: finish before the labelling round")
+        };
+        (
+            LabelImage::from_vec(self.cube.lines(), self.cube.samples(), labels),
+            reps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi_cube::synth::{wtc_scene, WtcConfig};
+
+    /// Executes a chunked algorithm locally (no simulator) on a fixed
+    /// chunk grid — the reference driver the fault-tolerant schedulers
+    /// must agree with.
+    fn run_local<A: ChunkedAlgo>(algo: &A, chunk: usize) -> A::Output {
+        let mut state = algo.initial_state();
+        for round in 0..algo.rounds() {
+            let mut partials = Vec::new();
+            let mut first = 0;
+            while first < algo.lines() {
+                let n = chunk.min(algo.lines() - first);
+                partials.push((first, algo.run_chunk(round, &state, first, n)));
+                first += n;
+            }
+            let (next, _) = algo.reduce(round, state, partials);
+            state = next;
+        }
+        algo.finish(state)
+    }
+
+    fn scene() -> hsi_cube::synth::SyntheticScene {
+        wtc_scene(WtcConfig::tiny())
+    }
+
+    #[test]
+    fn atdca_chunked_matches_sequential_for_any_grid() {
+        let s = scene();
+        let p = AlgoParams {
+            num_targets: 6,
+            ..Default::default()
+        };
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let seq_coords: Vec<_> = seq.result.iter().map(|t| (t.line, t.sample)).collect();
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        for chunk in [5usize, 17, s.cube.lines()] {
+            let out = run_local(&algo, chunk);
+            let coords: Vec<_> = out.iter().map(|t| (t.line, t.sample)).collect();
+            assert_eq!(coords, seq_coords, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn ufcls_chunked_matches_sequential_for_any_grid() {
+        let s = scene();
+        let p = AlgoParams {
+            num_targets: 5,
+            ..Default::default()
+        };
+        let seq = crate::seq::ufcls(&s.cube, &p);
+        let seq_coords: Vec<_> = seq.result.iter().map(|t| (t.line, t.sample)).collect();
+        let algo = UfclsChunks::new(&s.cube, &p);
+        for chunk in [7usize, s.cube.lines()] {
+            let out = run_local(&algo, chunk);
+            let coords: Vec<_> = out.iter().map(|t| (t.line, t.sample)).collect();
+            assert_eq!(coords, seq_coords, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn pct_single_chunk_equals_sequential() {
+        let s = scene();
+        let p = AlgoParams::default();
+        let seq = crate::seq::pct(&s.cube, &p);
+        let algo = PctChunks::new(&s.cube, &p);
+        let (labels, model) = run_local(&algo, s.cube.lines());
+        assert_eq!(labels.as_slice(), seq.result.0.as_slice());
+        assert_eq!(model.mean, seq.result.1.mean);
+    }
+
+    #[test]
+    fn pct_chunked_labelling_is_sound() {
+        let s = scene();
+        let p = AlgoParams::default();
+        let algo = PctChunks::new(&s.cube, &p);
+        let (labels, _) = run_local(&algo, 8);
+        assert_eq!(labels.lines(), s.cube.lines());
+        for &l in labels.as_slice() {
+            assert!((l as usize) < p.num_classes);
+        }
+        let acc = hsi_cube::labels::score(&labels, &s.truth).overall;
+        assert!(acc > 25.0, "chunked PCT accuracy only {acc:.1}%");
+    }
+
+    #[test]
+    fn morph_single_chunk_equals_sequential() {
+        let s = scene();
+        let p = AlgoParams {
+            morph_iterations: 2,
+            ..Default::default()
+        };
+        let seq = crate::seq::morph(&s.cube, &p);
+        let algo = MorphChunks::new(&s.cube, &p);
+        let (labels, reps) = run_local(&algo, s.cube.lines());
+        assert_eq!(labels.as_slice(), seq.result.0.as_slice());
+        assert_eq!(reps, seq.result.1);
+    }
+
+    #[test]
+    fn morph_chunked_labelling_is_sound() {
+        let s = scene();
+        let p = AlgoParams {
+            morph_iterations: 2,
+            ..Default::default()
+        };
+        let algo = MorphChunks::new(&s.cube, &p);
+        let (labels, _) = run_local(&algo, 8);
+        for &l in labels.as_slice() {
+            assert!((l as usize) < p.num_classes);
+        }
+        let acc = crate::eval::debris_accuracy(&s, &labels, 7).overall;
+        assert!(acc > 30.0, "chunked MORPH accuracy only {acc:.1}%");
+    }
+
+    #[test]
+    fn chunk_costs_are_positive_and_monotone() {
+        let s = scene();
+        let p = AlgoParams::default();
+        let atdca = AtdcaChunks::new(&s.cube, &p);
+        let pct = PctChunks::new(&s.cube, &p);
+        let morph = MorphChunks::new(&s.cube, &p);
+        for round in 0..3 {
+            assert!(pct.chunk_mflops(round, 8) > 0.0);
+            assert!(pct.chunk_mflops(round, 16) > pct.chunk_mflops(round, 8));
+        }
+        assert!(atdca.chunk_mflops(1, 8) > atdca.chunk_mflops(0, 8) * 0.1);
+        assert!(morph.chunk_mflops(0, 8) > 0.0 && morph.chunk_mflops(1, 8) > 0.0);
+        assert_eq!(atdca.name(), "ATDCA");
+        assert_eq!(morph.rounds(), 2);
+    }
+
+    #[test]
+    fn chunk_policy_arithmetic() {
+        assert_eq!(ChunkPolicy::Fixed(8).next_chunk(100, 4), 8);
+        assert_eq!(ChunkPolicy::Fixed(8).next_chunk(5, 4), 5);
+        assert_eq!(ChunkPolicy::Guided { min: 2 }.next_chunk(100, 4), 25);
+        assert_eq!(ChunkPolicy::Guided { min: 2 }.next_chunk(5, 4), 2);
+        assert_eq!(ChunkPolicy::Guided { min: 2 }.next_chunk(1, 4), 1);
+    }
+}

@@ -154,7 +154,7 @@ pub fn noise_floor(cube: &HyperCube, factor: f64) -> VdEstimate {
     // Median of the lower half as the noise level.
     let tail = &e_cov.eigenvalues[n / 2..];
     let mut sorted: Vec<f64> = tail.iter().map(|l| l.max(0.0)).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let noise = sorted[sorted.len() / 2].max(1e-300);
     let dimension = e_cov
         .eigenvalues

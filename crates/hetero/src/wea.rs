@@ -312,7 +312,7 @@ pub fn apportion_rows(fractions: &[f64], total_rows: usize) -> Vec<usize> {
         .enumerate()
         .map(|(i, f)| (i, f * total_rows as f64 - counts[i] as f64))
         .collect();
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     for &(i, _) in remainders.iter().take(total_rows - assigned) {
         counts[i] += 1;
     }

@@ -107,4 +107,30 @@ mod tests {
         let s = links.reserve(0, 1, 10.0, 1.0); // link long free again
         assert_eq!(s, 10.0);
     }
+
+    #[test]
+    fn fifo_is_reservation_order_not_earliest_time() {
+        // The queue discipline is *call order* (the root's program
+        // order), not earliest-requested-start order: a later call with
+        // an earlier `earliest` still queues behind prior reservations.
+        let links = InterSegmentLinks::new();
+        let s1 = links.reserve(0, 1, 5.0, 1.0); // head of queue
+        let s2 = links.reserve(0, 1, 0.0, 1.0); // wants 0.0, gets 6.0
+        let s3 = links.reserve(1, 0, 6.0, 1.0); // same pair, queues again
+        assert_eq!(s1, 5.0);
+        assert_eq!(s2, 6.0);
+        assert_eq!(s3, 7.0);
+        assert_eq!(links.free_at(0, 1), 8.0);
+    }
+
+    #[test]
+    fn contended_link_backlog_accumulates() {
+        // Ten back-to-back reservations pack the link solid with no gaps.
+        let links = InterSegmentLinks::new();
+        for i in 0..10 {
+            let s = links.reserve(2, 7, 0.0, 0.5);
+            assert!((s - 0.5 * i as f64).abs() < 1e-12, "slot {i} at {s}");
+        }
+        assert!((links.free_at(2, 7) - 5.0).abs() < 1e-12);
+    }
 }

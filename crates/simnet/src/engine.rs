@@ -13,12 +13,22 @@
 //! platform's link matrix with serial inter-segment contention; see
 //! [`crate::contention`] for the determinism argument.
 //!
-//! **Failure.** If any rank panics, its channels disconnect and every
-//! rank blocked on [`Ctx::recv`] panics with a "peer terminated" message;
-//! the panic then propagates out of [`Engine::run`].
+//! **Failure.** Failures are structured, not process-aborting. A rank
+//! that panics — or crashes on schedule under a [`FaultPlan`] — is
+//! unwound by the engine, which records a [`RankFailure`] in the
+//! [`RunReport`] and sends a trailing *gone* marker to every peer over
+//! the ordinary FIFO channels (so all messages sent before the failure
+//! still arrive first). A peer blocked in [`Ctx::recv`] on a failed rank
+//! unwinds in turn (cause `PeerLost`); a peer using
+//! [`Ctx::recv_deadline`] instead *observes* the failure as a
+//! [`RecvError::Failed`] value and can re-plan — the hook fault-tolerant
+//! schedulers build on. Crash instants, slowdown dilation and link fault
+//! windows are all functions of virtual time only, so faulty runs are
+//! exactly as deterministic as healthy ones.
 
 use crate::clock::{Phase, TimeLedger};
 use crate::contention::InterSegmentLinks;
+use crate::faults::{FailureCause, FaultPlan, RankFailure, RecvError};
 use crate::platform::Platform;
 use crate::report::RunReport;
 use crate::trace::{Trace, TraceEvent, TraceKind};
@@ -97,15 +107,74 @@ struct Envelope<M> {
     payload: M,
 }
 
+/// What actually travels on a channel: a message, or a trailing marker
+/// the engine sends when the source rank leaves the run (cleanly or
+/// not). FIFO ordering guarantees the marker trails every real message.
+enum Packet<M> {
+    Msg(Envelope<M>),
+    Gone {
+        /// Source rank's virtual clock when it left.
+        at: f64,
+        /// `None`: clean exit. `Some`: why the rank failed.
+        failure: Option<FailureCause>,
+    },
+}
+
+/// A packet whose arrival time has been resolved (link reservation done
+/// exactly once, at first peek, in the receiver's program order).
+enum Stashed<M> {
+    Msg {
+        arrival: f64,
+        transfer_secs: f64,
+        payload: M,
+    },
+    Gone {
+        at: f64,
+        failure: Option<FailureCause>,
+    },
+}
+
+/// Engine-internal unwind payload: this rank hit its scheduled crash.
+struct CrashSignal;
+
+/// Engine-internal unwind payload: a peer this rank depended on failed.
+struct PeerFailedSignal {
+    peer: usize,
+}
+
+/// Suppresses the default "thread panicked" stderr noise for the
+/// engine's own control-flow unwinds; real panics still print.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.downcast_ref::<CrashSignal>().is_some()
+                || payload.downcast_ref::<PeerFailedSignal>().is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
 /// The per-rank execution context handed to the program closure.
 pub struct Ctx<M: Wire> {
     rank: usize,
     platform: Arc<Platform>,
     config: CommConfig,
     links: Arc<InterSegmentLinks>,
+    faults: Arc<FaultPlan>,
+    /// This rank's scheduled crash time (`∞` when none).
+    crash_at: f64,
     ledger: TimeLedger,
-    txs: Vec<Sender<Envelope<M>>>,
-    rxs: Vec<Option<Receiver<Envelope<M>>>>,
+    txs: Vec<Sender<Packet<M>>>,
+    rxs: Vec<Option<Receiver<Packet<M>>>>,
+    /// Per-source stash for peeked-but-undelivered packets
+    /// (deadline misses and permanent failure markers).
+    pending: Vec<Option<Stashed<M>>>,
     trace: TraceSink,
 }
 
@@ -119,6 +188,100 @@ impl<M: Wire> Ctx<M> {
                 end: self.ledger.now,
                 kind,
             });
+        }
+    }
+
+    /// Unwinds this rank at its scheduled crash instant.
+    #[cold]
+    fn die(&mut self) -> ! {
+        if self.ledger.now < self.crash_at {
+            self.ledger.receive(self.crash_at, 0.0); // idle until the crash
+        }
+        self.record(self.ledger.now, TraceKind::Crash);
+        std::panic::panic_any(CrashSignal);
+    }
+
+    /// Dies if this rank's clock has already reached its crash time.
+    #[inline]
+    fn check_crashed(&mut self) {
+        if self.ledger.now >= self.crash_at {
+            self.die();
+        }
+    }
+
+    fn advance_compute(&mut self, mflops: f64, phase: Phase, kind: TraceKind) {
+        self.check_crashed();
+        let start = self.ledger.now;
+        let secs = mflops * self.platform.proc(self.rank).cycle_time;
+        let end = self.faults.dilate(self.rank, start, secs);
+        if end >= self.crash_at {
+            // The crash lands mid-computation: charge the truncated span
+            // and unwind.
+            self.ledger.compute(self.crash_at - start, phase);
+            self.record(start, kind);
+            self.die();
+        }
+        self.ledger.compute(end - start, phase);
+        self.record(start, kind);
+    }
+
+    /// Resolves a raw packet's arrival time. The root resolves link
+    /// reservations here, in its own program order — which is what keeps
+    /// contention timestamps deterministic (see [`crate::contention`]).
+    fn resolve(&mut self, src: usize, pkt: Packet<M>) -> Stashed<M> {
+        match pkt {
+            Packet::Gone { at, failure } => Stashed::Gone { at, failure },
+            Packet::Msg(env) => {
+                let (arrival, transfer_secs) = match env.arrives_at {
+                    Some(a) => (a, env.transfer_secs),
+                    None => {
+                        let (seg_src, seg_dst) = (
+                            self.platform.segment_of(src),
+                            self.platform.segment_of(self.rank),
+                        );
+                        let (earliest, dur) = self.faults.adjust_transfer(
+                            seg_src,
+                            seg_dst,
+                            env.sent_at,
+                            env.transfer_secs,
+                        );
+                        if self.rank == 0 {
+                            let start = self.links.reserve(seg_src, seg_dst, earliest, dur);
+                            (start + dur, dur)
+                        } else {
+                            // Worker↔worker: raw transfer, no queueing
+                            // (documented approximation; only the halo
+                            // ablation uses this).
+                            (earliest + dur, dur)
+                        }
+                    }
+                };
+                Stashed::Msg {
+                    arrival,
+                    transfer_secs,
+                    payload: env.payload,
+                }
+            }
+        }
+    }
+
+    /// Next packet from `src`: the stashed one if present, else a
+    /// blocking (wall-clock) channel read.
+    fn next_packet(&mut self, src: usize) -> Stashed<M> {
+        if let Some(p) = self.pending[src].take() {
+            return p;
+        }
+        let rx = self.rxs[src]
+            .as_ref()
+            .expect("recv: receiver already moved");
+        match rx.recv() {
+            Ok(pkt) => self.resolve(src, pkt),
+            // Channel disconnect without a Gone marker can only happen if
+            // the peer thread was torn down outside the engine's control.
+            Err(_) => Stashed::Gone {
+                at: self.ledger.now,
+                failure: Some(FailureCause::PeerLost { peer: src }),
+            },
         }
     }
 }
@@ -161,19 +324,13 @@ impl<M: Wire> Ctx<M> {
     /// Charges `mflops` megaflops of **parallel-phase** computation at
     /// this processor's cycle-time.
     pub fn compute_par(&mut self, mflops: f64) {
-        let start = self.ledger.now;
-        let secs = mflops * self.platform.proc(self.rank).cycle_time;
-        self.ledger.compute(secs, Phase::Par);
-        self.record(start, TraceKind::ComputePar);
+        self.advance_compute(mflops, Phase::Par, TraceKind::ComputePar);
     }
 
     /// Charges `mflops` megaflops of **sequential-phase** computation
     /// (root-only work while the rest of the system idles).
     pub fn compute_seq(&mut self, mflops: f64) {
-        let start = self.ledger.now;
-        let secs = mflops * self.platform.proc(self.rank).cycle_time;
-        self.ledger.compute(secs, Phase::Seq);
-        self.record(start, TraceKind::ComputeSeq);
+        self.advance_compute(mflops, Phase::Seq, TraceKind::ComputeSeq);
     }
 
     /// Sends `payload` to `dst`, charging the wire size reported by the
@@ -192,11 +349,16 @@ impl<M: Wire> Ctx<M> {
 
     /// Sends `payload` to `dst`, charging an explicit wire size.
     ///
+    /// Sends to a rank that has already failed are silently dropped on
+    /// the receiving side (the link time is still charged), mirroring a
+    /// network that accepts frames for a dead host.
+    ///
     /// # Panics
     /// Panics on self-sends and out-of-range destinations.
     pub fn send_bits(&mut self, dst: usize, payload: M, bits: u64) {
         assert!(dst < self.num_ranks(), "send: rank {dst} out of range");
         assert_ne!(dst, self.rank, "send: self-send not supported");
+        self.check_crashed();
         let trace_start = self.ledger.now;
         self.ledger.send_overhead(self.config.latency_s);
         self.record(trace_start, TraceKind::Send { dst });
@@ -204,16 +366,22 @@ impl<M: Wire> Ctx<M> {
         let sent_at = self.ledger.now;
         // Root-side link reservation keeps virtual timestamps
         // deterministic (root program order); see crate::contention.
-        let arrives_at = if self.rank == 0 {
-            let start = self.links.reserve(
+        let (arrives_at, transfer_secs) = if self.rank == 0 {
+            let (earliest, dur) = self.faults.adjust_transfer(
                 self.platform.segment_of(self.rank),
                 self.platform.segment_of(dst),
                 sent_at,
                 transfer_secs,
             );
-            Some(start + transfer_secs)
+            let start = self.links.reserve(
+                self.platform.segment_of(self.rank),
+                self.platform.segment_of(dst),
+                earliest,
+                dur,
+            );
+            (Some(start + dur), dur)
         } else {
-            None
+            (None, transfer_secs)
         };
         let env = Envelope {
             sent_at,
@@ -221,55 +389,154 @@ impl<M: Wire> Ctx<M> {
             transfer_secs,
             payload,
         };
-        self.txs[dst]
-            .send(env)
-            .expect("send: peer terminated (receiver dropped)");
+        // A disconnected receiver means the peer already left the run;
+        // the message is dropped, exactly like frames to a dead host.
+        let _ = self.txs[dst].send(Packet::Msg(env));
     }
 
     /// Receives the next message from `src` (blocking), advancing this
     /// rank's virtual clock to the message's arrival time.
     ///
     /// # Panics
-    /// Panics on self-receives, out-of-range sources, or when the peer
-    /// thread has terminated (panicked) without sending.
+    /// Panics on self-receives and out-of-range sources. If `src` left
+    /// the run without sending, this rank is unwound by the engine and
+    /// reported as failed with cause `PeerLost` — use
+    /// [`Ctx::recv_deadline`] to observe peer failure as a value
+    /// instead.
     pub fn recv(&mut self, src: usize) -> M {
         assert!(src < self.num_ranks(), "recv: rank {src} out of range");
         assert_ne!(src, self.rank, "recv: self-receive not supported");
-        let rx = self.rxs[src]
-            .as_ref()
-            .expect("recv: receiver already moved");
-        let env = rx
-            .recv()
-            .expect("recv: peer terminated before sending (likely a panic on the peer rank)");
-        let arrival = match env.arrives_at {
-            Some(a) => a,
-            None => {
-                if self.rank == 0 {
-                    // Root resolves the reservation in its program order.
-                    let start = self.links.reserve(
-                        self.platform.segment_of(src),
-                        self.platform.segment_of(self.rank),
-                        env.sent_at,
-                        env.transfer_secs,
-                    );
-                    start + env.transfer_secs
-                } else {
-                    // Worker↔worker: raw transfer, no queueing (documented
-                    // approximation; only the halo ablation uses this).
-                    env.sent_at + env.transfer_secs
+        self.check_crashed();
+        match self.next_packet(src) {
+            Stashed::Msg {
+                arrival,
+                transfer_secs,
+                payload,
+            } => {
+                if arrival >= self.crash_at {
+                    // Died waiting for this message.
+                    self.pending[src] = Some(Stashed::Msg {
+                        arrival,
+                        transfer_secs,
+                        payload,
+                    });
+                    self.die();
+                }
+                let trace_start = self.ledger.now;
+                self.ledger.receive(arrival, transfer_secs);
+                self.record(trace_start, TraceKind::Recv { src });
+                payload
+            }
+            Stashed::Gone { at, failure } => {
+                // The marker is permanent: stash it back so later
+                // receives observe the same state.
+                self.pending[src] = Some(Stashed::Gone {
+                    at,
+                    failure: failure.clone(),
+                });
+                if at >= self.crash_at {
+                    self.die();
+                }
+                self.ledger.receive(at, 0.0); // idle until the news lands
+                std::panic::panic_any(PeerFailedSignal { peer: src });
+            }
+        }
+    }
+
+    /// Receives the next message from `src` **if it arrives by virtual
+    /// time `deadline`**; otherwise advances this rank's clock to the
+    /// deadline (idle time in the [`TimeLedger`]) and reports why:
+    ///
+    /// * `Err(Timeout)` — no message arrived by the deadline (a message
+    ///   arriving later stays queued for the next receive). A deadline
+    ///   already in the past polls without advancing time.
+    /// * `Err(Failed)` — `src` failed at or before the deadline; the
+    ///   clock advances only to the failure instant. The condition is
+    ///   permanent: every later receive from `src` reports it again.
+    ///
+    /// A message arriving *exactly at* the deadline is delivered.
+    ///
+    /// This is the detection primitive for fault-tolerant masters: poll
+    /// workers with a deadline, observe `Failed`, re-plan the surviving
+    /// partition.
+    pub fn recv_deadline(&mut self, src: usize, deadline: f64) -> Result<M, RecvError> {
+        assert!(src < self.num_ranks(), "recv: rank {src} out of range");
+        assert_ne!(src, self.rank, "recv: self-receive not supported");
+        self.check_crashed();
+        match self.next_packet(src) {
+            Stashed::Msg {
+                arrival,
+                transfer_secs,
+                payload,
+            } => {
+                if arrival <= deadline && arrival < self.crash_at {
+                    let trace_start = self.ledger.now;
+                    self.ledger.receive(arrival, transfer_secs);
+                    self.record(trace_start, TraceKind::Recv { src });
+                    return Ok(payload);
+                }
+                self.pending[src] = Some(Stashed::Msg {
+                    arrival,
+                    transfer_secs,
+                    payload,
+                });
+                if deadline >= self.crash_at {
+                    self.die();
+                }
+                let trace_start = self.ledger.now;
+                self.ledger.receive(deadline, 0.0);
+                self.record(trace_start, TraceKind::Recv { src });
+                Err(RecvError::Timeout { deadline })
+            }
+            Stashed::Gone { at, failure } => {
+                self.pending[src] = Some(Stashed::Gone {
+                    at,
+                    failure: failure.clone(),
+                });
+                match failure {
+                    Some(cause) if at <= deadline => {
+                        if at >= self.crash_at {
+                            self.die();
+                        }
+                        let trace_start = self.ledger.now;
+                        self.ledger.receive(at, 0.0);
+                        self.record(trace_start, TraceKind::Recv { src });
+                        Err(RecvError::Failed(RankFailure {
+                            rank: src,
+                            at,
+                            cause,
+                        }))
+                    }
+                    _ => {
+                        // Clean exit, or a failure we can't know about
+                        // yet: wait out the deadline.
+                        if deadline >= self.crash_at {
+                            self.die();
+                        }
+                        let trace_start = self.ledger.now;
+                        self.ledger.receive(deadline, 0.0);
+                        self.record(trace_start, TraceKind::Recv { src });
+                        Err(RecvError::Timeout { deadline })
+                    }
                 }
             }
-        };
-        let trace_start = self.ledger.now;
-        self.ledger.receive(arrival, env.transfer_secs);
-        self.record(trace_start, TraceKind::Recv { src });
-        env.payload
+        }
     }
 
     /// Advances this rank's clock to at least `t` (idle wait). Used by
     /// phase-synchronisation helpers.
     pub fn wait_until(&mut self, t: f64) {
+        if t >= self.crash_at {
+            self.die();
+        }
         self.ledger.receive(t, 0.0);
+    }
+
+    /// Records a recovery span (re-planning after losing rank `lost`)
+    /// from `start` to the current virtual time in the run's trace.
+    /// Used by fault-tolerant schedulers for observability.
+    pub fn mark_recovery(&mut self, start: f64, lost: usize) {
+        self.record(start, TraceKind::Recovery { lost });
     }
 }
 
@@ -278,6 +545,7 @@ impl<M: Wire> Ctx<M> {
 pub struct Engine {
     platform: Arc<Platform>,
     config: CommConfig,
+    faults: Arc<FaultPlan>,
     /// Explicit data-parallel width per rank thread; `None` = automatic
     /// (`host cores / ranks`, clamped to at least 1).
     threads_per_rank: Option<usize>,
@@ -293,6 +561,7 @@ impl Engine {
         Engine {
             platform: Arc::new(platform),
             config,
+            faults: Arc::new(FaultPlan::new()),
             threads_per_rank: None,
         }
     }
@@ -302,8 +571,20 @@ impl Engine {
         Engine {
             platform: Arc::new(platform),
             config,
+            faults: Arc::new(FaultPlan::new()),
             threads_per_rank: None,
         }
+    }
+
+    /// Attaches a deterministic fault plan to every subsequent run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Arc::new(plan);
+        self
+    }
+
+    /// The fault plan attached to this engine (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Sets the data-parallel thread budget each rank installs for its
@@ -340,7 +621,10 @@ impl Engine {
     /// Runs `program` on every rank concurrently and collects the report.
     ///
     /// The closure receives each rank's [`Ctx`]; its return value is
-    /// collected into [`RunReport::results`] (indexed by rank).
+    /// collected into [`RunReport::results`] (indexed by rank). Ranks
+    /// that fail — by panic or by scheduled crash — contribute `None`
+    /// and a [`RankFailure`] entry in [`RunReport::failures`] instead of
+    /// aborting the run.
     pub fn run<M, R, F>(&self, program: F) -> RunReport<R>
     where
         M: Wire,
@@ -373,10 +657,11 @@ impl Engine {
         R: Send,
         F: Fn(&mut Ctx<M>) -> R + Sync,
     {
+        install_quiet_panic_hook();
         let p = self.platform.num_procs();
         // P×P channel matrix; [src][dst].
-        let mut senders: Vec<Vec<Sender<Envelope<M>>>> = Vec::with_capacity(p);
-        let mut receivers: Vec<Vec<Option<Receiver<Envelope<M>>>>> =
+        let mut senders: Vec<Vec<Sender<Packet<M>>>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Vec<Option<Receiver<Packet<M>>>>> =
             (0..p).map(|_| Vec::with_capacity(p)).collect();
         for _src in 0..p {
             let mut row = Vec::with_capacity(p);
@@ -390,12 +675,14 @@ impl Engine {
         let links = Arc::new(InterSegmentLinks::new());
         let width = self.threads_per_rank();
 
-        let mut outcomes: Vec<Option<(TimeLedger, R)>> = (0..p).map(|_| None).collect();
+        type Outcome<R> = (TimeLedger, Option<R>, Option<RankFailure>);
+        let mut outcomes: Vec<Option<Outcome<R>>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, (txs, rxs)) in senders.into_iter().zip(receivers).enumerate() {
                 let platform = Arc::clone(&self.platform);
                 let links = Arc::clone(&links);
+                let faults = Arc::clone(&self.faults);
                 let config = self.config;
                 let program = &program;
                 let trace = trace.clone();
@@ -409,23 +696,66 @@ impl Engine {
                         .num_threads(width)
                         .build()
                         .expect("engine: kernel pool");
+                    let crash_at = faults.crash_time(rank).unwrap_or(f64::INFINITY);
                     let mut ctx = Ctx {
                         rank,
                         platform,
                         config,
                         links,
+                        faults,
+                        crash_at,
                         ledger: TimeLedger::new(),
                         txs,
                         rxs,
+                        pending: (0..p).map(|_| None).collect(),
                         trace,
                     };
-                    let result = pool.install(|| program(&mut ctx));
-                    (ctx.ledger, result)
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        pool.install(|| program(&mut ctx))
+                    }));
+                    let (result, failure) = match outcome {
+                        Ok(r) => (Some(r), None),
+                        Err(payload) => {
+                            let cause = if payload.downcast_ref::<CrashSignal>().is_some() {
+                                FailureCause::Crash
+                            } else if let Some(pf) = payload.downcast_ref::<PeerFailedSignal>() {
+                                FailureCause::PeerLost { peer: pf.peer }
+                            } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                                FailureCause::Panic((*s).to_string())
+                            } else if let Some(s) = payload.downcast_ref::<String>() {
+                                FailureCause::Panic(s.clone())
+                            } else {
+                                FailureCause::Panic("opaque panic payload".to_string())
+                            };
+                            let failure = RankFailure {
+                                rank,
+                                at: ctx.ledger.now,
+                                cause,
+                            };
+                            (None, Some(failure))
+                        }
+                    };
+                    // Trailing marker to every peer: FIFO guarantees it
+                    // arrives after all real messages, so peers observe
+                    // this rank's exit only once its mailbox is drained.
+                    let gone_cause = failure.as_ref().map(|f| f.cause.clone());
+                    let at = ctx.ledger.now;
+                    for (dst, tx) in ctx.txs.iter().enumerate() {
+                        if dst != rank {
+                            let _ = tx.send(Packet::Gone {
+                                at,
+                                failure: gone_cause.clone(),
+                            });
+                        }
+                    }
+                    (ctx.ledger, result, failure)
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok(pair) => outcomes[rank] = Some(pair),
+                    Ok(outcome) => outcomes[rank] = Some(outcome),
+                    // The closure catches program panics; anything that
+                    // still unwinds the thread is an engine bug.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
@@ -433,12 +763,16 @@ impl Engine {
 
         let mut ledgers = Vec::with_capacity(p);
         let mut results = Vec::with_capacity(p);
+        let mut failures = Vec::new();
         for o in outcomes {
-            let (ledger, result) = o.expect("engine: missing rank outcome");
+            let (ledger, result, failure) = o.expect("engine: missing rank outcome");
             ledgers.push(ledger);
             results.push(result);
+            if let Some(f) = failure {
+                failures.push(f);
+            }
         }
-        RunReport::new(self.platform.name().to_string(), ledgers, results)
+        RunReport::with_failures(self.platform.name().to_string(), ledgers, results, failures)
     }
 }
 
@@ -458,8 +792,8 @@ mod tests {
             ctx.compute_par(100.0); // 100 Mflop at 0.01 s/Mflop = 1 s
             ctx.elapsed()
         });
-        assert!((report.results[0] - 1.0).abs() < 1e-12);
-        assert!((report.results[1] - 1.0).abs() < 1e-12);
+        assert!((report.result(0) - 1.0).abs() < 1e-12);
+        assert!((report.result(1) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -477,9 +811,9 @@ mod tests {
         });
         let expect = crate::platform::DEFAULT_MSG_LATENCY_S + 0.01; // latency + transfer
         assert!(
-            (report.results[0] - expect).abs() < 1e-9,
+            (report.result(0) - expect).abs() < 1e-9,
             "got {}",
-            report.results[0]
+            report.result(0)
         );
     }
 
@@ -496,7 +830,7 @@ mod tests {
             }
         });
         // Only the sender's per-message latency moves time.
-        assert!((report.results[1] - crate::platform::DEFAULT_MSG_LATENCY_S).abs() < 1e-9);
+        assert!((report.result(1) - crate::platform::DEFAULT_MSG_LATENCY_S).abs() < 1e-9);
     }
 
     #[test]
@@ -512,7 +846,7 @@ mod tests {
                 (0..10).map(|_| ctx.recv(0)).collect::<Vec<u64>>()
             }
         });
-        assert_eq!(report.results[1], (0..10).collect::<Vec<u64>>());
+        assert_eq!(*report.result(1), (0..10).collect::<Vec<u64>>());
     }
 
     #[test]
@@ -528,7 +862,7 @@ mod tests {
             }
             ctx.ledger().clone()
         });
-        let root = &report.results[0];
+        let root = report.result(0);
         assert!(root.now >= 5.0, "root must wait for the worker");
         assert!(root.idle > 4.9, "the wait is idle time");
     }
@@ -581,11 +915,11 @@ mod tests {
             }
         });
         // First worker: ~latency + 0.1. Second: queued behind → ~+0.2.
-        assert!(report.results[1] < 0.15, "got {}", report.results[1]);
+        assert!(*report.result(1) < 0.15, "got {}", report.result(1));
         assert!(
-            report.results[2] > 0.2,
+            *report.result(2) > 0.2,
             "second transfer should queue: {}",
-            report.results[2]
+            report.result(2)
         );
     }
 
@@ -617,16 +951,246 @@ mod tests {
         assert_eq!(a.total_time, b.total_time);
     }
 
+    /// Regression test for the old abort path: a worker panic used to
+    /// propagate out of [`Engine::run`] and kill the whole simulation.
+    /// It now surfaces as structured [`RankFailure`]s in the report.
     #[test]
-    #[should_panic]
-    fn worker_panic_propagates() {
+    fn worker_panic_is_structured_failure() {
         let engine = Engine::new(two_rank_platform());
-        let _ = engine.run(|ctx: &mut Ctx<u64>| {
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
             if ctx.rank() == 1 {
+                ctx.compute_par(100.0); // 1 s, so the failure has a time
                 panic!("worker died");
             }
             ctx.recv(1)
         });
+        assert_eq!(report.results[0], None);
+        assert_eq!(report.results[1], None);
+        assert_eq!(report.failures.len(), 2);
+        let w = report.failure_of(1).expect("worker failure recorded");
+        assert!((w.at - 1.0).abs() < 1e-12);
+        assert_eq!(w.cause, FailureCause::Panic("worker died".to_string()));
+        let r = report.failure_of(0).expect("root cascade recorded");
+        assert_eq!(r.cause, FailureCause::PeerLost { peer: 1 });
+        // The root learned of the death at the worker's failure time.
+        assert!((r.at - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planned_crash_truncates_compute() {
+        let engine = Engine::new(two_rank_platform()).with_faults(FaultPlan::new().crash(1, 0.25));
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 1 {
+                ctx.compute_par(100.0); // nominally 1 s — dies at 0.25
+                unreachable!("rank 1 must crash mid-compute");
+            }
+            match ctx.recv_deadline(1, 10.0) {
+                Err(RecvError::Failed(f)) => f.at,
+                other => panic!("expected failure, got {other:?}"),
+            }
+        });
+        assert!((report.result(0) - 0.25).abs() < 1e-12);
+        let f = report.failure_of(1).expect("crash recorded");
+        assert_eq!(f.cause, FailureCause::Crash);
+        assert!((f.at - 0.25).abs() < 1e-12);
+        assert!((report.ledgers[1].now - 0.25).abs() < 1e-12);
+        // The crashed rank's partial work is on its ledger.
+        assert!((report.ledgers[1].compute_par - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic() {
+        let plan = FaultPlan::new().crash(2, 0.4).slowdown(1, 0.0, 10.0, 3.0);
+        let engine = Engine::new(Platform::uniform("t4", 4, 0.01, 1024, 10.0)).with_faults(plan);
+        let run = || {
+            engine.run(|ctx: &mut Ctx<u64>| {
+                if ctx.rank() == 0 {
+                    let mut got = Vec::new();
+                    for src in 1..ctx.num_ranks() {
+                        got.push(ctx.recv_deadline(src, 5.0).ok());
+                    }
+                    (got, ctx.elapsed())
+                } else {
+                    ctx.compute_par(100.0);
+                    ctx.send(0, ctx.rank() as u64);
+                    (Vec::new(), ctx.elapsed())
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical fault plans must give identical reports");
+        assert_eq!(a.failures.len(), 1);
+        assert_eq!(a.failures[0].rank, 2);
+    }
+
+    #[test]
+    fn slowdown_dilates_compute_and_send_to_dead_peer_is_dropped() {
+        let plan = FaultPlan::new().crash(1, 0.1).slowdown(0, 0.0, 100.0, 2.0);
+        let engine = Engine::new(two_rank_platform()).with_faults(plan);
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 0 {
+                ctx.compute_seq(100.0); // 1 s nominal → 2 s dilated
+                ctx.send(1, 42); // rank 1 is long dead: dropped
+                ctx.elapsed()
+            } else {
+                ctx.wait_until(5.0); // crosses crash at 0.1
+                unreachable!()
+            }
+        });
+        assert!(*report.result(0) > 2.0, "dilated: {}", report.result(0));
+        assert!((report.ledgers[1].now - 0.1).abs() < 1e-12);
+        assert_eq!(report.failures.len(), 1);
+    }
+
+    #[test]
+    fn recv_deadline_delivers_on_time_and_times_out() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 1 {
+                ctx.compute_par(100.0); // 1 s
+                ctx.send(0, 9);
+                (0, 0.0, 0.0)
+            } else {
+                // Arrival ≈ 1 s + latency + transfer; deadline 0.5 misses.
+                let miss = ctx.recv_deadline(1, 0.5);
+                assert!(matches!(miss, Err(RecvError::Timeout { .. })));
+                let t_after_miss = ctx.elapsed();
+                assert!((t_after_miss - 0.5).abs() < 1e-12, "clock at deadline");
+                let idle_before = ctx.ledger().idle;
+                // Generous deadline: the stashed message is delivered.
+                let v = ctx.recv_deadline(1, 10.0).expect("second poll succeeds");
+                let idle_gain = ctx.ledger().idle - idle_before;
+                (v, ctx.elapsed(), idle_gain)
+            }
+        });
+        let (v, t, idle_gain) = *report.result(0);
+        assert_eq!(v, 9);
+        assert!(t > 1.0 && t < 1.1, "arrival near 1 s, got {t}");
+        // Waiting 0.5 → ~1.0 is idle minus the transfer attribution.
+        assert!(idle_gain > 0.0);
+    }
+
+    #[test]
+    fn recv_deadline_past_deadline_polls_without_advancing() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 1 {
+                ctx.compute_par(100.0);
+                ctx.send(0, 1);
+                0.0
+            } else {
+                ctx.compute_seq(200.0); // now = 2.0; message arrived ~1.0
+                                        // Deadline in the past, but the message's arrival (≈1.0)
+                                        // is ≤ deadline → delivered without moving the clock.
+                let v = ctx.recv_deadline(1, 1.5).expect("already arrived");
+                assert_eq!(v, 1);
+                assert!((ctx.elapsed() - 2.0).abs() < 1e-12, "no time travel");
+                // And a past deadline with no pending message: timeout,
+                // clock untouched.
+                let miss = ctx.recv_deadline(1, 0.1);
+                assert!(matches!(miss, Err(RecvError::Timeout { .. })));
+                assert!((ctx.elapsed() - 2.0).abs() < 1e-12);
+                ctx.elapsed()
+            }
+        });
+        assert!((report.result(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_deadline_exact_tie_delivers() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 1 {
+                ctx.send(0, 3);
+                0
+            } else {
+                // Compute the exact arrival: latency + 64-bit transfer.
+                let transfer = ctx.platform().transfer_secs(1, 0, 64);
+                let deadline = crate::platform::DEFAULT_MSG_LATENCY_S + transfer;
+                ctx.recv_deadline(1, deadline)
+                    .expect("exact-tie arrival is delivered")
+            }
+        });
+        assert_eq!(*report.result(0), 3);
+    }
+
+    #[test]
+    fn recv_deadline_timeout_accounts_idle_time() {
+        let engine = Engine::new(two_rank_platform());
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 1 {
+                ctx.compute_par(1000.0); // 10 s: far past the deadline
+                ctx.send(0, 1);
+                (0.0, 0.0)
+            } else {
+                let before = ctx.ledger().idle;
+                let miss = ctx.recv_deadline(1, 2.0);
+                assert!(matches!(miss, Err(RecvError::Timeout { deadline }) if deadline == 2.0));
+                (ctx.elapsed(), ctx.ledger().idle - before)
+            }
+        });
+        let (now, idle) = *report.result(0);
+        assert!((now - 2.0).abs() < 1e-12);
+        assert!((idle - 2.0).abs() < 1e-12, "the whole wait is idle");
+    }
+
+    #[test]
+    fn failure_is_permanently_observable() {
+        let engine = Engine::new(two_rank_platform()).with_faults(FaultPlan::new().crash(1, 0.5));
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 1 {
+                ctx.wait_until(1.0);
+                unreachable!()
+            }
+            let first = ctx.recv_deadline(1, 2.0);
+            let second = ctx.recv_deadline(1, 3.0);
+            assert_eq!(first, second, "failure reports must be stable");
+            match second {
+                Err(RecvError::Failed(f)) => (f.rank, f.at),
+                other => panic!("expected permanent failure, got {other:?}"),
+            }
+        });
+        assert_eq!(*report.result(0), (1, 0.5));
+        // Observing a failure advances only to the failure instant.
+        assert!((report.ledgers[0].now - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_outage_delays_transfer() {
+        // Root in seg 0, worker in seg 1; outage on the link [0.0, 2.0).
+        let procs = vec![
+            crate::platform::ProcessorSpec {
+                name: "r".into(),
+                arch: "x",
+                cycle_time: 0.01,
+                memory_mb: 1024,
+                cache_kb: 0,
+                segment: 0,
+            },
+            crate::platform::ProcessorSpec {
+                name: "w".into(),
+                arch: "x",
+                cycle_time: 0.01,
+                memory_mb: 1024,
+                cache_kb: 0,
+                segment: 1,
+            },
+        ];
+        let links = vec![vec![0.0, 10.0], vec![10.0, 0.0]];
+        let plan = FaultPlan::new().link_outage(0, 1, 0.0, 2.0);
+        let engine = Engine::new(Platform::new("lk", procs, links)).with_faults(plan);
+        let report = engine.run(|ctx: &mut Ctx<u64>| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5);
+                0.0
+            } else {
+                let _ = ctx.recv(0);
+                ctx.elapsed()
+            }
+        });
+        // Transfer can only start at 2.0: arrival ≥ 2.0 despite ~0 send time.
+        assert!(*report.result(1) >= 2.0, "got {}", report.result(1));
     }
 
     #[test]
@@ -646,7 +1210,7 @@ mod tests {
             ctx.wait_until(1.0); // in the past: no-op
             (ctx.elapsed(), ctx.ledger().idle)
         });
-        let (now, idle) = report.results[0];
+        let (now, idle) = *report.result(0);
         assert!((now - 2.5).abs() < 1e-12);
         assert!((idle - 1.5).abs() < 1e-12);
     }
@@ -666,7 +1230,7 @@ mod tests {
             }
         });
         // 1 Mbit at 10 ms/Mbit = 0.01 s transfer + latency.
-        assert!(report.results[1] > 0.0099, "got {}", report.results[1]);
+        assert!(*report.result(1) > 0.0099, "got {}", report.result(1));
     }
 
     #[test]
@@ -676,8 +1240,8 @@ mod tests {
             assert_eq!(ctx.platform().num_procs(), 2);
             (ctx.rank(), ctx.num_ranks(), ctx.is_root())
         });
-        assert_eq!(report.results[0], (0, 2, true));
-        assert_eq!(report.results[1], (1, 2, false));
+        assert_eq!(*report.result(0), (0, 2, true));
+        assert_eq!(*report.result(1), (1, 2, false));
     }
 
     #[test]
@@ -686,7 +1250,7 @@ mod tests {
         let engine = Engine::new(Platform::uniform("many", 128, 0.01, 64, 1.0));
         let report = engine.run(|ctx: &mut Ctx<()>| ctx.rank());
         assert_eq!(report.results.len(), 128);
-        assert_eq!(report.results[127], 127);
+        assert_eq!(*report.result(127), 127);
     }
 
     #[test]
@@ -696,7 +1260,7 @@ mod tests {
             ctx.compute_seq(50.0);
             ctx.elapsed()
         });
-        assert!((report.results[0] - 1.0).abs() < 1e-12);
+        assert!((report.result(0) - 1.0).abs() < 1e-12);
         assert!((report.total_time - 1.0).abs() < 1e-12);
     }
 }

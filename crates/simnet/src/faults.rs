@@ -1,0 +1,386 @@
+//! Deterministic virtual-time fault plans.
+//!
+//! The paper's §5 names fault tolerance as the open problem for
+//! heterogeneous remote-sensing clusters: nodes of a network of
+//! workstations crash, get loaded by other users, and links saturate.
+//! This module describes such events **in virtual time**, so that a
+//! faulty run is exactly as deterministic as a healthy one:
+//!
+//! * [`FaultPlan::crash`] — a rank dies the moment its own virtual clock
+//!   reaches `t`. The engine unwinds the rank, records a structured
+//!   [`RankFailure`], and notifies every peer through the ordinary
+//!   message channels (FIFO, so all messages sent before the crash are
+//!   still delivered first).
+//! * [`FaultPlan::slowdown`] — during `[from, until)` a rank's compute
+//!   takes `factor`× its nominal time (a hidden external load). Applied
+//!   by piecewise integration in [`FaultPlan::dilate`], so work spanning
+//!   a window boundary is charged exactly.
+//! * [`FaultPlan::link_outage`] / [`FaultPlan::link_degraded`] — an
+//!   inter-segment link is down (transfers wait for the window to end)
+//!   or slowed by a factor during a virtual-time window.
+//!
+//! Everything here is pure arithmetic over the plan; the engine injects
+//! the results through the existing cost model (clock, contention,
+//! comm), which is what keeps runs bit-deterministic.
+
+/// Why a rank failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCause {
+    /// A crash scheduled by the run's [`FaultPlan`].
+    Crash,
+    /// The rank's program panicked (message preserved).
+    Panic(String),
+    /// The rank aborted because a peer it was receiving from was lost.
+    PeerLost {
+        /// The peer whose loss cascaded into this rank.
+        peer: usize,
+    },
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Crash => write!(f, "planned crash"),
+            FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureCause::PeerLost { peer } => write!(f, "peer rank {peer} lost"),
+        }
+    }
+}
+
+/// Structured description of a rank failure: which rank died, at what
+/// virtual time, and why. Carried by [`crate::RunReport::failures`] and
+/// by [`RecvError::Failed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankFailure {
+    /// The failed rank.
+    pub rank: usize,
+    /// Virtual time of the failure in seconds.
+    pub at: f64,
+    /// What killed the rank.
+    pub cause: FailureCause,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} failed at {:.6}s ({})",
+            self.rank, self.at, self.cause
+        )
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+/// Error returned by [`crate::Ctx::recv_deadline`]: either no message
+/// arrived by the virtual deadline, or the source rank is known to have
+/// failed by then.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvError {
+    /// No message from the source arrived at or before `deadline`.
+    Timeout {
+        /// The virtual deadline that expired.
+        deadline: f64,
+    },
+    /// The source rank failed at or before the deadline.
+    Failed(RankFailure),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout { deadline } => {
+                write!(f, "no message by virtual deadline {deadline:.6}s")
+            }
+            RecvError::Failed(failure) => write!(f, "{failure}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// One per-rank slowdown window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Slowdown {
+    rank: usize,
+    from: f64,
+    until: f64,
+    factor: f64,
+}
+
+/// One inter-segment link fault window (`factor = ∞` means outage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinkWindow {
+    a: usize,
+    b: usize,
+    from: f64,
+    until: f64,
+    factor: f64,
+}
+
+/// A deterministic virtual-time fault schedule, attached to a run with
+/// [`crate::Engine::with_faults`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    crashes: Vec<(usize, f64)>,
+    slowdowns: Vec<Slowdown>,
+    links: Vec<LinkWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.slowdowns.is_empty() && self.links.is_empty()
+    }
+
+    /// Schedules `rank` to crash when its own virtual clock reaches
+    /// `at` seconds. A rank that never advances past `at` (e.g. it
+    /// finishes earlier) exits cleanly — a crash only materialises on
+    /// activity at or after the crash instant.
+    pub fn crash(mut self, rank: usize, at: f64) -> Self {
+        assert!(at >= 0.0, "crash time must be non-negative");
+        self.crashes.push((rank, at));
+        self
+    }
+
+    /// During `[from, until)`, computation on `rank` takes `factor`×
+    /// its nominal time (`factor ≥ 1`: an external load stealing
+    /// cycles; `factor < 1` would model a turbo boost and is allowed).
+    pub fn slowdown(mut self, rank: usize, from: f64, until: f64, factor: f64) -> Self {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        assert!(until > from, "slowdown window must be non-empty");
+        self.slowdowns.push(Slowdown {
+            rank,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// The `seg_a`↔`seg_b` inter-segment link is down during
+    /// `[from, until)`: transfers starting inside the window wait for
+    /// it to end.
+    pub fn link_outage(mut self, seg_a: usize, seg_b: usize, from: f64, until: f64) -> Self {
+        assert!(until > from, "outage window must be non-empty");
+        self.links.push(LinkWindow {
+            a: seg_a.min(seg_b),
+            b: seg_a.max(seg_b),
+            from,
+            until,
+            factor: f64::INFINITY,
+        });
+        self
+    }
+
+    /// The `seg_a`↔`seg_b` link is `factor`× slower for transfers
+    /// starting during `[from, until)` (the factor is sampled at the
+    /// transfer's start — a documented approximation).
+    pub fn link_degraded(
+        mut self,
+        seg_a: usize,
+        seg_b: usize,
+        from: f64,
+        until: f64,
+        factor: f64,
+    ) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be ≥ 1");
+        assert!(until > from, "degradation window must be non-empty");
+        self.links.push(LinkWindow {
+            a: seg_a.min(seg_b),
+            b: seg_a.max(seg_b),
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Earliest scheduled crash time of `rank`, if any.
+    pub fn crash_time(&self, rank: usize) -> Option<f64> {
+        self.crashes
+            .iter()
+            .filter(|&&(r, _)| r == rank)
+            .map(|&(_, at)| at)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Virtual end time of `secs` seconds of nominal compute starting at
+    /// `start` on `rank`, stretched through the rank's slowdown windows
+    /// by piecewise integration. Overlapping windows apply the largest
+    /// factor.
+    pub fn dilate(&self, rank: usize, start: f64, secs: f64) -> f64 {
+        debug_assert!(secs >= 0.0);
+        if secs <= 0.0 {
+            return start;
+        }
+        let wins: Vec<&Slowdown> = self
+            .slowdowns
+            .iter()
+            .filter(|s| s.rank == rank && s.until > start)
+            .collect();
+        if wins.is_empty() {
+            return start + secs;
+        }
+        let mut t = start;
+        let mut remaining = secs; // nominal work-seconds still to do
+        loop {
+            let factor = wins
+                .iter()
+                .filter(|w| w.from <= t && t < w.until)
+                .map(|w| w.factor)
+                .fold(1.0f64, f64::max);
+            let next_boundary = wins
+                .iter()
+                .flat_map(|w| [w.from, w.until])
+                .filter(|&b| b > t)
+                .fold(f64::INFINITY, f64::min);
+            let capacity = (next_boundary - t) / factor;
+            if capacity >= remaining {
+                return t + remaining * factor;
+            }
+            remaining -= capacity;
+            t = next_boundary;
+        }
+    }
+
+    /// Adjusts a transfer over the `seg_a`↔`seg_b` link that would start
+    /// no earlier than `earliest` and last `duration`: outage windows
+    /// push the start past their end, degradation windows stretch the
+    /// duration. Returns `(earliest', duration')`.
+    pub fn adjust_transfer(
+        &self,
+        seg_a: usize,
+        seg_b: usize,
+        earliest: f64,
+        duration: f64,
+    ) -> (f64, f64) {
+        if self.links.is_empty() {
+            return (earliest, duration);
+        }
+        let key = (seg_a.min(seg_b), seg_a.max(seg_b));
+        let mut start = earliest;
+        loop {
+            let mut moved = false;
+            for w in &self.links {
+                if (w.a, w.b) == key && w.factor.is_infinite() && w.from <= start && start < w.until
+                {
+                    start = w.until;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        let factor = self
+            .links
+            .iter()
+            .filter(|w| {
+                (w.a, w.b) == key && w.factor.is_finite() && w.from <= start && start < w.until
+            })
+            .map(|w| w.factor)
+            .fold(1.0f64, f64::max);
+        (start, duration * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.crash_time(3), None);
+        assert_eq!(plan.dilate(0, 1.0, 2.0), 3.0);
+        assert_eq!(plan.adjust_transfer(0, 1, 5.0, 0.5), (5.0, 0.5));
+    }
+
+    #[test]
+    fn earliest_crash_wins() {
+        let plan = FaultPlan::new().crash(2, 5.0).crash(2, 1.5).crash(1, 9.0);
+        assert_eq!(plan.crash_time(2), Some(1.5));
+        assert_eq!(plan.crash_time(1), Some(9.0));
+        assert_eq!(plan.crash_time(0), None);
+    }
+
+    #[test]
+    fn dilate_inside_window() {
+        // 2x slowdown on [0, 100): 3 s of work takes 6 s.
+        let plan = FaultPlan::new().slowdown(0, 0.0, 100.0, 2.0);
+        assert!((plan.dilate(0, 1.0, 3.0) - 7.0).abs() < 1e-12);
+        // Other ranks unaffected.
+        assert_eq!(plan.dilate(1, 1.0, 3.0), 4.0);
+    }
+
+    #[test]
+    fn dilate_across_window_boundary() {
+        // 3x slowdown on [2, 4). Work of 4 s starting at 0:
+        // 2 s nominal before the window, then 2/3 s of work fills [2,4),
+        // leaving 4 - 2 - 2/3 to run after 4.0 at nominal speed.
+        let plan = FaultPlan::new().slowdown(0, 2.0, 4.0, 3.0);
+        let end = plan.dilate(0, 0.0, 4.0);
+        let expect = 4.0 + (4.0 - 2.0 - 2.0 / 3.0);
+        assert!((end - expect).abs() < 1e-12, "end {end} expect {expect}");
+    }
+
+    #[test]
+    fn dilate_overlapping_windows_take_max_factor() {
+        let plan = FaultPlan::new()
+            .slowdown(0, 0.0, 10.0, 2.0)
+            .slowdown(0, 0.0, 10.0, 4.0);
+        assert!((plan.dilate(0, 0.0, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_pushes_transfer_start() {
+        let plan = FaultPlan::new().link_outage(0, 1, 1.0, 3.0);
+        assert_eq!(plan.adjust_transfer(1, 0, 2.0, 0.5), (3.0, 0.5));
+        // Starting before the window is unaffected (the engine reserves
+        // from the adjusted earliest; contention may still delay it).
+        assert_eq!(plan.adjust_transfer(0, 1, 0.5, 0.2), (0.5, 0.2));
+        // Other links unaffected.
+        assert_eq!(plan.adjust_transfer(2, 3, 2.0, 0.5), (2.0, 0.5));
+    }
+
+    #[test]
+    fn chained_outages_push_repeatedly() {
+        let plan = FaultPlan::new()
+            .link_outage(0, 1, 1.0, 3.0)
+            .link_outage(0, 1, 3.0, 5.0);
+        assert_eq!(plan.adjust_transfer(0, 1, 2.0, 0.5), (5.0, 0.5));
+    }
+
+    #[test]
+    fn degradation_stretches_duration() {
+        let plan = FaultPlan::new().link_degraded(0, 1, 0.0, 10.0, 4.0);
+        assert_eq!(plan.adjust_transfer(0, 1, 2.0, 0.5), (2.0, 2.0));
+        // Outside the window: untouched.
+        assert_eq!(plan.adjust_transfer(0, 1, 20.0, 0.5), (20.0, 0.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = RankFailure {
+            rank: 3,
+            at: 1.25,
+            cause: FailureCause::Crash,
+        };
+        assert!(f.to_string().contains("rank 3"));
+        assert!(f.to_string().contains("planned crash"));
+        let e = RecvError::Timeout { deadline: 2.0 };
+        assert!(e.to_string().contains("deadline"));
+        assert!(RecvError::Failed(f).to_string().contains("rank 3"));
+        assert!(FailureCause::Panic("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(FailureCause::PeerLost { peer: 7 }.to_string().contains('7'));
+    }
+}

@@ -28,7 +28,10 @@
 //! * [`contention`] — serial inter-segment link reservation.
 //! * [`engine`] — the message-passing runtime (threads + channels).
 //! * [`comm`] — collectives: broadcast, scatter, gather, barrier, reduce.
-//! * [`report`] — COM/SEQ/PAR decomposition, imbalance, speedup.
+//! * [`faults`] — deterministic virtual-time fault plans: rank crashes,
+//!   slowdown windows, link outage/degradation; structured failures.
+//! * [`report`] — COM/SEQ/PAR decomposition, imbalance, speedup,
+//!   per-rank failure records.
 //!
 //! ## Example
 //!
@@ -56,17 +59,20 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod clock;
 pub mod comm;
 pub mod contention;
 pub mod engine;
 pub mod equivalent;
+pub mod faults;
 pub mod platform;
 pub mod presets;
 pub mod report;
 pub mod trace;
 
 pub use engine::{Ctx, Engine, Wire};
+pub use faults::{FailureCause, FaultPlan, RankFailure, RecvError};
 pub use platform::{Platform, ProcessorSpec};
 pub use report::RunReport;

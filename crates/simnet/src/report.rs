@@ -4,32 +4,83 @@
 //! * COM/SEQ/PAR decomposition on the root timeline (Table 6),
 //! * load imbalance `D = R_max/R_min` over processor run times, with and
 //!   without the root (Table 7),
-//! * speedup helpers (Figure 2).
+//! * speedup helpers (Figure 2),
+//! * structured rank failures (`None` results + [`RankFailure`] records)
+//!   when a run executes under a fault plan or a rank panics.
 
 use crate::clock::TimeLedger;
+use crate::faults::RankFailure;
 
 /// The outcome of one [`crate::Engine::run`].
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — including each rank's full time
+/// ledger — which is how the fault-injection tests assert that two runs
+/// under identical fault plans are *bit-identical*.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport<R> {
     /// Name of the platform the run executed on.
     pub platform_name: String,
     /// Per-rank time ledgers.
     pub ledgers: Vec<TimeLedger>,
-    /// Per-rank program results.
-    pub results: Vec<R>,
+    /// Per-rank program results; `None` for ranks that failed.
+    pub results: Vec<Option<R>>,
+    /// Structured failures, in rank order (empty on a healthy run).
+    pub failures: Vec<RankFailure>,
     /// Total virtual execution time: the latest rank's final clock.
     pub total_time: f64,
 }
 
 impl<R> RunReport<R> {
-    /// Assembles a report from per-rank ledgers and results.
+    /// Assembles a report from per-rank ledgers and results of a healthy
+    /// (failure-free) run.
     pub fn new(platform_name: String, ledgers: Vec<TimeLedger>, results: Vec<R>) -> Self {
+        Self::with_failures(
+            platform_name,
+            ledgers,
+            results.into_iter().map(Some).collect(),
+            Vec::new(),
+        )
+    }
+
+    /// Assembles a report that may include failed ranks.
+    pub fn with_failures(
+        platform_name: String,
+        ledgers: Vec<TimeLedger>,
+        results: Vec<Option<R>>,
+        failures: Vec<RankFailure>,
+    ) -> Self {
         let total_time = ledgers.iter().map(|l| l.now).fold(0.0, f64::max);
         RunReport {
             platform_name,
             ledgers,
             results,
+            failures,
             total_time,
+        }
+    }
+
+    /// `true` when every rank completed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The failure record of `rank`, if it failed.
+    pub fn failure_of(&self, rank: usize) -> Option<&RankFailure> {
+        self.failures.iter().find(|f| f.rank == rank)
+    }
+
+    /// The result of `rank`.
+    ///
+    /// # Panics
+    /// Panics (with the failure record) if the rank did not complete —
+    /// the convenient accessor for tests and healthy-run call sites.
+    pub fn result(&self, rank: usize) -> &R {
+        match &self.results[rank] {
+            Some(r) => r,
+            None => panic!(
+                "rank {rank} produced no result: {:?}",
+                self.failure_of(rank)
+            ),
         }
     }
 
@@ -110,6 +161,7 @@ pub fn speedup(single_proc_time: f64, multi_proc_time: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::clock::Phase;
+    use crate::faults::FailureCause;
 
     fn ledger(seq: f64, par: f64, comm: f64, idle: f64) -> TimeLedger {
         let mut l = TimeLedger::new();
@@ -196,5 +248,51 @@ mod tests {
         assert!((speedup(100.0, 25.0) - 4.0).abs() < 1e-12);
         assert_eq!(speedup(0.0, 10.0), 0.0);
         assert_eq!(speedup(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn healthy_report_accessors() {
+        let report = RunReport::new(
+            "t".into(),
+            vec![ledger(0.0, 1.0, 0.0, 0.0), ledger(0.0, 2.0, 0.0, 0.0)],
+            vec![10u32, 20u32],
+        );
+        assert!(report.ok());
+        assert_eq!(*report.result(1), 20);
+        assert_eq!(report.failure_of(0), None);
+    }
+
+    #[test]
+    fn failed_report_accessors() {
+        let failure = RankFailure {
+            rank: 1,
+            at: 2.0,
+            cause: FailureCause::Crash,
+        };
+        let report = RunReport::with_failures(
+            "t".into(),
+            vec![ledger(0.0, 1.0, 0.0, 0.0), ledger(0.0, 2.0, 0.0, 0.0)],
+            vec![Some(10u32), None],
+            vec![failure.clone()],
+        );
+        assert!(!report.ok());
+        assert_eq!(report.failure_of(1), Some(&failure));
+        assert_eq!(*report.result(0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "produced no result")]
+    fn result_accessor_panics_on_failed_rank() {
+        let report = RunReport::with_failures(
+            "t".into(),
+            vec![ledger(0.0, 1.0, 0.0, 0.0)],
+            vec![None::<u32>],
+            vec![RankFailure {
+                rank: 0,
+                at: 1.0,
+                cause: FailureCause::Crash,
+            }],
+        );
+        let _ = report.result(0);
     }
 }

@@ -27,6 +27,13 @@ pub enum TraceKind {
         /// Source rank.
         src: usize,
     },
+    /// The rank failed at this instant (zero-length marker).
+    Crash,
+    /// Master-side recovery span: re-planning after losing a worker.
+    Recovery {
+        /// The rank whose loss triggered the recovery.
+        lost: usize,
+    },
 }
 
 /// One traced interval on a rank's virtual timeline.
@@ -71,28 +78,37 @@ impl Trace {
 
     /// Renders a text Gantt chart, one row per rank, `width` columns
     /// wide. Legend: `#` parallel compute, `S` sequential compute,
-    /// `s` send overhead, `r` receive wait, `.` idle.
+    /// `s` send overhead, `r` receive wait, `X` crash, `R` recovery,
+    /// `.` idle.
     pub fn gantt(&self, num_ranks: usize, width: usize) -> String {
         let horizon = self.horizon().max(f64::MIN_POSITIVE);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "virtual time 0 .. {horizon:.3} s  (# par, S seq, s send, r recv, . idle)"
+            "virtual time 0 .. {horizon:.3} s  (# par, S seq, s send, r recv, X crash, R recovery, . idle)"
         );
         for rank in 0..num_ranks {
             let mut row = vec!['.'; width];
             for e in self.for_rank(rank) {
-                let a = ((e.start / horizon) * width as f64).floor() as usize;
-                let b = (((e.end / horizon) * width as f64).ceil() as usize).min(width);
+                let mut a = ((e.start / horizon) * width as f64).floor() as usize;
+                let mut b = (((e.end / horizon) * width as f64).ceil() as usize).min(width);
+                if b <= a {
+                    // Zero-length markers (e.g. a crash) still get one cell.
+                    a = a.min(width.saturating_sub(1));
+                    b = (a + 1).min(width);
+                }
                 let ch = match e.kind {
                     TraceKind::ComputePar => '#',
                     TraceKind::ComputeSeq => 'S',
                     TraceKind::Send { .. } => 's',
                     TraceKind::Recv { .. } => 'r',
+                    TraceKind::Crash => 'X',
+                    TraceKind::Recovery { .. } => 'R',
                 };
                 for c in row.iter_mut().take(b).skip(a.min(width)) {
-                    // Compute paints over comm for readability.
-                    if *c == '.' || (*c != '#' && ch == '#') {
+                    // Compute paints over comm; fault markers paint over
+                    // everything (they're the rarest and most important).
+                    if *c == '.' || (*c != '#' && ch == '#') || ch == 'X' || ch == 'R' {
                         *c = ch;
                     }
                 }
@@ -196,6 +212,29 @@ mod tests {
         assert_eq!(chart.lines().count(), 4); // header + 3 ranks
         assert!(chart.contains("r000"));
         assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn gantt_marks_crash_and_recovery() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent {
+                    rank: 0,
+                    start: 0.5,
+                    end: 1.0,
+                    kind: TraceKind::Recovery { lost: 1 },
+                },
+                TraceEvent {
+                    rank: 1,
+                    start: 1.0,
+                    end: 1.0, // zero-length crash marker at the horizon
+                    kind: TraceKind::Crash,
+                },
+            ],
+        };
+        let chart = trace.gantt(2, 20);
+        assert!(chart.contains('R'), "recovery span rendered:\n{chart}");
+        assert!(chart.contains('X'), "crash marker rendered:\n{chart}");
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Fault-injection acceptance suite.
+//!
+//! The contract of the fault-tolerant drivers (`hetero::ft` over
+//! `simnet`'s deterministic fault plans):
+//!
+//! 1. a worker crash at **any** virtual time still completes the run
+//!    with correct results on the survivors, for all four algorithms
+//!    and both recovery modes;
+//! 2. two runs under the **same** fault plan are bit-identical —
+//!    same `RunReport`, same recoveries, same output;
+//! 3. the self-scheduling mode uses a fixed chunk grid, so its output
+//!    is *identical* with and without crashes (re-planning regrids the
+//!    surviving partition, so only accuracy — not equality — is
+//!    guaranteed there for the grid-dependent classifiers).
+
+use heterospec::cube::synth::{wtc_scene, WtcConfig};
+use heterospec::hetero::config::AlgoParams;
+use heterospec::hetero::ft::{run_replan, run_self_sched, FtOptions};
+use heterospec::hetero::sched::{AtdcaChunks, MorphChunks, PctChunks, UfclsChunks};
+use heterospec::hetero::{eval, seq};
+use heterospec::simnet::engine::Engine;
+use heterospec::simnet::{presets, FailureCause, FaultPlan};
+
+fn scene() -> heterospec::cube::synth::SyntheticScene {
+    wtc_scene(WtcConfig::tiny())
+}
+
+fn params() -> AlgoParams {
+    AlgoParams {
+        num_targets: 5,
+        morph_iterations: 2,
+        ..Default::default()
+    }
+}
+
+fn coords(targets: &[seq::DetectedTarget]) -> Vec<(usize, usize)> {
+    targets.iter().map(|t| (t.line, t.sample)).collect()
+}
+
+fn engine_with(plan: FaultPlan) -> Engine {
+    Engine::new(presets::fully_heterogeneous()).with_faults(plan)
+}
+
+#[test]
+fn atdca_survives_crashes_at_any_time_in_both_modes() {
+    let s = scene();
+    let p = params();
+    let want = coords(&seq::atdca(&s.cube, &p).result);
+    let algo = AtdcaChunks::new(&s.cube, &p);
+    let opts = FtOptions::default();
+    for &(rank, at) in &[(2usize, 0.005), (3, 0.05), (7, 0.2), (12, 5.0)] {
+        let plan = || FaultPlan::new().crash(rank, at);
+        let ss = run_self_sched(&engine_with(plan()), &algo, &opts);
+        assert_eq!(coords(&ss.output), want, "self-sched, crash({rank}, {at})");
+        let rp = run_replan(&engine_with(plan()), &algo, &opts);
+        assert_eq!(coords(&rp.output), want, "replan, crash({rank}, {at})");
+        for r in ss.recoveries.iter().chain(&rp.recoveries) {
+            assert_eq!(r.rank, rank);
+            assert!(r.detected_at >= r.at);
+        }
+    }
+}
+
+#[test]
+fn ufcls_survives_a_mid_run_crash_in_both_modes() {
+    let s = scene();
+    let p = params();
+    let want = coords(&seq::ufcls(&s.cube, &p).result);
+    let algo = UfclsChunks::new(&s.cube, &p);
+    let opts = FtOptions::default();
+    let plan = || FaultPlan::new().crash(4, 0.05);
+    let ss = run_self_sched(&engine_with(plan()), &algo, &opts);
+    assert_eq!(coords(&ss.output), want, "self-sched");
+    let rp = run_replan(&engine_with(plan()), &algo, &opts);
+    assert_eq!(coords(&rp.output), want, "replan");
+}
+
+#[test]
+fn two_simultaneous_worker_losses_still_complete() {
+    let s = scene();
+    let p = params();
+    let want = coords(&seq::atdca(&s.cube, &p).result);
+    let algo = AtdcaChunks::new(&s.cube, &p);
+    let opts = FtOptions::default();
+    let plan = || FaultPlan::new().crash(2, 0.03).crash(9, 0.03);
+    let ss = run_self_sched(&engine_with(plan()), &algo, &opts);
+    assert_eq!(coords(&ss.output), want, "self-sched");
+    let rp = run_replan(&engine_with(plan()), &algo, &opts);
+    assert_eq!(coords(&rp.output), want, "replan");
+}
+
+#[test]
+fn pct_self_sched_output_is_invariant_under_crashes() {
+    let s = scene();
+    let p = params();
+    let algo = PctChunks::new(&s.cube, &p);
+    let opts = FtOptions::default();
+    let clean = run_self_sched(&engine_with(FaultPlan::new()), &algo, &opts);
+    let faulty = run_self_sched(&engine_with(FaultPlan::new().crash(5, 0.02)), &algo, &opts);
+    // Fixed grid: the label image and model are bit-identical whether or
+    // not a worker died mid-run.
+    assert_eq!(clean.output.0.as_slice(), faulty.output.0.as_slice());
+    assert_eq!(clean.output.1.mean, faulty.output.1.mean);
+    assert_eq!(clean.output.1.class_reps, faulty.output.1.class_reps);
+    assert!(clean.recoveries.is_empty());
+    assert!(!faulty.recoveries.is_empty());
+}
+
+#[test]
+fn pct_replan_labels_stay_sound_after_a_crash() {
+    let s = scene();
+    let p = params();
+    let algo = PctChunks::new(&s.cube, &p);
+    let run = run_replan(
+        &engine_with(FaultPlan::new().crash(3, 0.02)),
+        &algo,
+        &FtOptions::default(),
+    );
+    let (labels, _) = run.output;
+    assert_eq!(labels.lines(), s.cube.lines());
+    for &l in labels.as_slice() {
+        assert!((l as usize) < p.num_classes);
+    }
+    let acc = heterospec::cube::labels::score(&labels, &s.truth).overall;
+    assert!(acc > 25.0, "replan PCT accuracy after crash: {acc:.1}%");
+}
+
+#[test]
+fn morph_self_sched_output_is_invariant_under_crashes() {
+    let s = scene();
+    let p = params();
+    let algo = MorphChunks::new(&s.cube, &p);
+    let opts = FtOptions::default();
+    let clean = run_self_sched(&engine_with(FaultPlan::new()), &algo, &opts);
+    let faulty = run_self_sched(&engine_with(FaultPlan::new().crash(6, 0.05)), &algo, &opts);
+    assert_eq!(clean.output.0.as_slice(), faulty.output.0.as_slice());
+    assert_eq!(clean.output.1, faulty.output.1);
+}
+
+#[test]
+fn morph_replan_labels_stay_sound_after_a_crash() {
+    let s = scene();
+    let p = params();
+    let algo = MorphChunks::new(&s.cube, &p);
+    let run = run_replan(
+        &engine_with(FaultPlan::new().crash(8, 0.05)),
+        &algo,
+        &FtOptions::default(),
+    );
+    let (labels, _) = run.output;
+    for &l in labels.as_slice() {
+        assert!((l as usize) < p.num_classes);
+    }
+    let acc = eval::debris_accuracy(&s, &labels, 7).overall;
+    assert!(acc > 30.0, "replan MORPH accuracy after crash: {acc:.1}%");
+}
+
+#[test]
+fn identical_fault_plans_give_bit_identical_runs() {
+    let s = scene();
+    let p = params();
+    let algo = AtdcaChunks::new(&s.cube, &p);
+    let opts = FtOptions::default();
+    let plan = || {
+        FaultPlan::new()
+            .crash(2, 0.04)
+            .slowdown(5, 0.0, 0.3, 2.5)
+            .link_outage(0, 7, 0.01, 0.05)
+    };
+    let a = run_self_sched(&engine_with(plan()), &algo, &opts);
+    let b = run_self_sched(&engine_with(plan()), &algo, &opts);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.recoveries, b.recoveries);
+    assert_eq!(coords(&a.output), coords(&b.output));
+    let c = run_replan(&engine_with(plan()), &algo, &opts);
+    let d = run_replan(&engine_with(plan()), &algo, &opts);
+    assert_eq!(c.report, d.report);
+    assert_eq!(c.recoveries, d.recoveries);
+}
+
+#[test]
+fn crashes_are_recorded_as_structured_failures() {
+    let s = scene();
+    let p = params();
+    let algo = AtdcaChunks::new(&s.cube, &p);
+    let run = run_self_sched(
+        &engine_with(FaultPlan::new().crash(3, 0.05)),
+        &algo,
+        &FtOptions::default(),
+    );
+    assert!(!run.report.ok());
+    let f = run.report.failure_of(3).expect("rank 3 failure recorded");
+    assert_eq!(f.cause, FailureCause::Crash);
+    assert!((f.at - 0.05).abs() < 1e-12);
+    assert!(run.report.failure_of(1).is_none());
+}
