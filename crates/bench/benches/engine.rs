@@ -29,7 +29,7 @@ fn bench_collectives(c: &mut Criterion) {
                 } else {
                     None
                 };
-                broadcast(ctx, 0, msg).0.len()
+                broadcast(ctx, 0, msg).expect("valid broadcast").0.len()
             })
         })
     });
@@ -48,7 +48,10 @@ fn bench_collectives(c: &mut Criterion) {
                 } else {
                     None
                 };
-                scatter(ctx, 0, items, ScatterMode::Charged).0.len()
+                scatter(ctx, 0, items, ScatterMode::Charged)
+                    .expect("valid scatter")
+                    .0
+                    .len()
             })
         })
     });

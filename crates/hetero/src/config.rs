@@ -1,6 +1,7 @@
 //! Algorithm parameters and run options.
 
 use crate::wea::WeaConfig;
+use simnet::coll::CollectiveConfig;
 use simnet::comm::ScatterMode;
 
 /// Parameters of the analysis algorithms, defaulting to the paper's
@@ -96,6 +97,11 @@ pub struct RunOptions {
     pub scatter_mode: ScatterMode,
     /// MORPH halo sizing (see [`OverlapPolicy`]).
     pub morph_overlap: OverlapPolicy,
+    /// Collective-communication backend for the algorithms' broadcast /
+    /// gather / reduce steps (see `simnet::coll` and docs/COMMS.md).
+    /// Default [`CollectiveConfig::linear`], the paper's star schedule —
+    /// existing timings are unchanged unless this is set explicitly.
+    pub collectives: CollectiveConfig,
 }
 
 impl Default for RunOptions {
@@ -104,6 +110,7 @@ impl Default for RunOptions {
             strategy: PartitionStrategy::hetero(),
             scatter_mode: ScatterMode::Free,
             morph_overlap: OverlapPolicy::default(),
+            collectives: CollectiveConfig::linear(),
         }
     }
 }
@@ -120,6 +127,12 @@ impl RunOptions {
             strategy: PartitionStrategy::Homogeneous,
             ..Default::default()
         }
+    }
+
+    /// Replaces the collective backend, builder-style.
+    pub fn with_collectives(mut self, collectives: CollectiveConfig) -> Self {
+        self.collectives = collectives;
+        self
     }
 }
 

@@ -9,6 +9,7 @@ use crate::config::{PartitionStrategy, RunOptions};
 use crate::msg::Msg;
 use crate::wea::{self, RowAssignment, RowCost};
 use hsi_cube::{HyperCube, LabelImage};
+use simnet::coll::{self, CollectiveConfig, GatherEntry};
 use simnet::comm::ScatterMode;
 use simnet::engine::Engine;
 use simnet::report::RunReport;
@@ -90,76 +91,64 @@ pub fn distribute(
     mode: ScatterMode,
 ) -> LocalBlock {
     assert_eq!(assignments.len(), ctx.num_ranks());
-    if ctx.is_root() {
-        let mut own: Option<LocalBlock> = None;
-        for (dst, a) in assignments.iter().enumerate() {
-            let (block, pre) = cube.extract_lines_with_overlap(a.first_line, a.n_lines, overlap);
-            if dst == 0 {
-                own = Some(LocalBlock {
-                    first_line: a.first_line,
-                    n_lines: a.n_lines,
-                    pre,
-                    cube: block,
-                });
-            } else {
-                let msg = Msg::partition(a.first_line, a.n_lines, pre, &block);
-                match mode {
-                    ScatterMode::Free => ctx.send_free(dst, msg),
-                    ScatterMode::Charged => ctx.send(dst, msg),
-                }
-            }
-        }
-        own.expect("root assignment missing")
+    let items = if ctx.is_root() {
+        Some(
+            assignments
+                .iter()
+                .map(|a| {
+                    let (block, pre) =
+                        cube.extract_lines_with_overlap(a.first_line, a.n_lines, overlap);
+                    Msg::partition(a.first_line, a.n_lines, pre, &block)
+                })
+                .collect(),
+        )
     } else {
-        let (first_line, n_lines, pre, cube) = ctx
-            .recv(0)
-            .into_partition()
-            .expect("distribute: protocol violation");
-        LocalBlock {
-            first_line,
-            n_lines,
-            pre,
-            cube,
-        }
+        None
+    };
+    let (first_line, n_lines, pre, cube) = coll::scatter(ctx, 0, items, mode)
+        .expect("distribute: scatter misuse")
+        .into_partition()
+        .expect("distribute: protocol violation");
+    LocalBlock {
+        first_line,
+        n_lines,
+        pre,
+        cube,
     }
 }
 
 /// Final step of the classification algorithms: every rank sends the
 /// labels of its owned lines; the root assembles the full label image.
+/// Contributions of failed ranks are skipped, leaving their lines
+/// unlabeled (an explicit hole rather than an abort).
 pub fn gather_labels(
     ctx: &mut Ctx<Msg>,
+    cfg: &CollectiveConfig,
     block: &LocalBlock,
     labels: Vec<u16>,
     image_lines: usize,
     image_samples: usize,
 ) -> Option<LabelImage> {
     assert_eq!(labels.len(), block.n_lines * image_samples);
-    if ctx.is_root() {
+    // Rank-uniform size hint (drives `Auto` selection only): every rank
+    // carries ~lines/P owned lines of u16 labels.
+    let bits = 32 + (image_lines.div_ceil(ctx.num_ranks()) * image_samples * 16) as u64;
+    let msg = Msg::Labels {
+        first_line: block.first_line as u32,
+        labels,
+    };
+    coll::gather(ctx, cfg, 0, msg, bits).map(|entries| {
         let mut out = LabelImage::unlabeled(image_lines, image_samples);
-        let mut place = |first: usize, labs: &[u16]| {
+        for msg in entries.into_iter().filter_map(GatherEntry::into_msg) {
+            let (first, labs) = msg
+                .into_labels()
+                .expect("gather_labels: protocol violation");
             for (i, &l) in labs.iter().enumerate() {
                 out.set(first + i / image_samples, i % image_samples, l);
             }
-        };
-        place(block.first_line, &labels);
-        for src in 1..ctx.num_ranks() {
-            let (first, labs) = ctx
-                .recv(src)
-                .into_labels()
-                .expect("gather_labels: protocol violation");
-            place(first, &labs);
         }
-        Some(out)
-    } else {
-        ctx.send(
-            0,
-            Msg::Labels {
-                first_line: block.first_line as u32,
-                labels,
-            },
-        );
-        None
-    }
+        out
+    })
 }
 
 /// Outcome of a parallel run: the root's result plus the timing report.
@@ -186,6 +175,7 @@ pub fn run_rooted<T: Send>(
         mut results,
         failures,
         total_time,
+        collectives,
     } = report;
     let result = results
         .get_mut(0)
@@ -200,6 +190,7 @@ pub fn run_rooted<T: Send>(
             results: Vec::new(),
             failures,
             total_time,
+            collectives,
         },
     }
 }
@@ -287,7 +278,14 @@ mod tests {
             let labels: Vec<u16> = (0..block.n_lines * samples)
                 .map(|i| (block.first_line + i / samples) as u16)
                 .collect();
-            gather_labels(ctx, &block, labels, lines, samples)
+            gather_labels(
+                ctx,
+                &CollectiveConfig::linear(),
+                &block,
+                labels,
+                lines,
+                samples,
+            )
         });
         for l in 0..lines {
             for smp in 0..samples {

@@ -192,6 +192,7 @@ where
         mut results,
         failures,
         total_time,
+        collectives,
     } = report;
     let (output, recoveries) = results
         .get_mut(0)
@@ -207,6 +208,7 @@ where
             results: Vec::new(),
             failures,
             total_time,
+            collectives,
         },
     }
 }
@@ -269,21 +271,23 @@ fn split_lines(
 }
 
 /// Broadcasts the round-start state to every surviving worker.
+///
+/// Deliberately a master-rooted [`simnet::coll::fanout_with`] rather
+/// than a tree collective: tree schedules route through relay ranks
+/// whose membership must be agreed by *all* participants, and here the
+/// alive-set is known only to the master (workers just `recv(0)`).
+/// Promoting this to a crash-aware tree broadcast needs a membership /
+/// epoch protocol — see ROADMAP "Open items" and docs/COMMS.md.
 fn broadcast_state<S, P>(ctx: &mut Ctx<FtMsg<S, P>>, alive: &[bool], state: &S, bits: u64)
 where
     S: Clone + Send + 'static,
     P: Send + 'static,
 {
     let targets: Vec<usize> = (1..alive.len()).filter(|&w| alive[w]).collect();
-    for w in targets {
-        ctx.send(
-            w,
-            FtMsg::Round {
-                state: state.clone(),
-                bits,
-            },
-        );
-    }
+    simnet::coll::fanout_with(ctx, &targets, || FtMsg::Round {
+        state: state.clone(),
+        bits,
+    });
 }
 
 /// A dispatched batch of the re-planning master.

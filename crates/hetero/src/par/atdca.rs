@@ -24,6 +24,7 @@ use crate::seq::DetectedTarget;
 use crate::wea::RowCost;
 use hsi_cube::HyperCube;
 use hsi_linalg::ortho::OrthoBasis;
+use simnet::coll::{self, GatherEntry};
 use simnet::engine::Engine;
 
 /// Estimated per-row resource demand (drives the WEA fractions).
@@ -57,6 +58,11 @@ pub fn run(
         let n = block.cube.bands();
         let mut basis = OrthoBasis::new(n);
         let mut targets: Vec<DetectedTarget> = Vec::new();
+        // Rank-uniform size hints for `Auto` selection (see docs/COMMS.md):
+        // a Candidate is 128 header bits + an n-band f32 spectrum; a
+        // broadcast row of `U` is one n-band f32 spectrum.
+        let cand_bits = 128 + 32 * n as u64;
+        let u_row_bits = 32 * n as u64;
 
         for k in 0..params.num_targets {
             // Local candidate (step 2 for k = 0, step 4 otherwise).
@@ -72,16 +78,21 @@ pub fn run(
             };
 
             // Gather candidates; the master re-scores and selects
-            // (steps 3/5 — sequential at the master).
-            let winner_spectrum = if ctx.is_root() {
-                let mut cands = vec![candidate];
-                for src in 1..ctx.num_ranks() {
-                    cands.push(
-                        ctx.recv(src)
-                            .into_candidate()
-                            .expect("atdca: protocol violation"),
-                    );
-                }
+            // (steps 3/5 — sequential at the master), then broadcasts
+            // the new target row of U.
+            let entries = coll::gather(
+                ctx,
+                &options.collectives,
+                0,
+                Msg::Candidate(candidate),
+                cand_bits,
+            );
+            let selected = entries.map(|entries| {
+                let cands: Vec<_> = entries
+                    .into_iter()
+                    .filter_map(GatherEntry::into_msg)
+                    .map(|m| m.into_candidate().expect("atdca: protocol violation"))
+                    .collect();
                 ctx.compute_seq(flops::mflop(
                     flops::projection_score(n, k) * cands.len() as f64,
                 ));
@@ -91,18 +102,14 @@ pub fn run(
                     sample: best.sample as usize,
                     spectrum: best.spectrum.clone(),
                 });
-                // Broadcast the new target row of U.
-                for dst in 1..ctx.num_ranks() {
-                    ctx.send(dst, Msg::Spectra(vec![best.spectrum.clone()]));
-                }
-                best.spectrum
-            } else {
-                ctx.send(0, Msg::Candidate(candidate));
-                ctx.recv(0)
+                Msg::Spectra(vec![best.spectrum])
+            });
+            let winner_spectrum =
+                coll::broadcast(ctx, &options.collectives, 0, selected, u_row_bits)
+                    .expect("atdca: broadcast misuse")
                     .into_spectra()
                     .expect("atdca: protocol violation")
-                    .remove(0)
-            };
+                    .remove(0);
 
             // All ranks grow their local orthonormal basis.
             let wide: Vec<f64> = winner_spectrum.iter().map(|&v| v as f64).collect();

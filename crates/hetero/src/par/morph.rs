@@ -27,6 +27,7 @@ use crate::msg::Msg;
 use crate::wea::RowCost;
 use hsi_cube::{HyperCube, LabelImage};
 use hsi_morpho::StructuringElement;
+use simnet::coll::{self, GatherEntry};
 use simnet::engine::Engine;
 
 /// Estimated per-row resource demand (drives the WEA fractions).
@@ -85,40 +86,41 @@ pub fn run(
             .collect();
 
         // Step 3: master merges nominations into p <= c representatives.
-        let reps: Vec<Vec<f32>> = if ctx.is_root() {
-            let mut scored: Vec<(Vec<f32>, f64)> = cands
-                .iter()
-                .map(|c| (c.spectrum.clone(), c.score))
-                .collect();
-            for src in 1..ctx.num_ranks() {
-                for cand in ctx
-                    .recv(src)
-                    .into_candidates()
-                    .expect("morph: protocol violation")
-                {
+        // Rank-uniform size hints for `Auto` selection: each rank
+        // nominates at most `c` candidates; at most `c` reps come back.
+        let n = block.cube.bands();
+        let cands_bits = (params.num_classes as u64) * (128 + 32 * n as u64);
+        let reps_bits = (params.num_classes * n * 32) as u64;
+        let entries = coll::gather(
+            ctx,
+            &options.collectives,
+            0,
+            Msg::Candidates(cands),
+            cands_bits,
+        );
+        let merged = entries.map(|entries| {
+            let mut scored: Vec<(Vec<f32>, f64)> = Vec::new();
+            for msg in entries.into_iter().filter_map(GatherEntry::into_msg) {
+                for cand in msg.into_candidates().expect("morph: protocol violation") {
                     scored.push((cand.spectrum, cand.score));
                 }
             }
             let (reps, mflops) =
                 crate::seq::reduce_candidates(&scored, params.sad_threshold, params.num_classes);
             ctx.compute_seq(mflops);
-            for dst in 1..ctx.num_ranks() {
-                ctx.send(dst, Msg::Spectra(reps.clone()));
-            }
-            reps
-        } else {
-            ctx.send(0, Msg::Candidates(cands));
-            ctx.recv(0)
-                .into_spectra()
-                .expect("morph: protocol violation")
-        };
+            Msg::Spectra(reps)
+        });
+        let reps: Vec<Vec<f32>> = coll::broadcast(ctx, &options.collectives, 0, merged, reps_bits)
+            .expect("morph: broadcast misuse")
+            .into_spectra()
+            .expect("morph: protocol violation");
 
         // Step 4: SAD labelling of the owned lines.
         let (labels, mflops) = kernels::sad_label(&block.cube, block.own_range(), &reps);
         ctx.compute_par(mflops);
 
         // Step 5: assemble at the master.
-        let image = gather_labels(ctx, &block, labels, lines, samples);
+        let image = gather_labels(ctx, &options.collectives, &block, labels, lines, samples);
         image.map(|img| (img, reps))
     })
 }

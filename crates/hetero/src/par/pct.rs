@@ -30,6 +30,7 @@ use hsi_cube::{HyperCube, LabelImage};
 use hsi_linalg::covariance::CovarianceAccumulator;
 use hsi_linalg::eigen::SymmetricEigen;
 use hsi_linalg::Matrix;
+use simnet::coll::{self, GatherEntry};
 use simnet::engine::Engine;
 
 /// Estimated per-row resource demand (drives the WEA fractions).
@@ -80,18 +81,35 @@ pub fn run(
         let (acc, mflops) = kernels::covariance_partial(&block.cube, block.own_range());
         ctx.compute_par(mflops);
 
-        let model = if ctx.is_root() {
+        // Rank-uniform size hints for `Auto` selection: at most `cap`
+        // candidates of (128 + 32n) bits each; a flat accumulator is a
+        // fixed f64 count for a given n; the model is bounded by the
+        // (c.min(n) × n) transform + mean + c representatives.
+        let cands_bits = (cap as u64) * (128 + 32 * n as u64);
+        let stats_bits = (acc.to_flat().len() * 64) as u64;
+        let model_bits = ((c.min(n) * n + n + c * c.min(n)) * 64) as u64;
+
+        // Steps 3 & 6 gathers: unique sets, then covariance partials.
+        let cand_entries = coll::gather(
+            ctx,
+            &options.collectives,
+            0,
+            Msg::Candidates(local_cands),
+            cands_bits,
+        );
+        let stat_entries = coll::gather(
+            ctx,
+            &options.collectives,
+            0,
+            Msg::Stats(acc.to_flat()),
+            stats_bits,
+        );
+
+        let selected = cand_entries.map(|cand_entries| {
             // Merge unique sets (step 3) in rank order.
-            let mut scored: Vec<(Vec<f32>, f64)> = local_cands
-                .iter()
-                .map(|c| (c.spectrum.clone(), c.score))
-                .collect();
-            for src in 1..ctx.num_ranks() {
-                for cand in ctx
-                    .recv(src)
-                    .into_candidates()
-                    .expect("pct: protocol violation")
-                {
+            let mut scored: Vec<(Vec<f32>, f64)> = Vec::new();
+            for msg in cand_entries.into_iter().filter_map(GatherEntry::into_msg) {
+                for cand in msg.into_candidates().expect("pct: protocol violation") {
                     scored.push((cand.spectrum, cand.score));
                 }
             }
@@ -100,9 +118,12 @@ pub fn run(
 
             // Merge covariance partials (step 6).
             let mut total = CovarianceAccumulator::new(n);
-            total.merge(&acc).expect("dim");
-            for src in 1..ctx.num_ranks() {
-                let flat = ctx.recv(src).into_stats().expect("pct: protocol violation");
+            for msg in stat_entries
+                .expect("pct: root sees both gathers")
+                .into_iter()
+                .filter_map(GatherEntry::into_msg)
+            {
+                let flat = msg.into_stats().expect("pct: protocol violation");
                 let other = CovarianceAccumulator::from_flat(n, &flat).expect("flat shape");
                 total.merge(&other).expect("dim");
             }
@@ -118,36 +139,26 @@ pub fn run(
             ctx.compute_seq(flops::mflop(
                 reps.len() as f64 * flops::pct_transform(n, transform.rows()),
             ));
-
-            // Broadcast the model.
-            let msg = Msg::PctModel {
+            Msg::PctModel {
                 transform: (0..transform.rows())
                     .map(|r| transform.row(r).to_vec())
                     .collect(),
-                mean: mean.clone(),
-                classes: class_reps.clone(),
-            };
-            for dst in 1..ctx.num_ranks() {
-                ctx.send(dst, msg.clone());
-            }
-            PctModel {
-                transform,
                 mean,
-                class_reps,
+                classes: class_reps,
             }
-        } else {
-            ctx.send(0, Msg::Candidates(local_cands));
-            ctx.send(0, Msg::Stats(acc.to_flat()));
-            let (transform, mean, classes) = ctx
-                .recv(0)
+        });
+
+        // Broadcast the model; every rank (root included) decodes it.
+        let (transform, mean, classes) =
+            coll::broadcast(ctx, &options.collectives, 0, selected, model_bits)
+                .expect("pct: broadcast misuse")
                 .into_pct_model()
                 .expect("pct: protocol violation");
-            let rows: Vec<&[f64]> = transform.iter().map(|r| r.as_slice()).collect();
-            PctModel {
-                transform: Matrix::from_rows(&rows),
-                mean,
-                class_reps: classes,
-            }
+        let rows: Vec<&[f64]> = transform.iter().map(|r| r.as_slice()).collect();
+        let model = PctModel {
+            transform: Matrix::from_rows(&rows),
+            mean,
+            class_reps: classes,
         };
 
         // Steps 8-9: transform + classify own lines, gather labels.
@@ -159,7 +170,7 @@ pub fn run(
             &model.class_reps,
         );
         ctx.compute_par(mflops);
-        let image = gather_labels(ctx, &block, labels, lines, samples);
+        let image = gather_labels(ctx, &options.collectives, &block, labels, lines, samples);
         image.map(|img| (img, model))
     })
 }

@@ -18,6 +18,7 @@ use crate::wea::RowCost;
 use hsi_cube::HyperCube;
 use hsi_linalg::lstsq::FclsProblem;
 use hsi_linalg::Matrix;
+use simnet::coll::{self, GatherEntry};
 use simnet::engine::Engine;
 
 /// Estimated per-row resource demand (drives the WEA fractions).
@@ -60,6 +61,9 @@ pub fn run(
         // Every rank mirrors the target list so it can rebuild the FCLS
         // problem each round (the broadcast of U in the paper).
         let mut targets: Vec<DetectedTarget> = Vec::new();
+        // Rank-uniform size hints for `Auto` selection.
+        let cand_bits = 128 + 32 * n as u64;
+        let u_row_bits = 32 * n as u64;
 
         for k in 0..params.num_targets {
             let (cand, mflops) = if k == 0 {
@@ -77,35 +81,36 @@ pub fn run(
                 None => empty_candidate(n),
             };
 
-            let winner = if ctx.is_root() {
-                let mut cands = vec![candidate];
-                for src in 1..ctx.num_ranks() {
-                    cands.push(
-                        ctx.recv(src)
-                            .into_candidate()
-                            .expect("ufcls: protocol violation"),
-                    );
-                }
+            let entries = coll::gather(
+                ctx,
+                &options.collectives,
+                0,
+                Msg::Candidate(candidate),
+                cand_bits,
+            );
+            let best = entries.map(|entries| {
+                let cands: Vec<_> = entries
+                    .into_iter()
+                    .filter_map(GatherEntry::into_msg)
+                    .map(|m| m.into_candidate().expect("ufcls: protocol violation"))
+                    .collect();
                 ctx.compute_seq(flops::mflop(flops::fcls(n, k.max(1)) * cands.len() as f64));
-                let best = best_candidate(cands);
-                for dst in 1..ctx.num_ranks() {
-                    ctx.send(dst, Msg::Spectra(vec![best.spectrum.clone()]));
-                }
-                best
-            } else {
-                ctx.send(0, Msg::Candidate(candidate));
-                let spectrum = ctx
-                    .recv(0)
-                    .into_spectra()
-                    .expect("ufcls: protocol violation")
-                    .remove(0);
-                crate::msg::Candidate {
-                    line: 0,
-                    sample: 0,
-                    score: 0.0,
-                    spectrum,
-                }
-            };
+                best_candidate(cands)
+            });
+            let selected = best
+                .as_ref()
+                .map(|b| Msg::Spectra(vec![b.spectrum.clone()]));
+            let spectrum = coll::broadcast(ctx, &options.collectives, 0, selected, u_row_bits)
+                .expect("ufcls: broadcast misuse")
+                .into_spectra()
+                .expect("ufcls: protocol violation")
+                .remove(0);
+            let winner = best.unwrap_or(crate::msg::Candidate {
+                line: 0,
+                sample: 0,
+                score: 0.0,
+                spectrum,
+            });
             targets.push(DetectedTarget {
                 line: winner.line as usize,
                 sample: winner.sample as usize,

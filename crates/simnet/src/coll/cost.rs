@@ -1,0 +1,341 @@
+//! Analytic cost model for collective schedules.
+//!
+//! [`predict`] replays a collective's communication schedule over the
+//! platform model *arithmetically* — the same per-message sender latency,
+//! `transfer_secs` link charges, and serial inter-segment FIFO
+//! reservations the engine applies, in the same program order — and
+//! returns the virtual time at which the last rank finishes. For a
+//! healthy (fault-free) run rooted at rank 0 that starts with aligned
+//! clocks, the prediction equals the engine's measured virtual time
+//! exactly; this is what lets the `Auto` selector guarantee it never
+//! picks a strictly-dominated algorithm (asserted by the
+//! `ablation_collectives` gate).
+//!
+//! Two documented approximations: fault plans are ignored (predictions
+//! are for healthy runs), and for roots other than rank 0 the receiver-
+//! side FIFO interleaving at rank 0 is not replayed (no algorithm in
+//! this repository roots a collective away from rank 0).
+
+use super::schedule::{self, Tree};
+use super::{split_chunks, CollAlgorithm, CollOp};
+use crate::platform::Platform;
+use std::collections::HashMap;
+
+/// FIFO link reservation replay, mirroring
+/// [`crate::contention::InterSegmentLinks`] without the locking.
+#[derive(Default)]
+struct LinkSim {
+    busy_until: HashMap<(usize, usize), f64>,
+}
+
+impl LinkSim {
+    fn reserve(&mut self, seg_a: usize, seg_b: usize, earliest: f64, duration: f64) -> f64 {
+        if seg_a == seg_b {
+            return earliest;
+        }
+        let key = (seg_a.min(seg_b), seg_a.max(seg_b));
+        let free_at = self.busy_until.get(&key).copied().unwrap_or(0.0);
+        let start = earliest.max(free_at);
+        self.busy_until.insert(key, start + duration);
+        start
+    }
+}
+
+/// Arrival time of one message, replaying the engine's reservation rule:
+/// only messages with rank 0 as an endpoint queue on the serial
+/// inter-segment links; everything else pays the raw transfer.
+fn arrival(
+    platform: &Platform,
+    links: &mut LinkSim,
+    src: usize,
+    dst: usize,
+    sent_at: f64,
+    duration: f64,
+) -> f64 {
+    let (sa, sb) = (platform.segment_of(src), platform.segment_of(dst));
+    if src == 0 || dst == 0 {
+        links.reserve(sa, sb, sent_at, duration) + duration
+    } else {
+        sent_at + duration
+    }
+}
+
+/// Predicted virtual completion time (seconds) of one collective of
+/// `bits` payload bits under `algorithm` (which must be concrete, not
+/// [`CollAlgorithm::Auto`]), rooted at `root`, with all rank clocks at
+/// zero. `latency_s` is the per-message sender overhead;
+/// `pipeline_chunks` only affects [`CollAlgorithm::PipelinedChunked`].
+pub fn predict(
+    platform: &Platform,
+    latency_s: f64,
+    op: CollOp,
+    algorithm: CollAlgorithm,
+    root: usize,
+    bits: u64,
+    pipeline_chunks: u32,
+) -> f64 {
+    debug_assert!(
+        algorithm != CollAlgorithm::Auto,
+        "predict: resolve Auto first"
+    );
+    let p = platform.num_procs();
+    if p <= 1 {
+        return 0.0;
+    }
+    let tree = match algorithm {
+        CollAlgorithm::Linear => schedule::linear(root, p),
+        CollAlgorithm::BinomialTree => schedule::binomial(root, p),
+        CollAlgorithm::SegmentHierarchical | CollAlgorithm::PipelinedChunked => {
+            schedule::segment_hierarchical(root, platform)
+        }
+        CollAlgorithm::Auto => unreachable!("checked above"),
+    };
+    let chunks = if algorithm == CollAlgorithm::PipelinedChunked && op == CollOp::Broadcast {
+        split_chunks(bits, pipeline_chunks as usize)
+    } else {
+        vec![bits]
+    };
+    match op {
+        // A scatter is broadcast-shaped (root fans out one message per
+        // child); payload personalisation doesn't change the schedule.
+        CollOp::Broadcast | CollOp::Scatter => {
+            predict_broadcast(platform, latency_s, &tree, root, &chunks)
+        }
+        CollOp::Gather => predict_gather(platform, latency_s, &tree, bits, false),
+        CollOp::Reduce => predict_gather(platform, latency_s, &tree, bits, true),
+    }
+}
+
+/// Broadcast replay: each node receives chunk `c` from its parent, then
+/// forwards it to every broadcast-order child before receiving chunk
+/// `c + 1` — which is exactly the pipelining the executor implements.
+fn predict_broadcast(
+    platform: &Platform,
+    latency_s: f64,
+    tree: &Tree,
+    root: usize,
+    chunks: &[u64],
+) -> f64 {
+    let p = platform.num_procs();
+    let k = chunks.len();
+    let mut arrivals = vec![vec![0.0f64; k]; p];
+    let mut links = LinkSim::default();
+    let mut finish = 0.0f64;
+    for r in tree.preorder_bcast() {
+        let mut clock = 0.0f64;
+        for (c, &chunk_bits) in chunks.iter().enumerate() {
+            if r != root {
+                clock = clock.max(arrivals[r][c]);
+            }
+            for &child in tree.children_bcast(r) {
+                clock += latency_s;
+                let dur = platform.transfer_secs(r, child, chunk_bits);
+                arrivals[child][c] = arrival(platform, &mut links, r, child, clock, dur);
+            }
+        }
+        finish = finish.max(clock);
+    }
+    finish
+}
+
+/// Gather/reduce replay, children-before-parents: a relay receives every
+/// message of each gather-order child's subtree, then relays them (one
+/// message per subtree rank — or a single folded partial when `reduce`)
+/// to its parent. Receiver-side FIFO reservations happen at the root in
+/// its receive order, matching the engine's lazy resolve.
+fn predict_gather(
+    platform: &Platform,
+    latency_s: f64,
+    tree: &Tree,
+    bits: u64,
+    reduce: bool,
+) -> f64 {
+    let p = platform.num_procs();
+    // Messages each rank has sent to its parent: (sent_at, duration).
+    let mut upward: Vec<Vec<(f64, f64)>> = vec![Vec::new(); p];
+    let mut links = LinkSim::default();
+    let mut finish = 0.0f64;
+    for r in tree.postorder_gather() {
+        let mut clock = 0.0f64;
+        for &child in tree.children_gather(r) {
+            for &(sent_at, dur) in &upward[child] {
+                let a = arrival(platform, &mut links, child, r, sent_at, dur);
+                clock = clock.max(a);
+            }
+        }
+        if let Some(parent) = tree.parent(r) {
+            let n_msgs = if reduce { 1 } else { tree.subtree_size(r) };
+            let dur = platform.transfer_secs(r, parent, bits);
+            let mut sends = Vec::with_capacity(n_msgs);
+            for _ in 0..n_msgs {
+                clock += latency_s;
+                sends.push((clock, dur));
+            }
+            upward[r] = sends;
+        }
+        finish = finish.max(clock);
+    }
+    finish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::DEFAULT_MSG_LATENCY_S;
+    use crate::presets;
+
+    const L: f64 = DEFAULT_MSG_LATENCY_S;
+
+    #[test]
+    fn single_rank_costs_nothing() {
+        let platform = crate::platform::Platform::uniform("one", 1, 0.01, 64, 1.0);
+        for alg in [
+            CollAlgorithm::Linear,
+            CollAlgorithm::BinomialTree,
+            CollAlgorithm::SegmentHierarchical,
+        ] {
+            assert_eq!(
+                predict(&platform, L, CollOp::Broadcast, alg, 0, 1_000_000, 4),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn linear_broadcast_cost_on_uniform_platform() {
+        // 4 ranks, 10 ms/Mbit, 1 Mbit: root pays 3 latencies; transfers
+        // overlap (single switched segment, no FIFO): last arrival is
+        // 3L + 0.01.
+        let platform = crate::platform::Platform::uniform("u4", 4, 0.01, 64, 10.0);
+        let t = predict(
+            &platform,
+            L,
+            CollOp::Broadcast,
+            CollAlgorithm::Linear,
+            0,
+            1_000_000,
+            4,
+        );
+        assert!((t - (3.0 * L + 0.01)).abs() < 1e-12, "got {t}");
+    }
+
+    #[test]
+    fn linear_gather_cost_on_uniform_platform() {
+        // Every worker sends at its own L; transfers overlap; the root's
+        // clock ends at the last arrival L + 0.01.
+        let platform = crate::platform::Platform::uniform("u4", 4, 0.01, 64, 10.0);
+        let t = predict(
+            &platform,
+            L,
+            CollOp::Gather,
+            CollAlgorithm::Linear,
+            0,
+            1_000_000,
+            4,
+        );
+        assert!((t - (L + 0.01)).abs() < 1e-12, "got {t}");
+    }
+
+    #[test]
+    fn hierarchical_beats_linear_broadcast_on_heterogeneous_network() {
+        // The ISSUE gate, at the model level: an endmember-matrix-sized
+        // payload (18 × 224 × 32 bits) on the paper's fully heterogeneous
+        // network.
+        let platform = presets::fully_heterogeneous();
+        let bits = 18 * 224 * 32;
+        let lin = predict(
+            &platform,
+            L,
+            CollOp::Broadcast,
+            CollAlgorithm::Linear,
+            0,
+            bits,
+            4,
+        );
+        let hier = predict(
+            &platform,
+            L,
+            CollOp::Broadcast,
+            CollAlgorithm::SegmentHierarchical,
+            0,
+            bits,
+            4,
+        );
+        assert!(
+            hier < lin,
+            "hierarchical {hier} must beat linear {lin} on fully_heterogeneous"
+        );
+    }
+
+    #[test]
+    fn hierarchical_equals_linear_on_single_segment() {
+        let platform = presets::partially_heterogeneous();
+        for op in [CollOp::Broadcast, CollOp::Gather, CollOp::Reduce] {
+            let lin = predict(&platform, L, op, CollAlgorithm::Linear, 0, 129_024, 4);
+            let hier = predict(
+                &platform,
+                L,
+                op,
+                CollAlgorithm::SegmentHierarchical,
+                0,
+                129_024,
+                4,
+            );
+            assert!(
+                (lin - hier).abs() < 1e-12,
+                "{op:?}: single-segment hierarchical ({hier}) == linear ({lin})"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_broadcast_wins_at_small_sizes_on_uniform_platform() {
+        // Latency-dominated regime: log-depth beats the root's P−1
+        // serialized send overheads.
+        let platform = crate::platform::Platform::uniform("u16", 16, 0.01, 64, 1.0);
+        let lin = predict(
+            &platform,
+            L,
+            CollOp::Broadcast,
+            CollAlgorithm::Linear,
+            0,
+            64,
+            4,
+        );
+        let bin = predict(
+            &platform,
+            L,
+            CollOp::Broadcast,
+            CollAlgorithm::BinomialTree,
+            0,
+            64,
+            4,
+        );
+        assert!(bin < lin, "binomial {bin} < linear {lin} for tiny payloads");
+    }
+
+    #[test]
+    fn pipelined_tracks_hierarchical_tree_with_chunked_charges() {
+        // One chunk ⇒ identical to the plain hierarchical broadcast.
+        let platform = presets::fully_heterogeneous();
+        let one = predict(
+            &platform,
+            L,
+            CollOp::Broadcast,
+            CollAlgorithm::PipelinedChunked,
+            0,
+            129_024,
+            1,
+        );
+        let hier = predict(
+            &platform,
+            L,
+            CollOp::Broadcast,
+            CollAlgorithm::SegmentHierarchical,
+            0,
+            129_024,
+            4,
+        );
+        assert!((one - hier).abs() < 1e-12, "k=1 pipelined == hierarchical");
+    }
+}

@@ -1,0 +1,1023 @@
+//! Topology-aware collective communication with cost-model-driven
+//! algorithm selection.
+//!
+//! The paper's heterogeneous networks (§3.1, Tables 1–2) are switched
+//! segments joined by *serial* inter-segment links, so a flat linear
+//! collective rooted at rank 0 pays O(P) root-serialized latency and
+//! queues every cross-segment transfer on the same FIFO links. This
+//! module provides pluggable collective algorithms, all expressed
+//! through the ordinary [`Ctx`] send/recv primitives — virtual-time
+//! costs, FIFO contention and fault plans apply unchanged:
+//!
+//! * [`CollAlgorithm::Linear`] — the baseline star schedule (bit- and
+//!   timing-identical to the legacy [`crate::comm`] loops),
+//! * [`CollAlgorithm::BinomialTree`] — `⌈log₂ P⌉`-depth recursive
+//!   halving; wins in the latency-dominated small-message regime,
+//! * [`CollAlgorithm::SegmentHierarchical`] — one *leader* per remote
+//!   segment crosses the serial link exactly once, then fans out over
+//!   the switched intra-segment network; wins for large payloads on
+//!   multi-segment platforms,
+//! * [`CollAlgorithm::PipelinedChunked`] — broadcast only: the payload
+//!   streams down the hierarchical tree in [`CollectiveConfig::
+//!   pipeline_chunks`] chunks so a leader forwards chunk `c` while
+//!   chunk `c + 1` is still crossing the serial link,
+//! * [`CollAlgorithm::Auto`] — evaluates the exact analytic cost of
+//!   each candidate via [`predict`] and picks the cheapest; the choice
+//!   is recorded in [`crate::RunReport::collectives`].
+//!
+//! **Selection must be rank-uniform.** The `bits_hint` argument of the
+//! configurable collectives drives `Auto` selection (and nothing else);
+//! every rank must pass the same value or ranks would disagree on the
+//! schedule and deadlock. Transfers always charge actual payload sizes.
+//!
+//! **Failure semantics.** The root observes failed contributors as
+//! explicit [`GatherEntry::Lost`] entries instead of aborting. Interior
+//! tree relays use plain [`Ctx::recv`], so a crashed child cascades as a
+//! structured `PeerLost` failure through its ancestors (recorded in the
+//! report, never a process abort) and the root marks that whole subtree
+//! lost. Link outages kill no ranks: every algorithm completes under
+//! link-fault plans, just later. See `docs/COMMS.md`.
+
+mod cost;
+mod schedule;
+
+pub use cost::predict;
+
+use crate::engine::{Ctx, Wire};
+use crate::faults::{FailureCause, RankFailure, RecvError};
+use crate::platform::Platform;
+use schedule::Tree;
+use std::fmt;
+
+/// A collective communication algorithm (schedule family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollAlgorithm {
+    /// The baseline star: the root sends/receives every rank directly,
+    /// in ascending rank order. Identical to the legacy `comm` loops.
+    #[default]
+    Linear,
+    /// Recursive-halving binomial tree over contiguous virtual-rank
+    /// blocks: `⌈log₂ P⌉` depth, relays forward full payloads.
+    BinomialTree,
+    /// Two-level segment tree: one leader per remote segment crosses
+    /// the serial inter-segment link once; leaders fan out locally.
+    SegmentHierarchical,
+    /// Broadcast only: the payload streams down the segment-hierarchical
+    /// tree in fixed-count chunks so link occupancy overlaps. For
+    /// gathers/reduces this resolves to [`Self::SegmentHierarchical`].
+    PipelinedChunked,
+    /// Evaluate every candidate's analytic cost ([`predict`]) for the
+    /// given platform and `bits_hint`, pick the cheapest (ties favour
+    /// the earlier variant, so `Linear` wins exact ties).
+    Auto,
+}
+
+impl fmt::Display for CollAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollAlgorithm::Linear => "linear",
+            CollAlgorithm::BinomialTree => "binomial_tree",
+            CollAlgorithm::SegmentHierarchical => "segment_hierarchical",
+            CollAlgorithm::PipelinedChunked => "pipelined_chunked",
+            CollAlgorithm::Auto => "auto",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which collective operation a [`CollectiveChoice`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollOp {
+    /// Root-to-all broadcast.
+    Broadcast,
+    /// All-to-root gather.
+    Gather,
+    /// Root-to-all personalized scatter (always linear; see module docs).
+    Scatter,
+    /// All-to-root reduction.
+    Reduce,
+}
+
+impl fmt::Display for CollOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollOp::Broadcast => "broadcast",
+            CollOp::Gather => "gather",
+            CollOp::Scatter => "scatter",
+            CollOp::Reduce => "reduce",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One algorithm decision made by a collective call on the root,
+/// recorded in [`crate::RunReport::collectives`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveChoice {
+    /// The operation performed.
+    pub op: CollOp,
+    /// What the configuration asked for (possibly [`CollAlgorithm::Auto`]).
+    pub requested: CollAlgorithm,
+    /// The concrete algorithm that ran.
+    pub algorithm: CollAlgorithm,
+    /// The `bits_hint` the selection was made with.
+    pub bits: u64,
+    /// The cost model's predicted completion time for the chosen
+    /// algorithm (exact for healthy runs rooted at rank 0 whose clocks
+    /// are aligned when the collective starts; see [`predict`]).
+    pub predicted_secs: f64,
+}
+
+/// Per-operation algorithm selection carried through the application
+/// layer (see `hetero::RunOptions::collectives`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveConfig {
+    /// Algorithm for broadcasts.
+    pub broadcast: CollAlgorithm,
+    /// Algorithm for gathers.
+    pub gather: CollAlgorithm,
+    /// Algorithm for reduces.
+    pub reduce: CollAlgorithm,
+    /// Chunk count for [`CollAlgorithm::PipelinedChunked`] broadcasts
+    /// (clamped to at least 1).
+    pub pipeline_chunks: u32,
+}
+
+impl Default for CollectiveConfig {
+    fn default() -> Self {
+        CollectiveConfig::linear()
+    }
+}
+
+impl CollectiveConfig {
+    /// The baseline configuration: every collective linear — bit- and
+    /// timing-identical to the legacy `comm` behaviour.
+    pub fn linear() -> Self {
+        CollectiveConfig {
+            broadcast: CollAlgorithm::Linear,
+            gather: CollAlgorithm::Linear,
+            reduce: CollAlgorithm::Linear,
+            pipeline_chunks: 4,
+        }
+    }
+
+    /// Cost-model-driven selection for every collective.
+    pub fn auto() -> Self {
+        CollectiveConfig::uniform(CollAlgorithm::Auto)
+    }
+
+    /// The same algorithm for every collective operation.
+    pub fn uniform(algorithm: CollAlgorithm) -> Self {
+        CollectiveConfig {
+            broadcast: algorithm,
+            gather: algorithm,
+            reduce: algorithm,
+            pipeline_chunks: 4,
+        }
+    }
+}
+
+/// How a scatter's data staging is charged. See DESIGN.md: the paper's
+/// reported COM magnitudes imply bulk data staging is *not* part of the
+/// measured communication, so experiments default to [`ScatterMode::Free`];
+/// the `ablation_scatter` bench flips this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScatterMode {
+    /// Partitions are assumed pre-staged: only per-message latency.
+    #[default]
+    Free,
+    /// Partitions pay full transfer cost on the link matrix.
+    Charged,
+}
+
+/// Structured misuse errors for the collectives (the de-panicked
+/// replacement for the old `expect`/`assert!` calls in `comm`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollError {
+    /// The root rank passed `None` where a payload was required.
+    RootMissingPayload {
+        /// The operation that was misused.
+        op: CollOp,
+    },
+    /// A non-root rank passed `Some(..)` where `None` was required.
+    NonRootPayload {
+        /// The operation that was misused.
+        op: CollOp,
+    },
+    /// A scatter's item vector length didn't match the rank count.
+    WrongItemCount {
+        /// The rank count (one item required per rank).
+        expected: usize,
+        /// The number of items actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollError::RootMissingPayload { op } => {
+                write!(f, "{op}: root must supply the payload")
+            }
+            CollError::NonRootPayload { op } => {
+                write!(f, "{op}: non-root ranks must pass None")
+            }
+            CollError::WrongItemCount { expected, got } => {
+                write!(f, "scatter: need one item per rank ({expected}), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollError {}
+
+/// One slot of a gather's rank-ordered result: the contribution, or an
+/// explicit record of why it is missing. Crashed ranks become `Lost`
+/// entries at the root instead of aborting the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatherEntry<M> {
+    /// The rank's contribution arrived.
+    Ok(M),
+    /// The contribution is missing; the failure is the one the root
+    /// observed on the relay path (for tree gathers a lost relay marks
+    /// its whole subtree with the relay's failure record).
+    Lost(RankFailure),
+}
+
+impl<M> GatherEntry<M> {
+    /// The contribution, if it arrived.
+    pub fn into_msg(self) -> Option<M> {
+        match self {
+            GatherEntry::Ok(m) => Some(m),
+            GatherEntry::Lost(_) => None,
+        }
+    }
+
+    /// A reference to the contribution, if it arrived.
+    pub fn msg(&self) -> Option<&M> {
+        match self {
+            GatherEntry::Ok(m) => Some(m),
+            GatherEntry::Lost(_) => None,
+        }
+    }
+
+    /// `true` when the contribution is missing.
+    pub fn is_lost(&self) -> bool {
+        matches!(self, GatherEntry::Lost(_))
+    }
+}
+
+/// Resolves a requested algorithm to the concrete one that will run for
+/// `op`, plus its predicted cost: normalizes broadcast-only algorithms,
+/// and evaluates the [`predict`] cost model for [`CollAlgorithm::Auto`].
+/// Deterministic in its arguments, so every rank resolves identically.
+pub fn select(
+    platform: &Platform,
+    latency_s: f64,
+    op: CollOp,
+    requested: CollAlgorithm,
+    root: usize,
+    bits: u64,
+    pipeline_chunks: u32,
+) -> (CollAlgorithm, f64) {
+    let normalize = |alg: CollAlgorithm| match (op, alg) {
+        // Chunked streaming only exists for broadcast; elsewhere it
+        // means "the same tree, unchunked".
+        (CollOp::Broadcast, a) => a,
+        (_, CollAlgorithm::PipelinedChunked) => CollAlgorithm::SegmentHierarchical,
+        (_, a) => a,
+    };
+    if requested != CollAlgorithm::Auto {
+        let alg = normalize(requested);
+        let cost = predict(platform, latency_s, op, alg, root, bits, pipeline_chunks);
+        return (alg, cost);
+    }
+    let candidates: &[CollAlgorithm] = match op {
+        CollOp::Broadcast => &[
+            CollAlgorithm::Linear,
+            CollAlgorithm::BinomialTree,
+            CollAlgorithm::SegmentHierarchical,
+            CollAlgorithm::PipelinedChunked,
+        ],
+        _ => &[
+            CollAlgorithm::Linear,
+            CollAlgorithm::BinomialTree,
+            CollAlgorithm::SegmentHierarchical,
+        ],
+    };
+    let mut best = CollAlgorithm::Linear;
+    let mut best_cost = f64::INFINITY;
+    for &alg in candidates {
+        let cost = predict(platform, latency_s, op, alg, root, bits, pipeline_chunks);
+        // Strict `<` keeps the earliest candidate on ties: Linear wins
+        // exact ties (e.g. hierarchical on a single-segment platform).
+        if cost < best_cost {
+            best = alg;
+            best_cost = cost;
+        }
+    }
+    (best, best_cost)
+}
+
+/// Splits `bits` into `chunks` near-equal parts (earlier chunks take the
+/// remainder). Always returns at least one chunk; the sizes sum to
+/// `bits` so the total link charge of a pipelined broadcast equals the
+/// unchunked one.
+pub(crate) fn split_chunks(bits: u64, chunks: usize) -> Vec<u64> {
+    let k = chunks.max(1) as u64;
+    let base = bits / k;
+    let rem = bits % k;
+    (0..k).map(|i| base + u64::from(i < rem)).collect()
+}
+
+fn build_tree<M: Wire>(ctx: &Ctx<M>, algorithm: CollAlgorithm, root: usize) -> Tree {
+    let p = ctx.num_ranks();
+    match algorithm {
+        CollAlgorithm::Linear => schedule::linear(root, p),
+        CollAlgorithm::BinomialTree => schedule::binomial(root, p),
+        CollAlgorithm::SegmentHierarchical | CollAlgorithm::PipelinedChunked => {
+            schedule::segment_hierarchical(root, ctx.platform())
+        }
+        CollAlgorithm::Auto => unreachable!("selection resolved before building"),
+    }
+}
+
+/// Resolves the algorithm on every rank identically and records the
+/// choice on the root.
+fn resolve_and_log<M: Wire>(
+    ctx: &mut Ctx<M>,
+    op: CollOp,
+    requested: CollAlgorithm,
+    root: usize,
+    bits_hint: u64,
+    pipeline_chunks: u32,
+) -> CollAlgorithm {
+    let (algorithm, predicted_secs) = select(
+        ctx.platform(),
+        ctx.msg_latency_s(),
+        op,
+        requested,
+        root,
+        bits_hint,
+        pipeline_chunks,
+    );
+    // Rank 0's log is the one the engine collects into the report, so
+    // log there regardless of which rank roots the collective.
+    if ctx.rank() == 0 {
+        ctx.log_collective(CollectiveChoice {
+            op,
+            requested,
+            algorithm,
+            bits: bits_hint,
+            predicted_secs,
+        });
+    }
+    algorithm
+}
+
+/// Broadcast from `root` under `cfg`: the root passes `Some(msg)`, every
+/// other rank passes `None`; all ranks return the payload.
+///
+/// `bits_hint` feeds `Auto` selection only (transfers charge the actual
+/// payload size) and **must be identical on every rank** — see the
+/// module docs.
+pub fn broadcast<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    msg: Option<M>,
+    bits_hint: u64,
+) -> Result<M, CollError> {
+    let op = CollOp::Broadcast;
+    let algorithm = resolve_and_log(ctx, op, cfg.broadcast, root, bits_hint, cfg.pipeline_chunks);
+    let tree = build_tree(ctx, algorithm, root);
+    let rank = ctx.rank();
+    if algorithm == CollAlgorithm::PipelinedChunked {
+        return broadcast_pipelined(ctx, &tree, msg, cfg.pipeline_chunks);
+    }
+    let payload = match tree.parent(rank) {
+        None => msg.ok_or(CollError::RootMissingPayload { op })?,
+        Some(parent) => {
+            if msg.is_some() {
+                return Err(CollError::NonRootPayload { op });
+            }
+            ctx.recv(parent)
+        }
+    };
+    for &child in tree.children_bcast(rank) {
+        ctx.send(child, payload.clone());
+    }
+    Ok(payload)
+}
+
+/// Chunk-streamed broadcast down the segment-hierarchical tree: every
+/// edge carries `pipeline_chunks` messages whose charged sizes sum to
+/// the payload size; a relay forwards chunk `c` before receiving chunk
+/// `c + 1`, so its outbound transfers overlap the inbound ones.
+fn broadcast_pipelined<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    tree: &Tree,
+    msg: Option<M>,
+    pipeline_chunks: u32,
+) -> Result<M, CollError> {
+    let op = CollOp::Broadcast;
+    let rank = ctx.rank();
+    let k = pipeline_chunks.max(1) as usize;
+    let forward = |ctx: &mut Ctx<M>, payload: &M, chunk_bits: u64| {
+        for &child in tree.children_bcast(rank) {
+            ctx.send_bits(child, payload.clone(), chunk_bits);
+        }
+    };
+    match tree.parent(rank) {
+        None => {
+            let payload = msg.ok_or(CollError::RootMissingPayload { op })?;
+            let sizes = split_chunks(payload.size_bits(), k);
+            for &chunk_bits in &sizes {
+                forward(ctx, &payload, chunk_bits);
+            }
+            Ok(payload)
+        }
+        Some(parent) => {
+            if msg.is_some() {
+                return Err(CollError::NonRootPayload { op });
+            }
+            // Every chunk carries a full clone of the payload; only the
+            // charged wire size is chunked. The receiver keeps the last.
+            let mut payload = ctx.recv(parent);
+            // The payload is identical on every rank, so the locally
+            // computed chunk sizes agree with the root's.
+            let sizes = split_chunks(payload.size_bits(), k);
+            forward(ctx, &payload, sizes[0]);
+            for &chunk_bits in &sizes[1..] {
+                payload = ctx.recv(parent);
+                forward(ctx, &payload, chunk_bits);
+            }
+            Ok(payload)
+        }
+    }
+}
+
+/// Gather to `root` under `cfg`: every rank contributes `msg`; the root
+/// returns `Some(entries)` indexed by rank — contributions of failed
+/// ranks appear as explicit [`GatherEntry::Lost`] records, never an
+/// abort — and every other rank returns `None`.
+///
+/// `bits_hint` feeds `Auto` selection only and **must be identical on
+/// every rank** (see the module docs); transfers charge actual sizes.
+pub fn gather<M: Wire>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    msg: M,
+    bits_hint: u64,
+) -> Option<Vec<GatherEntry<M>>> {
+    let algorithm = resolve_and_log(
+        ctx,
+        CollOp::Gather,
+        cfg.gather,
+        root,
+        bits_hint,
+        cfg.pipeline_chunks,
+    );
+    let tree = build_tree(ctx, algorithm, root);
+    run_gather(ctx, &tree, root, msg)
+}
+
+fn run_gather<M: Wire>(
+    ctx: &mut Ctx<M>,
+    tree: &Tree,
+    root: usize,
+    msg: M,
+) -> Option<Vec<GatherEntry<M>>> {
+    let rank = ctx.rank();
+    if rank == root {
+        let p = ctx.num_ranks();
+        let mut out: Vec<Option<GatherEntry<M>>> = (0..p).map(|_| None).collect();
+        out[root] = Some(GatherEntry::Ok(msg));
+        for &child in tree.children_gather(root) {
+            let origins = tree.subtree_order(child);
+            let mut lost: Option<RankFailure> = None;
+            for &origin in &origins {
+                if let Some(f) = &lost {
+                    out[origin] = Some(GatherEntry::Lost(f.clone()));
+                    continue;
+                }
+                match ctx.recv_deadline(child, f64::INFINITY) {
+                    Ok(m) => out[origin] = Some(GatherEntry::Ok(m)),
+                    Err(RecvError::Failed(f)) => {
+                        out[origin] = Some(GatherEntry::Lost(f.clone()));
+                        lost = Some(f);
+                    }
+                    Err(RecvError::Timeout { .. }) => {
+                        // The relay exited cleanly without sending —
+                        // protocol misuse on the relay path; record it
+                        // as a lost peer rather than aborting.
+                        let f = RankFailure {
+                            rank: child,
+                            at: ctx.elapsed(),
+                            cause: FailureCause::PeerLost { peer: child },
+                        };
+                        out[origin] = Some(GatherEntry::Lost(f.clone()));
+                        lost = Some(f);
+                    }
+                }
+            }
+        }
+        Some(
+            out.into_iter()
+                .map(|e| e.expect("gather: every rank is in exactly one subtree"))
+                .collect(),
+        )
+    } else {
+        let parent = tree.parent(rank).expect("gather: non-root has a parent");
+        // Collect this subtree's contributions in `subtree_order`, then
+        // relay them upward; the parent knows the order from the shared
+        // tree, so no metadata travels on the wire.
+        let mut collected: Vec<M> = vec![msg];
+        for &child in tree.children_gather(rank) {
+            for _ in 0..tree.subtree_size(child) {
+                collected.push(ctx.recv(child));
+            }
+        }
+        for m in collected {
+            ctx.send(parent, m);
+        }
+        None
+    }
+}
+
+/// Scatter from `root`: the root supplies one message per rank (its own
+/// element is returned to it directly); every rank returns its element.
+/// `mode` selects whether transfers are charged (see [`ScatterMode`]).
+///
+/// Scatters are always linear: payloads are personalized and
+/// non-splittable, so relaying a full item over a tree costs at least as
+/// much as the direct send on every platform in this repository (the
+/// triangle inequality holds for all preset link matrices) — see
+/// `docs/COMMS.md`.
+pub fn scatter<M: Wire>(
+    ctx: &mut Ctx<M>,
+    root: usize,
+    items: Option<Vec<M>>,
+    mode: ScatterMode,
+) -> Result<M, CollError> {
+    let op = CollOp::Scatter;
+    let bits_hint = match (&items, mode) {
+        (_, ScatterMode::Free) => 0,
+        (Some(v), _) => v.first().map_or(0, |m| m.size_bits()),
+        (None, _) => 0,
+    };
+    let algorithm = resolve_and_log(ctx, op, CollAlgorithm::Linear, root, bits_hint, 1);
+    debug_assert_eq!(algorithm, CollAlgorithm::Linear);
+    if ctx.rank() == root {
+        let items = items.ok_or(CollError::RootMissingPayload { op })?;
+        if items.len() != ctx.num_ranks() {
+            return Err(CollError::WrongItemCount {
+                expected: ctx.num_ranks(),
+                got: items.len(),
+            });
+        }
+        let mut own = None;
+        for (dst, item) in items.into_iter().enumerate() {
+            if dst == root {
+                own = Some(item);
+            } else {
+                match mode {
+                    ScatterMode::Free => ctx.send_free(dst, item),
+                    ScatterMode::Charged => ctx.send(dst, item),
+                }
+            }
+        }
+        Ok(own.expect("scatter: the root's own element exists"))
+    } else {
+        if items.is_some() {
+            return Err(CollError::NonRootPayload { op });
+        }
+        Ok(ctx.recv(root))
+    }
+}
+
+/// Reduce to `root` with a binary fold under `cfg`: the root returns
+/// `Some(folded)` over the surviving contributions, everyone else
+/// `None`.
+///
+/// [`CollAlgorithm::Linear`] folds strictly in rank order (the legacy
+/// behaviour). Tree algorithms fold partial results inside relays:
+/// binomial subtrees are contiguous rank blocks, so for a root at rank
+/// 0 the tree *regroups* — never reorders — the linear fold, and any
+/// **associative** fold is bit-identical to linear;
+/// [`CollAlgorithm::SegmentHierarchical`] additionally requires
+/// commutativity when segments interleave in rank space. See
+/// `docs/COMMS.md`.
+pub fn reduce<M: Wire>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    msg: M,
+    fold: impl Fn(M, M) -> M,
+    bits_hint: u64,
+) -> Option<M> {
+    let algorithm = resolve_and_log(
+        ctx,
+        CollOp::Reduce,
+        cfg.reduce,
+        root,
+        bits_hint,
+        cfg.pipeline_chunks,
+    );
+    if algorithm == CollAlgorithm::Linear {
+        // Exactly the legacy schedule: a linear gather plus a free
+        // rank-order fold at the root, skipping lost contributions.
+        let tree = schedule::linear(root, ctx.num_ranks());
+        return run_gather(ctx, &tree, root, msg).map(|entries| {
+            let mut it = entries.into_iter().filter_map(GatherEntry::into_msg);
+            let first = it.next().expect("reduce: the root's own contribution");
+            it.fold(first, fold)
+        });
+    }
+    let tree = build_tree(ctx, algorithm, root);
+    let rank = ctx.rank();
+    let mut acc = msg;
+    if rank == root {
+        for &child in tree.children_gather(root) {
+            // A lost relay loses its subtree's partial; fold the
+            // survivors (mirrors linear's hole-skipping).
+            if let Ok(partial) = ctx.recv_deadline(child, f64::INFINITY) {
+                acc = fold(acc, partial);
+            }
+        }
+        Some(acc)
+    } else {
+        for &child in tree.children_gather(rank) {
+            let partial = ctx.recv(child);
+            acc = fold(acc, partial);
+        }
+        let parent = tree.parent(rank).expect("reduce: non-root has a parent");
+        ctx.send(parent, acc);
+        None
+    }
+}
+
+/// Barrier: all ranks synchronise their virtual clocks to the latest
+/// participant (a gather plus a broadcast of a token built by
+/// `make_token`; both use `cfg`'s algorithms). Tokens must have the
+/// same wire size on every rank.
+pub fn barrier<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    make_token: impl Fn() -> M,
+) {
+    let token = make_token();
+    let bits = token.size_bits();
+    let _ = gather(ctx, cfg, root, token, bits);
+    let msg = if ctx.rank() == root {
+        Some(make_token())
+    } else {
+        None
+    };
+    let _ = broadcast(ctx, cfg, root, msg, bits);
+}
+
+/// Root-side fan-out of per-destination messages built by `make` —
+/// the collective entry point for masters whose workers only ever
+/// `recv(0)` (the fault-tolerant drivers in `hetero::ft`): a tree
+/// schedule cannot relay through workers that never forward, and the
+/// destination set changes as ranks die, so the fan-out stays linear by
+/// construction. Destinations are sent in slice order.
+pub fn fanout_with<M: Wire>(ctx: &mut Ctx<M>, dsts: &[usize], mut make: impl FnMut() -> M) {
+    for &dst in dsts {
+        let m = make();
+        ctx.send(dst, m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, WireVec};
+    use crate::platform::Platform;
+    use crate::presets;
+
+    fn engine(p: usize) -> Engine {
+        Engine::new(Platform::uniform("t", p, 0.01, 1024, 10.0))
+    }
+
+    const ALGOS: [CollAlgorithm; 5] = [
+        CollAlgorithm::Linear,
+        CollAlgorithm::BinomialTree,
+        CollAlgorithm::SegmentHierarchical,
+        CollAlgorithm::PipelinedChunked,
+        CollAlgorithm::Auto,
+    ];
+
+    #[test]
+    fn broadcast_delivers_under_every_algorithm() {
+        for alg in ALGOS {
+            let cfg = CollectiveConfig::uniform(alg);
+            let report = engine(6).run(move |ctx| {
+                let msg = if ctx.is_root() {
+                    Some(WireVec(vec![42u32, 7]))
+                } else {
+                    None
+                };
+                broadcast(ctx, &cfg, 0, msg, 64).expect("broadcast").0
+            });
+            for r in 0..6 {
+                assert_eq!(*report.result(r), vec![42, 7], "{alg}: rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rank_order_under_every_algorithm() {
+        for alg in ALGOS {
+            let cfg = CollectiveConfig::uniform(alg);
+            for p in [2usize, 5, 6, 9] {
+                let report = engine(p).run(move |ctx| {
+                    gather(ctx, &cfg, 0, ctx.rank() as u64, 64).map(|entries| {
+                        entries
+                            .into_iter()
+                            .map(|e| e.into_msg().expect("healthy"))
+                            .collect::<Vec<_>>()
+                    })
+                });
+                let expect: Vec<u64> = (0..p as u64).collect();
+                assert_eq!(
+                    report.result(0).as_deref(),
+                    Some(&expect[..]),
+                    "{alg} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_associative_fold_matches_linear() {
+        // Wrapping add: associative and commutative, exact on u64.
+        for alg in ALGOS {
+            let cfg = CollectiveConfig::uniform(alg);
+            let report = engine(9).run(move |ctx| {
+                reduce(
+                    ctx,
+                    &cfg,
+                    0,
+                    (ctx.rank() as u64 + 1) * 1_000_003,
+                    |a, b| a.wrapping_add(b),
+                    64,
+                )
+            });
+            let expect: u64 = (1..=9u64).map(|r| r * 1_000_003).sum();
+            assert_eq!(*report.result(0), Some(expect), "{alg}");
+        }
+    }
+
+    #[test]
+    fn binomial_reduce_regroups_associative_noncommutative_fold() {
+        // String concatenation: associative, NOT commutative. Binomial
+        // subtrees are contiguous rank blocks, so the result must equal
+        // the linear left fold exactly.
+        for alg in [CollAlgorithm::Linear, CollAlgorithm::BinomialTree] {
+            let cfg = CollectiveConfig::uniform(alg);
+            for p in [2usize, 5, 7, 8] {
+                let report = engine(p).run(move |ctx| {
+                    reduce(
+                        ctx,
+                        &cfg,
+                        0,
+                        WireVec(vec![ctx.rank() as u8]),
+                        |mut a, b| {
+                            a.0.extend_from_slice(&b.0);
+                            a
+                        },
+                        8,
+                    )
+                    .map(|m| m.0)
+                });
+                let expect: Vec<u8> = (0..p as u8).collect();
+                assert_eq!(
+                    report.result(0).as_deref(),
+                    Some(&expect[..]),
+                    "{alg} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_misuse_is_an_error_not_a_panic() {
+        let cfg = CollectiveConfig::default();
+        let report = engine(2).run(move |ctx| {
+            if ctx.is_root() {
+                // Root forgot the payload.
+                broadcast::<u64>(ctx, &cfg, 0, None, 64).err()
+            } else {
+                // Non-root supplied one.
+                broadcast(ctx, &cfg, 0, Some(9u64), 64).err()
+            }
+        });
+        assert_eq!(
+            *report.result(0),
+            Some(CollError::RootMissingPayload {
+                op: CollOp::Broadcast
+            })
+        );
+        assert_eq!(
+            *report.result(1),
+            Some(CollError::NonRootPayload {
+                op: CollOp::Broadcast
+            })
+        );
+    }
+
+    #[test]
+    fn scatter_wrong_count_is_an_error() {
+        let report = engine(3).run(|ctx| {
+            let items = if ctx.is_root() {
+                Some(vec![1u64, 2]) // 2 items for 3 ranks
+            } else {
+                None
+            };
+            if ctx.is_root() {
+                scatter(ctx, 0, items, ScatterMode::Free).err()
+            } else {
+                // Workers would block on a recv that never comes; skip.
+                None
+            }
+        });
+        assert_eq!(
+            *report.result(0),
+            Some(CollError::WrongItemCount {
+                expected: 3,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn crashed_rank_becomes_lost_entry_not_abort() {
+        let plan = crate::faults::FaultPlan::new().crash(2, 0.0);
+        let cfg = CollectiveConfig::default();
+        let report = engine(4).with_faults(plan).run(move |ctx| {
+            gather(ctx, &cfg, 0, ctx.rank() as u64, 64).map(|entries| {
+                entries
+                    .into_iter()
+                    .map(|e| match e {
+                        GatherEntry::Ok(v) => (Some(v), None),
+                        GatherEntry::Lost(f) => (None, Some(f.rank)),
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        let root = report.results[0].clone().flatten().expect("root completes");
+        assert_eq!(root[0], (Some(0), None));
+        assert_eq!(root[1], (Some(1), None));
+        assert_eq!(root[2], (None, Some(2)), "crashed rank is an explicit hole");
+        assert_eq!(root[3], (Some(3), None));
+    }
+
+    #[test]
+    fn auto_picks_hierarchical_for_large_broadcast_on_heterogeneous() {
+        let platform = presets::fully_heterogeneous();
+        let bits = 18 * 224 * 32; // endmember matrix U
+        let (alg, _) = select(
+            &platform,
+            platform.msg_latency_s(),
+            CollOp::Broadcast,
+            CollAlgorithm::Auto,
+            0,
+            bits,
+            4,
+        );
+        assert!(
+            alg == CollAlgorithm::SegmentHierarchical || alg == CollAlgorithm::PipelinedChunked,
+            "expected a segment-aware pick, got {alg}"
+        );
+    }
+
+    #[test]
+    fn auto_resolves_to_linear_on_tie() {
+        // Single segment: hierarchical == linear exactly; Linear must
+        // win the tie so single-segment platforms keep the baseline.
+        let platform = Platform::uniform("u4", 4, 0.01, 64, 10.0);
+        let (alg, _) = select(
+            &platform,
+            platform.msg_latency_s(),
+            CollOp::Gather,
+            CollAlgorithm::Auto,
+            0,
+            1_000_000,
+            4,
+        );
+        assert_eq!(alg, CollAlgorithm::Linear);
+    }
+
+    #[test]
+    fn choices_are_recorded_in_the_report() {
+        let cfg = CollectiveConfig::auto();
+        let report = engine(4).run(move |ctx| {
+            let msg = if ctx.is_root() { Some(5u64) } else { None };
+            let v = broadcast(ctx, &cfg, 0, msg, 64).expect("broadcast");
+            let _ = gather(ctx, &cfg, 0, v, 64);
+        });
+        assert_eq!(report.collectives.len(), 2);
+        assert_eq!(report.collectives[0].op, CollOp::Broadcast);
+        assert_eq!(report.collectives[0].requested, CollAlgorithm::Auto);
+        assert_ne!(report.collectives[0].algorithm, CollAlgorithm::Auto);
+        assert_eq!(report.collectives[1].op, CollOp::Gather);
+    }
+
+    #[test]
+    fn predicted_cost_is_exact_for_rooted_broadcast() {
+        // The Auto guarantee hinges on this: prediction == measurement
+        // for a collective issued at t = 0 on aligned clocks.
+        for platform in presets::four_networks() {
+            for alg in [
+                CollAlgorithm::Linear,
+                CollAlgorithm::BinomialTree,
+                CollAlgorithm::SegmentHierarchical,
+                CollAlgorithm::PipelinedChunked,
+            ] {
+                let bits: u64 = 18 * 224 * 32;
+                let latency = platform.msg_latency_s();
+                let predicted = predict(&platform, latency, CollOp::Broadcast, alg, 0, bits, 4);
+                let cfg = CollectiveConfig::uniform(alg);
+                let name = platform.name().to_string();
+                let report = Engine::new(platform.clone()).run(move |ctx| {
+                    let msg = if ctx.is_root() {
+                        Some(WireVec(vec![0u8; (bits / 8) as usize]))
+                    } else {
+                        None
+                    };
+                    let _ = broadcast(ctx, &cfg, 0, msg, bits).expect("broadcast");
+                });
+                assert!(
+                    (report.total_time - predicted).abs() < 1e-9,
+                    "{name}/{alg}: predicted {predicted} vs measured {}",
+                    report.total_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_cost_is_exact_for_gather_and_reduce() {
+        for platform in presets::four_networks() {
+            for alg in [
+                CollAlgorithm::Linear,
+                CollAlgorithm::BinomialTree,
+                CollAlgorithm::SegmentHierarchical,
+            ] {
+                let bits: u64 = 224 * 32;
+                let latency = platform.msg_latency_s();
+                for op in [CollOp::Gather, CollOp::Reduce] {
+                    let predicted = predict(&platform, latency, op, alg, 0, bits, 4);
+                    let cfg = CollectiveConfig::uniform(alg);
+                    let name = platform.name().to_string();
+                    let report = Engine::new(platform.clone()).run(move |ctx| {
+                        let payload = WireVec(vec![0u8; (bits / 8) as usize]);
+                        match op {
+                            CollOp::Gather => {
+                                let _ = gather(ctx, &cfg, 0, payload, bits);
+                            }
+                            CollOp::Reduce => {
+                                let _ = reduce(ctx, &cfg, 0, payload, |a, _| a, bits);
+                            }
+                            _ => unreachable!(),
+                        }
+                    });
+                    assert!(
+                        (report.total_time - predicted).abs() < 1e-9,
+                        "{name}/{alg}/{op}: predicted {predicted} vs measured {}",
+                        report.total_time
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_chunks_sums_and_never_empties() {
+        assert_eq!(split_chunks(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_chunks(0, 4), vec![0, 0, 0, 0]);
+        assert_eq!(split_chunks(7, 0), vec![7]);
+        assert_eq!(split_chunks(129_024, 4).iter().sum::<u64>(), 129_024);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_under_tree_algorithms() {
+        for alg in ALGOS {
+            let cfg = CollectiveConfig::uniform(alg);
+            let report = engine(5).run(move |ctx| {
+                if ctx.rank() == 3 {
+                    ctx.compute_par(300.0); // 3 s behind
+                }
+                barrier(ctx, &cfg, 0, || 0u8);
+                ctx.elapsed()
+            });
+            for r in 0..5 {
+                assert!(*report.result(r) >= 3.0, "{alg}: rank {r} not aligned");
+            }
+        }
+    }
+}

@@ -1,132 +1,79 @@
-//! Root-mediated collectives over [`Ctx`].
+//! Root-mediated collectives over [`Ctx`] — the linear baseline.
 //!
 //! The paper's algorithms use exactly four collective patterns — scatter
 //! the partitions, broadcast the growing endmember matrix `U`, gather
-//! per-worker candidates, and barrier-style synchronisation. All are
-//! root-mediated (a star topology), which is also what keeps the virtual
-//! timestamps deterministic (see [`crate::contention`]).
+//! per-worker candidates, and barrier-style synchronisation. The
+//! functions here are thin wrappers over [`crate::coll`] pinned to the
+//! [`crate::coll::CollAlgorithm::Linear`] schedule (a star rooted at
+//! `root`), which is also what keeps the virtual timestamps
+//! deterministic (see [`crate::contention`]). Pick other schedules — or
+//! cost-model-driven selection — by calling [`crate::coll`] directly
+//! with a [`CollectiveConfig`].
+//!
+//! Misuse (a root without a payload, a scatter with the wrong item
+//! count) returns a structured [`CollError`] instead of panicking, and
+//! a crashed rank's missing gather contribution is an explicit
+//! [`GatherEntry::Lost`] hole, not an abort.
 
+use crate::coll::{self, CollectiveConfig};
 use crate::engine::{Ctx, Wire};
 
-/// How the initial data scatter is charged. See DESIGN.md: the paper's
-/// reported COM magnitudes imply bulk data staging is *not* part of the
-/// measured communication, so experiments default to [`ScatterMode::Free`];
-/// the `ablation_scatter` bench flips this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ScatterMode {
-    /// Partitions are assumed pre-staged: only per-message latency.
-    #[default]
-    Free,
-    /// Partitions pay full transfer cost on the link matrix.
-    Charged,
-}
+pub use crate::coll::{CollError, GatherEntry, ScatterMode};
 
 /// Broadcast from `root`: the root passes `Some(msg)`, every other rank
 /// passes `None`; all ranks return the message.
 ///
-/// # Panics
-/// Panics if the root passes `None` or a non-root passes `Some`.
-pub fn broadcast<M: Wire + Clone>(ctx: &mut Ctx<M>, root: usize, msg: Option<M>) -> M {
-    if ctx.rank() == root {
-        let msg = msg.expect("broadcast: root must supply the message");
-        for dst in 0..ctx.num_ranks() {
-            if dst != root {
-                ctx.send(dst, msg.clone());
-            }
-        }
-        msg
-    } else {
-        assert!(msg.is_none(), "broadcast: non-root must pass None");
-        ctx.recv(root)
-    }
+/// Returns [`CollError`] if the root passes `None` or a non-root passes
+/// `Some`.
+pub fn broadcast<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    root: usize,
+    msg: Option<M>,
+) -> Result<M, CollError> {
+    let bits = msg.as_ref().map_or(0, |m| m.size_bits());
+    coll::broadcast(ctx, &CollectiveConfig::linear(), root, msg, bits)
 }
 
 /// Gather to `root`: every rank contributes `msg`; the root returns
-/// `Some(vec)` ordered by rank (its own contribution included), everyone
-/// else returns `None`.
-#[allow(clippy::needless_range_loop)] // rank order is the protocol, not an iteration detail
-pub fn gather<M: Wire>(ctx: &mut Ctx<M>, root: usize, msg: M) -> Option<Vec<M>> {
-    if ctx.rank() == root {
-        let mut out: Vec<Option<M>> = (0..ctx.num_ranks()).map(|_| None).collect();
-        out[root] = Some(msg);
-        for src in 0..ctx.num_ranks() {
-            if src != root {
-                out[src] = Some(ctx.recv(src));
-            }
-        }
-        Some(out.into_iter().map(|m| m.expect("gather: hole")).collect())
-    } else {
-        ctx.send(root, msg);
-        None
-    }
+/// `Some(entries)` ordered by rank (its own contribution included),
+/// everyone else returns `None`. Contributions of failed ranks appear
+/// as [`GatherEntry::Lost`] records.
+pub fn gather<M: Wire>(ctx: &mut Ctx<M>, root: usize, msg: M) -> Option<Vec<GatherEntry<M>>> {
+    let bits = msg.size_bits();
+    coll::gather(ctx, &CollectiveConfig::linear(), root, msg, bits)
 }
 
 /// Scatter from `root`: the root supplies one message per rank (its own
 /// element is returned to it directly); every rank returns its element.
 /// `mode` selects whether transfers are charged (see [`ScatterMode`]).
 ///
-/// # Panics
-/// Panics if the root's vector length differs from the rank count, if
-/// the root passes `None`, or if a non-root passes `Some`.
+/// Returns [`CollError`] if the root's vector length differs from the
+/// rank count, the root passes `None`, or a non-root passes `Some`.
 pub fn scatter<M: Wire>(
     ctx: &mut Ctx<M>,
     root: usize,
     items: Option<Vec<M>>,
     mode: ScatterMode,
-) -> M {
-    if ctx.rank() == root {
-        let items = items.expect("scatter: root must supply items");
-        assert_eq!(
-            items.len(),
-            ctx.num_ranks(),
-            "scatter: need one item per rank"
-        );
-        let mut own = None;
-        for (dst, item) in items.into_iter().enumerate() {
-            if dst == root {
-                own = Some(item);
-            } else {
-                match mode {
-                    ScatterMode::Free => ctx.send_free(dst, item),
-                    ScatterMode::Charged => ctx.send(dst, item),
-                }
-            }
-        }
-        own.expect("scatter: missing root element")
-    } else {
-        assert!(items.is_none(), "scatter: non-root must pass None");
-        ctx.recv(root)
-    }
+) -> Result<M, CollError> {
+    coll::scatter(ctx, root, items, mode)
 }
 
 /// Barrier: all ranks synchronise their virtual clocks to the latest
 /// participant (gather + broadcast of a token built by `make_token`).
 pub fn barrier<M: Wire + Clone>(ctx: &mut Ctx<M>, root: usize, make_token: impl Fn() -> M) {
-    let _ = gather(ctx, root, make_token());
-    let _ = broadcast(
-        ctx,
-        root,
-        if ctx.rank() == root {
-            Some(make_token())
-        } else {
-            None
-        },
-    );
+    coll::barrier(ctx, &CollectiveConfig::linear(), root, make_token);
 }
 
-/// Reduce to root with a binary fold: the root returns `Some(fold of all
-/// contributions in rank order)`, others `None`.
+/// Reduce to root with a binary fold: the root returns `Some(fold of
+/// the surviving contributions in rank order)`, others `None`.
 pub fn reduce<M: Wire>(
     ctx: &mut Ctx<M>,
     root: usize,
     msg: M,
     fold: impl Fn(M, M) -> M,
 ) -> Option<M> {
-    gather(ctx, root, msg).map(|items| {
-        let mut it = items.into_iter();
-        let first = it.next().expect("reduce: empty gather");
-        it.fold(first, fold)
-    })
+    let bits = msg.size_bits();
+    coll::reduce(ctx, &CollectiveConfig::linear(), root, msg, fold, bits)
 }
 
 #[cfg(test)]
@@ -150,7 +97,8 @@ mod tests {
                 } else {
                     None
                 },
-            );
+            )
+            .expect("valid broadcast");
             msg.0[0]
         });
         assert_eq!(report.results, vec![Some(42); 4]);
@@ -158,7 +106,14 @@ mod tests {
 
     #[test]
     fn gather_preserves_rank_order() {
-        let report = engine(5).run(|ctx| gather(ctx, 0, ctx.rank() as u64));
+        let report = engine(5).run(|ctx| {
+            gather(ctx, 0, ctx.rank() as u64).map(|entries| {
+                entries
+                    .into_iter()
+                    .filter_map(GatherEntry::into_msg)
+                    .collect()
+            })
+        });
         assert_eq!(*report.result(0), Some(vec![0, 1, 2, 3, 4]));
         for r in 1..5 {
             assert_eq!(*report.result(r), None);
@@ -173,7 +128,7 @@ mod tests {
             } else {
                 None
             };
-            scatter(ctx, 0, items, ScatterMode::Charged)
+            scatter(ctx, 0, items, ScatterMode::Charged).expect("valid scatter")
         });
         assert_eq!(report.results, vec![Some(10), Some(20), Some(30)]);
     }
@@ -189,7 +144,7 @@ mod tests {
                     } else {
                         None
                     };
-                    let _ = scatter(ctx, 0, items, mode);
+                    let _ = scatter(ctx, 0, items, mode).expect("valid scatter");
                     ctx.elapsed()
                 })
                 .total_time
@@ -234,12 +189,37 @@ mod tests {
                 } else {
                     None
                 },
-            );
+            )
+            .expect("valid broadcast");
             let _ = msg;
             ctx.elapsed()
         });
         for r in 1..4 {
             assert!(*report.result(r) >= 0.01, "rank {r}: {}", report.result(r));
         }
+    }
+
+    #[test]
+    fn misuse_returns_structured_errors() {
+        use crate::coll::CollOp;
+        let report = engine(2).run(|ctx| {
+            if ctx.is_root() {
+                broadcast::<u64>(ctx, 0, None).err()
+            } else {
+                broadcast(ctx, 0, Some(1u64)).err()
+            }
+        });
+        assert_eq!(
+            *report.result(0),
+            Some(CollError::RootMissingPayload {
+                op: CollOp::Broadcast
+            })
+        );
+        assert_eq!(
+            *report.result(1),
+            Some(CollError::NonRootPayload {
+                op: CollOp::Broadcast
+            })
+        );
     }
 }

@@ -175,6 +175,10 @@ pub struct Ctx<M: Wire> {
     /// Per-source stash for peeked-but-undelivered packets
     /// (deadline misses and permanent failure markers).
     pending: Vec<Option<Stashed<M>>>,
+    /// Collective algorithm choices made on this rank (see
+    /// [`crate::coll`]); the root's log lands in
+    /// [`RunReport::collectives`].
+    coll_log: Vec<crate::coll::CollectiveChoice>,
     trace: TraceSink,
 }
 
@@ -538,6 +542,17 @@ impl<M: Wire> Ctx<M> {
     pub fn mark_recovery(&mut self, start: f64, lost: usize) {
         self.record(start, TraceKind::Recovery { lost });
     }
+
+    /// The per-message sender-side latency this run charges. The
+    /// collectives' cost model ([`crate::coll::predict`]) replays it.
+    pub(crate) fn msg_latency_s(&self) -> f64 {
+        self.config.latency_s
+    }
+
+    /// Appends a collective algorithm decision to this rank's log.
+    pub(crate) fn log_collective(&mut self, choice: crate::coll::CollectiveChoice) {
+        self.coll_log.push(choice);
+    }
 }
 
 /// The simulator: a platform plus engine configuration.
@@ -675,7 +690,12 @@ impl Engine {
         let links = Arc::new(InterSegmentLinks::new());
         let width = self.threads_per_rank();
 
-        type Outcome<R> = (TimeLedger, Option<R>, Option<RankFailure>);
+        type Outcome<R> = (
+            TimeLedger,
+            Vec<crate::coll::CollectiveChoice>,
+            Option<R>,
+            Option<RankFailure>,
+        );
         let mut outcomes: Vec<Option<Outcome<R>>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
@@ -708,6 +728,7 @@ impl Engine {
                         txs,
                         rxs,
                         pending: (0..p).map(|_| None).collect(),
+                        coll_log: Vec::new(),
                         trace,
                     };
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -748,7 +769,12 @@ impl Engine {
                             });
                         }
                     }
-                    (ctx.ledger, result, failure)
+                    (
+                        ctx.ledger,
+                        std::mem::take(&mut ctx.coll_log),
+                        result,
+                        failure,
+                    )
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
@@ -764,15 +790,24 @@ impl Engine {
         let mut ledgers = Vec::with_capacity(p);
         let mut results = Vec::with_capacity(p);
         let mut failures = Vec::new();
-        for o in outcomes {
-            let (ledger, result, failure) = o.expect("engine: missing rank outcome");
+        let mut collectives = Vec::new();
+        for (rank, o) in outcomes.into_iter().enumerate() {
+            let (ledger, coll_log, result, failure) = o.expect("engine: missing rank outcome");
             ledgers.push(ledger);
             results.push(result);
+            if rank == 0 {
+                // Collective choices are resolved identically on every
+                // rank; the root's log is the canonical record.
+                collectives = coll_log;
+            }
             if let Some(f) = failure {
                 failures.push(f);
             }
         }
-        RunReport::with_failures(self.platform.name().to_string(), ledgers, results, failures)
+        let mut report =
+            RunReport::with_failures(self.platform.name().to_string(), ledgers, results, failures);
+        report.collectives = collectives;
+        report
     }
 }
 

@@ -27,7 +27,11 @@
 //! * [`clock`] — per-rank virtual clocks and time ledgers.
 //! * [`contention`] — serial inter-segment link reservation.
 //! * [`engine`] — the message-passing runtime (threads + channels).
-//! * [`comm`] — collectives: broadcast, scatter, gather, barrier, reduce.
+//! * [`comm`] — the linear-baseline collective wrappers (broadcast,
+//!   scatter, gather, barrier, reduce).
+//! * [`coll`] — topology-aware collective algorithms (linear, binomial
+//!   tree, segment-hierarchical, pipelined-chunked) with cost-model
+//!   driven `Auto` selection.
 //! * [`faults`] — deterministic virtual-time fault plans: rank crashes,
 //!   slowdown windows, link outage/degradation; structured failures.
 //! * [`report`] — COM/SEQ/PAR decomposition, imbalance, speedup,
@@ -62,6 +66,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod clock;
+pub mod coll;
 pub mod comm;
 pub mod contention;
 pub mod engine;
@@ -72,6 +77,9 @@ pub mod presets;
 pub mod report;
 pub mod trace;
 
+pub use coll::{
+    CollAlgorithm, CollError, CollOp, CollectiveChoice, CollectiveConfig, GatherEntry, ScatterMode,
+};
 pub use engine::{Ctx, Engine, Wire};
 pub use faults::{FailureCause, FaultPlan, RankFailure, RecvError};
 pub use platform::{Platform, ProcessorSpec};

@@ -9,6 +9,7 @@
 //!   when a run executes under a fault plan or a rank panics.
 
 use crate::clock::TimeLedger;
+use crate::coll::CollectiveChoice;
 use crate::faults::RankFailure;
 
 /// The outcome of one [`crate::Engine::run`].
@@ -28,6 +29,10 @@ pub struct RunReport<R> {
     pub failures: Vec<RankFailure>,
     /// Total virtual execution time: the latest rank's final clock.
     pub total_time: f64,
+    /// Collective algorithm choices made during the run (rank 0's log,
+    /// in call order; see [`crate::coll`]). Deterministic, so it
+    /// participates in the report's bit-identity comparisons.
+    pub collectives: Vec<CollectiveChoice>,
 }
 
 impl<R> RunReport<R> {
@@ -56,6 +61,7 @@ impl<R> RunReport<R> {
             results,
             failures,
             total_time,
+            collectives: Vec::new(),
         }
     }
 
