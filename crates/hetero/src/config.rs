@@ -101,7 +101,18 @@ pub struct RunOptions {
     /// gather / reduce steps (see `simnet::coll` and docs/COMMS.md).
     /// Default [`CollectiveConfig::linear`], the paper's star schedule —
     /// existing timings are unchanged unless this is set explicitly.
+    /// `collectives.allreduce` also selects ATDCA/UFCLS winner
+    /// selection: `Linear` keeps the legacy gather → master re-score →
+    /// broadcast split; any tree algorithm fuses it onto one
+    /// `simnet::coll::allreduce` schedule.
     pub collectives: CollectiveConfig,
+    /// Overlap the per-round endmember broadcast with the round's
+    /// follow-up compute: when the broadcast resolves to
+    /// `PipelinedChunked`, leaf workers charge a slice of their
+    /// post-broadcast compute per received chunk (ATDCA basis update,
+    /// UFCLS Gram rebuild) instead of all of it afterwards. Outputs are
+    /// bit-identical; virtual time never increases. Default `false`.
+    pub bcast_overlap: bool,
 }
 
 impl Default for RunOptions {
@@ -111,6 +122,7 @@ impl Default for RunOptions {
             scatter_mode: ScatterMode::Free,
             morph_overlap: OverlapPolicy::default(),
             collectives: CollectiveConfig::linear(),
+            bcast_overlap: false,
         }
     }
 }
@@ -132,6 +144,13 @@ impl RunOptions {
     /// Replaces the collective backend, builder-style.
     pub fn with_collectives(mut self, collectives: CollectiveConfig) -> Self {
         self.collectives = collectives;
+        self
+    }
+
+    /// Enables or disables broadcast/compute chunk overlap,
+    /// builder-style (see [`RunOptions::bcast_overlap`]).
+    pub fn with_bcast_overlap(mut self, overlap: bool) -> Self {
+        self.bcast_overlap = overlap;
         self
     }
 }
@@ -157,5 +176,7 @@ mod tests {
             PartitionStrategy::Heterogeneous(_)
         ));
         assert_eq!(RunOptions::default().scatter_mode, ScatterMode::Free);
+        assert!(!RunOptions::default().bcast_overlap);
+        assert!(RunOptions::hetero().with_bcast_overlap(true).bcast_overlap);
     }
 }

@@ -6,10 +6,11 @@
 //! SEQ component of Table 6.
 
 use crate::config::{PartitionStrategy, RunOptions};
-use crate::msg::Msg;
+use crate::msg::{Candidate, Msg};
+use crate::par::{best_candidate, better_candidate};
 use crate::wea::{self, RowAssignment, RowCost};
 use hsi_cube::{HyperCube, LabelImage};
-use simnet::coll::{self, CollectiveConfig, GatherEntry};
+use simnet::coll::{self, CollAlgorithm, CollectiveConfig, GatherEntry};
 use simnet::comm::ScatterMode;
 use simnet::engine::Engine;
 use simnet::report::RunReport;
@@ -198,6 +199,117 @@ pub fn run_rooted<T: Send>(
 /// Megabits needed to stage one image row (the WEA staging term).
 pub fn row_mbits(cube: &HyperCube) -> f64 {
     (cube.samples() * cube.bands() * 32) as f64 / 1.0e6
+}
+
+/// One ATDCA/UFCLS winner-selection round: every rank contributes its
+/// local `candidate`; every rank returns the round's global winner.
+///
+/// Two schedules, selected by `options.collectives.allreduce`:
+///
+/// * `Linear` (the default) — the legacy split path, bit- and
+///   timing-identical to the historic code: gather `Msg::Candidate`s to
+///   the root, re-score there (`rescore_flops` per surviving candidate,
+///   charged sequential), broadcast the winning spectrum. Workers get a
+///   zero-coordinate stand-in carrying the winning spectrum, exactly as
+///   the historic per-algorithm code built it. When
+///   `options.bcast_overlap` is set, the broadcast goes through
+///   [`coll::broadcast_overlap`] and `post_mflops` is charged in
+///   per-chunk slices as endmember bytes arrive.
+/// * any tree algorithm — one fused [`coll::allreduce`] over the
+///   candidates with the [`better_candidate`] fold. Scores travel with
+///   the candidates, so the master re-scoring pass disappears and every
+///   rank (workers included) learns the winner's real coordinates in a
+///   single tree traversal. `post_mflops` is charged whole after the
+///   collective: chunk overlap does not compose with the fused schedule
+///   (see docs/COMMS.md).
+///
+/// `post_mflops` is the round's follow-up parallel compute (ATDCA's
+/// basis growth, UFCLS's next-round Gram rebuild); pass `0.0` for none.
+pub(crate) fn select_winner(
+    ctx: &mut Ctx<Msg>,
+    options: &RunOptions,
+    candidate: Candidate,
+    cand_bits: u64,
+    u_row_bits: u64,
+    rescore_flops: f64,
+    post_mflops: f64,
+) -> Candidate {
+    if options.collectives.allreduce != CollAlgorithm::Linear {
+        let winner = coll::allreduce(
+            ctx,
+            &options.collectives,
+            0,
+            Msg::Candidate(candidate),
+            |a, b| {
+                Msg::Candidate(better_candidate(
+                    a.into_candidate()
+                        .expect("select_winner: protocol violation"),
+                    b.into_candidate()
+                        .expect("select_winner: protocol violation"),
+                ))
+            },
+            cand_bits,
+        )
+        .into_candidate()
+        .expect("select_winner: protocol violation");
+        if post_mflops > 0.0 {
+            ctx.compute_par(post_mflops);
+        }
+        return winner;
+    }
+    let best = coll::gather(
+        ctx,
+        &options.collectives,
+        0,
+        Msg::Candidate(candidate),
+        cand_bits,
+    )
+    .map(|entries| {
+        let cands: Vec<Candidate> = entries
+            .into_iter()
+            .filter_map(GatherEntry::into_msg)
+            .map(|m| {
+                m.into_candidate()
+                    .expect("select_winner: protocol violation")
+            })
+            .collect();
+        ctx.compute_seq(crate::flops::mflop(rescore_flops * cands.len() as f64));
+        best_candidate(cands)
+    });
+    let selected = best
+        .as_ref()
+        .map(|b| Msg::Spectra(vec![b.spectrum.clone()]));
+    let delivered = if options.bcast_overlap {
+        coll::broadcast_overlap(
+            ctx,
+            &options.collectives,
+            0,
+            selected,
+            u_row_bits,
+            |ctx, _chunk, k| {
+                if post_mflops > 0.0 {
+                    ctx.compute_par(post_mflops / k as f64);
+                }
+            },
+        )
+    } else {
+        let d = coll::broadcast(ctx, &options.collectives, 0, selected, u_row_bits);
+        if post_mflops > 0.0 {
+            ctx.compute_par(post_mflops);
+        }
+        d
+    };
+    let spectrum = delivered
+        .expect("select_winner: broadcast misuse")
+        .into_spectra()
+        .expect("select_winner: protocol violation")
+        .remove(0);
+    best.unwrap_or(Candidate {
+        line: 0,
+        sample: 0,
+        score: 0.0,
+        spectrum,
+    })
 }
 
 #[cfg(test)]

@@ -16,15 +16,15 @@
 
 use crate::config::{AlgoParams, RunOptions};
 use crate::flops;
-use crate::framework::{distribute, plan_assignments, row_mbits, run_rooted, ParallelRun};
+use crate::framework::{
+    distribute, plan_assignments, row_mbits, run_rooted, select_winner, ParallelRun,
+};
 use crate::kernels;
-use crate::msg::Msg;
-use crate::par::{best_candidate, empty_candidate};
+use crate::par::empty_candidate;
 use crate::seq::DetectedTarget;
 use crate::wea::RowCost;
 use hsi_cube::HyperCube;
 use hsi_linalg::ortho::OrthoBasis;
-use simnet::coll::{self, GatherEntry};
 use simnet::engine::Engine;
 
 /// Estimated per-row resource demand (drives the WEA fractions).
@@ -77,44 +77,31 @@ pub fn run(
                 None => empty_candidate(n),
             };
 
-            // Gather candidates; the master re-scores and selects
-            // (steps 3/5 — sequential at the master), then broadcasts
-            // the new target row of U.
-            let entries = coll::gather(
+            // Winner selection (steps 3/5): gather → master re-score →
+            // broadcast of the new target row of U, or one fused
+            // allreduce — see `select_winner`. The basis-growth charge
+            // is the round's overlappable follow-up compute.
+            let winner = select_winner(
                 ctx,
-                &options.collectives,
-                0,
-                Msg::Candidate(candidate),
+                options,
+                candidate,
                 cand_bits,
+                u_row_bits,
+                flops::projection_score(n, k),
+                flops::mflop(flops::basis_push(n, k)),
             );
-            let selected = entries.map(|entries| {
-                let cands: Vec<_> = entries
-                    .into_iter()
-                    .filter_map(GatherEntry::into_msg)
-                    .map(|m| m.into_candidate().expect("atdca: protocol violation"))
-                    .collect();
-                ctx.compute_seq(flops::mflop(
-                    flops::projection_score(n, k) * cands.len() as f64,
-                ));
-                let best = best_candidate(cands);
+            if ctx.is_root() {
                 targets.push(DetectedTarget {
-                    line: best.line as usize,
-                    sample: best.sample as usize,
-                    spectrum: best.spectrum.clone(),
+                    line: winner.line as usize,
+                    sample: winner.sample as usize,
+                    spectrum: winner.spectrum.clone(),
                 });
-                Msg::Spectra(vec![best.spectrum])
-            });
-            let winner_spectrum =
-                coll::broadcast(ctx, &options.collectives, 0, selected, u_row_bits)
-                    .expect("atdca: broadcast misuse")
-                    .into_spectra()
-                    .expect("atdca: protocol violation")
-                    .remove(0);
+            }
 
-            // All ranks grow their local orthonormal basis.
-            let wide: Vec<f64> = winner_spectrum.iter().map(|&v| v as f64).collect();
+            // All ranks grow their local orthonormal basis (host-side;
+            // its flops were charged inside `select_winner`).
+            let wide: Vec<f64> = winner.spectrum.iter().map(|&v| v as f64).collect();
             basis.push(&wide);
-            ctx.compute_par(flops::mflop(flops::basis_push(n, k)));
         }
         if ctx.is_root() {
             Some(targets)

@@ -13,19 +13,38 @@ pub mod ufcls;
 
 use crate::msg::Candidate;
 
+/// The winner order: highest score, ties to the lowest `(line, sample)`
+/// — a total order on candidates with distinct coordinates, which is
+/// what makes the pairwise fold of [`better_candidate`] associative and
+/// commutative (so tree allreduces agree bit-for-bit with a sequential
+/// scan).
+fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    a.score
+        .partial_cmp(&b.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| (b.line, b.sample).cmp(&(a.line, a.sample)))
+}
+
 /// Deterministically selects the winning candidate: highest score, ties
 /// to the lowest `(line, sample)` — the same order a sequential scan of
 /// the whole image would produce.
 pub(crate) fn best_candidate(cands: Vec<Candidate>) -> Candidate {
     cands
         .into_iter()
-        .max_by(|a, b| {
-            a.score
-                .partial_cmp(&b.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (b.line, b.sample).cmp(&(a.line, a.sample)))
-        })
+        .max_by(candidate_order)
         .expect("best_candidate: no candidates")
+}
+
+/// The pairwise max under [`candidate_order`] — the fold ATDCA/UFCLS
+/// hand to `simnet::coll::allreduce`. Folding any grouping/ordering of
+/// distinct-coordinate candidates with this equals [`best_candidate`]
+/// over the same set.
+pub(crate) fn better_candidate(a: Candidate, b: Candidate) -> Candidate {
+    if candidate_order(&a, &b) == std::cmp::Ordering::Greater {
+        a
+    } else {
+        b
+    }
 }
 
 /// A sentinel candidate that never wins (sent by ranks with empty
@@ -68,5 +87,43 @@ mod tests {
     fn sentinel_never_wins() {
         let best = best_candidate(vec![empty_candidate(4), cand(3, 3, -1.0)]);
         assert_eq!((best.line, best.sample), (3, 3));
+    }
+
+    #[test]
+    fn pairwise_fold_agrees_with_best_candidate_for_any_grouping() {
+        let cands = [
+            cand(5, 5, 2.0),
+            cand(1, 9, 2.0),
+            cand(0, 0, -1.0),
+            cand(1, 2, 2.0),
+            cand(7, 7, 1.5),
+        ];
+        let best = best_candidate(cands.to_vec());
+        // Left fold, right fold, and a tree grouping all agree.
+        let left = cands
+            .iter()
+            .cloned()
+            .reduce(better_candidate)
+            .expect("nonempty");
+        let right = cands
+            .iter()
+            .rev()
+            .cloned()
+            .reduce(better_candidate)
+            .expect("nonempty");
+        let tree = better_candidate(
+            better_candidate(cands[0].clone(), cands[1].clone()),
+            better_candidate(
+                cands[2].clone(),
+                better_candidate(cands[3].clone(), cands[4].clone()),
+            ),
+        );
+        for (label, got) in [("left", left), ("right", right), ("tree", tree)] {
+            assert_eq!(
+                (got.line, got.sample),
+                (best.line, best.sample),
+                "{label} fold"
+            );
+        }
     }
 }

@@ -9,16 +9,16 @@
 
 use crate::config::{AlgoParams, RunOptions};
 use crate::flops;
-use crate::framework::{distribute, plan_assignments, row_mbits, run_rooted, ParallelRun};
+use crate::framework::{
+    distribute, plan_assignments, row_mbits, run_rooted, select_winner, ParallelRun,
+};
 use crate::kernels;
-use crate::msg::Msg;
-use crate::par::{best_candidate, empty_candidate};
+use crate::par::empty_candidate;
 use crate::seq::DetectedTarget;
 use crate::wea::RowCost;
 use hsi_cube::HyperCube;
 use hsi_linalg::lstsq::FclsProblem;
 use hsi_linalg::Matrix;
-use simnet::coll::{self, GatherEntry};
 use simnet::engine::Engine;
 
 /// Estimated per-row resource demand (drives the WEA fractions).
@@ -69,10 +69,12 @@ pub fn run(
             let (cand, mflops) = if k == 0 {
                 kernels::brightest(&block.cube, block.own_range())
             } else {
+                // The Gram rebuild for this round was charged as the
+                // previous round's follow-up compute (so the endmember
+                // broadcast can overlap it); only the host-side factor
+                // construction happens here.
                 let u = endmember_matrix(&targets);
-                let t = u.rows();
                 let problem = FclsProblem::new(u).expect("ufcls: singular endmembers");
-                ctx.compute_par(flops::mflop(flops::gram(n, t)));
                 kernels::max_fcls_error(&block.cube, &problem, block.own_range())
             };
             ctx.compute_par(mflops);
@@ -81,36 +83,23 @@ pub fn run(
                 None => empty_candidate(n),
             };
 
-            let entries = coll::gather(
+            // Winner selection (gather → master re-score → broadcast,
+            // or one fused allreduce — see `select_winner`), with the
+            // next round's Gram rebuild as the overlappable follow-up.
+            let next_gram = if k + 1 < params.num_targets {
+                flops::mflop(flops::gram(n, k + 1))
+            } else {
+                0.0
+            };
+            let winner = select_winner(
                 ctx,
-                &options.collectives,
-                0,
-                Msg::Candidate(candidate),
+                options,
+                candidate,
                 cand_bits,
+                u_row_bits,
+                flops::fcls(n, k.max(1)),
+                next_gram,
             );
-            let best = entries.map(|entries| {
-                let cands: Vec<_> = entries
-                    .into_iter()
-                    .filter_map(GatherEntry::into_msg)
-                    .map(|m| m.into_candidate().expect("ufcls: protocol violation"))
-                    .collect();
-                ctx.compute_seq(flops::mflop(flops::fcls(n, k.max(1)) * cands.len() as f64));
-                best_candidate(cands)
-            });
-            let selected = best
-                .as_ref()
-                .map(|b| Msg::Spectra(vec![b.spectrum.clone()]));
-            let spectrum = coll::broadcast(ctx, &options.collectives, 0, selected, u_row_bits)
-                .expect("ufcls: broadcast misuse")
-                .into_spectra()
-                .expect("ufcls: protocol violation")
-                .remove(0);
-            let winner = best.unwrap_or(crate::msg::Candidate {
-                line: 0,
-                sample: 0,
-                score: 0.0,
-                spectrum,
-            });
             targets.push(DetectedTarget {
                 line: winner.line as usize,
                 sample: winner.sample as usize,

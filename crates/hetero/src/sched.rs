@@ -20,7 +20,11 @@
 //! **Determinism.** The argmax algorithms (ATDCA, UFCLS) produce the
 //! *same* output for every chunk grid: chunk winners are folded with the
 //! row-major tie-break of [`crate::par`]'s `best_candidate`, so the
-//! global winner equals a sequential scan's. PCT and MORPH outputs
+//! global winner equals a sequential scan's. (The same total order is
+//! what lets the partitioned algorithms fold winners pairwise inside a
+//! tree `simnet::coll::allreduce` — any grouping of the fold agrees
+//! with the flat scan, so chunked drivers, linear gathers, and fused
+//! tree reductions all select identical targets.) PCT and MORPH outputs
 //! depend on the grid (per-chunk candidate pools differ, exactly as the
 //! paper's per-partition unique sets do), which is why the fault-tolerant
 //! self-scheduler uses a *fixed* grid: results are then identical no

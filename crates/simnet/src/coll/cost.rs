@@ -103,6 +103,7 @@ pub fn predict(
         }
         CollOp::Gather => predict_gather(platform, latency_s, &tree, bits, false),
         CollOp::Reduce => predict_gather(platform, latency_s, &tree, bits, true),
+        CollOp::Allreduce => predict_allreduce(platform, latency_s, &tree, root, bits),
     }
 }
 
@@ -172,6 +173,57 @@ fn predict_gather(
                 sends.push((clock, dur));
             }
             upward[r] = sends;
+        }
+        finish = finish.max(clock);
+    }
+    finish
+}
+
+/// Fused allreduce replay: the reduce's upward phase (one folded partial
+/// per edge, children before parents) followed by the broadcast's
+/// downward phase over the **same** tree, sharing one [`LinkSim`] — the
+/// root's downward sends reserve the serial links *after* its upward
+/// receives, exactly the engine's program order at rank 0. The fold
+/// itself is free (host-side), so a size-preserving fold makes this
+/// exact.
+fn predict_allreduce(
+    platform: &Platform,
+    latency_s: f64,
+    tree: &Tree,
+    root: usize,
+    bits: u64,
+) -> f64 {
+    let p = platform.num_procs();
+    let mut links = LinkSim::default();
+    // Upward: (sent_at, duration) of each rank's single partial.
+    let mut up_send: Vec<Option<(f64, f64)>> = vec![None; p];
+    let mut up_clock = vec![0.0f64; p];
+    for r in tree.postorder_gather() {
+        let mut clock = 0.0f64;
+        for &child in tree.children_gather(r) {
+            let (sent_at, dur) = up_send[child].expect("allreduce replay: child sent a partial");
+            let a = arrival(platform, &mut links, child, r, sent_at, dur);
+            clock = clock.max(a);
+        }
+        if let Some(parent) = tree.parent(r) {
+            clock += latency_s;
+            up_send[r] = Some((clock, platform.transfer_secs(r, parent, bits)));
+        }
+        up_clock[r] = clock;
+    }
+    // Downward: each rank resumes from its upward clock, waits for the
+    // result from its parent, and forwards it in broadcast order.
+    let mut down_arrival = vec![0.0f64; p];
+    let mut finish = 0.0f64;
+    for r in tree.preorder_bcast() {
+        let mut clock = up_clock[r];
+        if r != root {
+            clock = clock.max(down_arrival[r]);
+        }
+        for &child in tree.children_bcast(r) {
+            clock += latency_s;
+            let dur = platform.transfer_secs(r, child, bits);
+            down_arrival[child] = arrival(platform, &mut links, r, child, clock, dur);
         }
         finish = finish.max(clock);
     }
@@ -312,6 +364,85 @@ mod tests {
             4,
         );
         assert!(bin < lin, "binomial {bin} < linear {lin} for tiny payloads");
+    }
+
+    #[test]
+    fn fused_allreduce_beats_gather_plus_broadcast_on_heterogeneous_network() {
+        // The PR 4 gate at the model level: one candidate-sized payload
+        // folded up and fanned back down a single tree must beat a full
+        // linear gather followed by a full linear broadcast.
+        let platform = presets::fully_heterogeneous();
+        let bits = (32 + 32 + 64 + 224 * 32) as u64; // one scored candidate
+        let split = predict(
+            &platform,
+            L,
+            CollOp::Gather,
+            CollAlgorithm::Linear,
+            0,
+            bits,
+            4,
+        ) + predict(
+            &platform,
+            L,
+            CollOp::Broadcast,
+            CollAlgorithm::Linear,
+            0,
+            bits,
+            4,
+        );
+        for alg in [
+            CollAlgorithm::BinomialTree,
+            CollAlgorithm::SegmentHierarchical,
+        ] {
+            let fused = predict(&platform, L, CollOp::Allreduce, alg, 0, bits, 4);
+            assert!(
+                fused < split,
+                "{alg}: fused {fused} must beat split gather+bcast {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn allreduce_single_segment_hierarchical_equals_linear() {
+        let platform = presets::partially_heterogeneous();
+        let lin = predict(
+            &platform,
+            L,
+            CollOp::Allreduce,
+            CollAlgorithm::Linear,
+            0,
+            7_296,
+            4,
+        );
+        let hier = predict(
+            &platform,
+            L,
+            CollOp::Allreduce,
+            CollAlgorithm::SegmentHierarchical,
+            0,
+            7_296,
+            4,
+        );
+        assert!((lin - hier).abs() < 1e-12, "lin {lin} vs hier {hier}");
+    }
+
+    #[test]
+    fn allreduce_is_at_least_the_reduce_cost() {
+        for platform in presets::four_networks() {
+            for alg in [
+                CollAlgorithm::Linear,
+                CollAlgorithm::BinomialTree,
+                CollAlgorithm::SegmentHierarchical,
+            ] {
+                let red = predict(&platform, L, CollOp::Reduce, alg, 0, 7_296, 4);
+                let all = predict(&platform, L, CollOp::Allreduce, alg, 0, 7_296, 4);
+                assert!(
+                    all >= red - 1e-15,
+                    "{}/{alg}: allreduce {all} < reduce {red}",
+                    platform.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,22 @@
 //!   chunk `c + 1` is still crossing the serial link,
 //! * [`CollAlgorithm::Auto`] — evaluates the exact analytic cost of
 //!   each candidate via [`predict`] and picks the cheapest; the choice
-//!   is recorded in [`crate::RunReport::collectives`].
+//!   is recorded in [`crate::RunReport::collectives`]. A `bits_hint` of
+//!   zero carries no size information, so `Auto` falls back to the
+//!   linear baseline instead of ranking schedules on a meaningless
+//!   payload.
+//!
+//! Two fused entry points build on the same schedules:
+//!
+//! * [`allreduce`] — reduce + broadcast fused onto **one** tree: partials
+//!   fold upward through the gather edges and the result fans out down
+//!   the broadcast edges of the same schedule, so every rank learns the
+//!   folded value in roughly twice the one-way tree depth instead of a
+//!   full gather followed by a full broadcast;
+//! * [`broadcast_overlap`] — a [`CollAlgorithm::PipelinedChunked`]
+//!   broadcast that hands each delivered chunk to a per-chunk callback,
+//!   letting leaf ranks start computing while later chunks are still in
+//!   flight.
 //!
 //! **Selection must be rank-uniform.** The `bits_hint` argument of the
 //! configurable collectives drives `Auto` selection (and nothing else);
@@ -96,6 +111,8 @@ pub enum CollOp {
     Scatter,
     /// All-to-root reduction.
     Reduce,
+    /// Fused reduce + broadcast on one tree schedule.
+    Allreduce,
 }
 
 impl fmt::Display for CollOp {
@@ -105,6 +122,7 @@ impl fmt::Display for CollOp {
             CollOp::Gather => "gather",
             CollOp::Scatter => "scatter",
             CollOp::Reduce => "reduce",
+            CollOp::Allreduce => "allreduce",
         };
         f.write_str(s)
     }
@@ -138,6 +156,11 @@ pub struct CollectiveConfig {
     pub gather: CollAlgorithm,
     /// Algorithm for reduces.
     pub reduce: CollAlgorithm,
+    /// Algorithm for fused allreduces. [`CollAlgorithm::Linear`] runs
+    /// the legacy split schedule (linear gather + linear broadcast) so
+    /// callers that branch on it keep bit- and timing-identity with the
+    /// historic path.
+    pub allreduce: CollAlgorithm,
     /// Chunk count for [`CollAlgorithm::PipelinedChunked`] broadcasts
     /// (clamped to at least 1).
     pub pipeline_chunks: u32,
@@ -157,6 +180,7 @@ impl CollectiveConfig {
             broadcast: CollAlgorithm::Linear,
             gather: CollAlgorithm::Linear,
             reduce: CollAlgorithm::Linear,
+            allreduce: CollAlgorithm::Linear,
             pipeline_chunks: 4,
         }
     }
@@ -172,6 +196,7 @@ impl CollectiveConfig {
             broadcast: algorithm,
             gather: algorithm,
             reduce: algorithm,
+            allreduce: algorithm,
             pipeline_chunks: 4,
         }
     }
@@ -292,6 +317,15 @@ pub fn select(
         let cost = predict(platform, latency_s, op, alg, root, bits, pipeline_chunks);
         return (alg, cost);
     }
+    if bits == 0 {
+        // A zero hint carries no size information (the linear `comm`
+        // wrappers forward 0 for empty payloads): ranking schedules on a
+        // zero-byte message would pick a tree on pure latency grounds
+        // from a meaningless hint, so fall back to the baseline.
+        let alg = CollAlgorithm::Linear;
+        let cost = predict(platform, latency_s, op, alg, root, bits, pipeline_chunks);
+        return (alg, cost);
+    }
     let candidates: &[CollAlgorithm] = match op {
         CollOp::Broadcast => &[
             CollAlgorithm::Linear,
@@ -388,13 +422,31 @@ pub fn broadcast<M: Wire + Clone>(
     msg: Option<M>,
     bits_hint: u64,
 ) -> Result<M, CollError> {
-    let op = CollOp::Broadcast;
-    let algorithm = resolve_and_log(ctx, op, cfg.broadcast, root, bits_hint, cfg.pipeline_chunks);
+    let algorithm = resolve_and_log(
+        ctx,
+        CollOp::Broadcast,
+        cfg.broadcast,
+        root,
+        bits_hint,
+        cfg.pipeline_chunks,
+    );
     let tree = build_tree(ctx, algorithm, root);
-    let rank = ctx.rank();
     if algorithm == CollAlgorithm::PipelinedChunked {
         return broadcast_pipelined(ctx, &tree, msg, cfg.pipeline_chunks);
     }
+    run_broadcast_tree(ctx, &tree, msg)
+}
+
+/// The unchunked tree broadcast body shared by [`broadcast`] and
+/// [`broadcast_overlap`]: receive from the parent, forward full clones
+/// to the broadcast children in schedule order.
+fn run_broadcast_tree<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    tree: &Tree,
+    msg: Option<M>,
+) -> Result<M, CollError> {
+    let op = CollOp::Broadcast;
+    let rank = ctx.rank();
     let payload = match tree.parent(rank) {
         None => msg.ok_or(CollError::RootMissingPayload { op })?,
         Some(parent) => {
@@ -408,6 +460,65 @@ pub fn broadcast<M: Wire + Clone>(
         ctx.send(child, payload.clone());
     }
     Ok(payload)
+}
+
+/// Broadcast with per-chunk compute overlap: identical wire schedule to
+/// [`broadcast`] under the same `cfg`, but every delivered chunk is
+/// handed to `on_chunk(ctx, chunk_index, chunk_count)` so receivers can
+/// charge a slice of their post-broadcast compute while later chunks
+/// are still in flight.
+///
+/// Overlap only changes *when* compute is charged, never what travels:
+///
+/// * when the resolved algorithm is [`CollAlgorithm::PipelinedChunked`],
+///   **leaf** ranks interleave the callback with their chunk receives —
+///   compute slices absorb the inter-chunk arrival gaps, which is the
+///   overlap win on serial-link networks. The root and interior relays
+///   keep forwarding untouched (delaying a relayed chunk would delay
+///   every descendant) and run all callbacks after the protocol;
+/// * any other resolved algorithm delivers the payload whole, so the
+///   callback runs exactly once as `on_chunk(ctx, 0, 1)` on every rank
+///   — bit- and timing-identical to calling [`broadcast`] and charging
+///   the compute afterwards.
+pub fn broadcast_overlap<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    msg: Option<M>,
+    bits_hint: u64,
+    mut on_chunk: impl FnMut(&mut Ctx<M>, usize, usize),
+) -> Result<M, CollError> {
+    let op = CollOp::Broadcast;
+    let algorithm = resolve_and_log(ctx, op, cfg.broadcast, root, bits_hint, cfg.pipeline_chunks);
+    let tree = build_tree(ctx, algorithm, root);
+    if algorithm != CollAlgorithm::PipelinedChunked {
+        let payload = run_broadcast_tree(ctx, &tree, msg)?;
+        on_chunk(ctx, 0, 1);
+        return Ok(payload);
+    }
+    let rank = ctx.rank();
+    let k = cfg.pipeline_chunks.max(1) as usize;
+    match tree.parent(rank) {
+        Some(parent) if tree.is_leaf(rank) => {
+            if msg.is_some() {
+                return Err(CollError::NonRootPayload { op });
+            }
+            let mut payload = ctx.recv(parent);
+            on_chunk(ctx, 0, k);
+            for c in 1..k {
+                payload = ctx.recv(parent);
+                on_chunk(ctx, c, k);
+            }
+            Ok(payload)
+        }
+        _ => {
+            let payload = broadcast_pipelined(ctx, &tree, msg, cfg.pipeline_chunks)?;
+            for c in 0..k {
+                on_chunk(ctx, c, k);
+            }
+            Ok(payload)
+        }
+    }
 }
 
 /// Chunk-streamed broadcast down the segment-hierarchical tree: every
@@ -658,6 +769,75 @@ pub fn reduce<M: Wire>(
     }
 }
 
+/// Fused allreduce under `cfg`: every rank contributes `msg`, partials
+/// fold upward through the tree's gather edges, and the root's result
+/// fans back down the broadcast edges of the **same** schedule. Every
+/// rank returns the folded value — one tree instead of a full gather
+/// followed by a full broadcast.
+///
+/// The fold must be **associative** and **size-preserving** (every
+/// contribution and every partial must share one wire size, which is
+/// also what makes [`predict`]'s replay exact); like [`reduce`],
+/// [`CollAlgorithm::SegmentHierarchical`] additionally requires
+/// commutativity when segments interleave in rank space. On the
+/// [`CollAlgorithm::Linear`] star this is message-for-message identical
+/// to a linear gather, a free rank-order fold at the root, and a linear
+/// broadcast of the result.
+///
+/// **Failure semantics.** A crashed contributor's partial is skipped at
+/// the root exactly like [`reduce`]'s hole-skipping (a dead relay loses
+/// its whole subtree); ranks below a dead relay unwind as structured
+/// `PeerLost` failures and the root's sends to dead children are
+/// dropped — the collective never hangs and never aborts the run.
+///
+/// `bits_hint` feeds `Auto` selection only and **must be identical on
+/// every rank** (see the module docs); transfers charge actual sizes.
+pub fn allreduce<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    msg: M,
+    fold: impl Fn(M, M) -> M,
+    bits_hint: u64,
+) -> M {
+    let algorithm = resolve_and_log(
+        ctx,
+        CollOp::Allreduce,
+        cfg.allreduce,
+        root,
+        bits_hint,
+        cfg.pipeline_chunks,
+    );
+    let tree = build_tree(ctx, algorithm, root);
+    let rank = ctx.rank();
+    let mut acc = msg;
+    if rank == root {
+        for &child in tree.children_gather(root) {
+            // A lost relay loses its subtree's partial; fold the
+            // survivors (mirrors `reduce`'s hole-skipping).
+            if let Ok(partial) = ctx.recv_deadline(child, f64::INFINITY) {
+                acc = fold(acc, partial);
+            }
+        }
+        for &child in tree.children_bcast(root) {
+            ctx.send(child, acc.clone());
+        }
+        acc
+    } else {
+        for &child in tree.children_gather(rank) {
+            let partial = ctx.recv(child);
+            acc = fold(acc, partial);
+        }
+        let parent = tree.parent(rank).expect("allreduce: non-root has a parent");
+        ctx.send(parent, acc);
+        let result = ctx.recv(parent);
+        for &child in tree.children_bcast(rank) {
+            ctx.send(child, result.clone());
+        }
+        result
+    }
+}
+
 /// Barrier: all ranks synchronise their virtual clocks to the latest
 /// participant (a gather plus a broadcast of a token built by
 /// `make_token`; both use `cfg`'s algorithms). Tokens must have the
@@ -802,6 +982,146 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn allreduce_delivers_folded_value_to_every_rank() {
+        for alg in ALGOS {
+            let cfg = CollectiveConfig::uniform(alg);
+            let report = engine(9).run(move |ctx| {
+                allreduce(
+                    ctx,
+                    &cfg,
+                    0,
+                    (ctx.rank() as u64 + 1) * 1_000_003,
+                    |a, b| a.wrapping_add(b),
+                    64,
+                )
+            });
+            let expect: u64 = (1..=9u64).map(|r| r * 1_000_003).sum();
+            for r in 0..9 {
+                assert_eq!(*report.result(r), expect, "{alg}: rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_single_rank_returns_own_contribution() {
+        let cfg = CollectiveConfig::uniform(CollAlgorithm::BinomialTree);
+        let report = engine(1).run(move |ctx| allreduce(ctx, &cfg, 0, 7u64, |a, b| a + b, 64));
+        assert_eq!(*report.result(0), 7);
+    }
+
+    #[test]
+    fn allreduce_skips_crashed_contributor_and_completes() {
+        let plan = crate::faults::FaultPlan::new().crash(2, 0.0);
+        let cfg = CollectiveConfig::default();
+        let report = engine(4)
+            .with_faults(plan)
+            .run(move |ctx| allreduce(ctx, &cfg, 0, 1u64 << (ctx.rank() * 8), |a, b| a | b, 64));
+        // Rank 2's bit is an explicit hole in the fold; the survivors
+        // still learn the reduced value.
+        let expect = 1 | (1 << 8) | (1 << 24);
+        for r in [0usize, 1, 3] {
+            assert_eq!(*report.result(r), expect, "rank {r}");
+        }
+        assert!(report.failure_of(2).is_some());
+    }
+
+    #[test]
+    fn auto_with_zero_bits_hint_resolves_to_linear() {
+        let platform = presets::fully_heterogeneous();
+        for op in [
+            CollOp::Broadcast,
+            CollOp::Gather,
+            CollOp::Reduce,
+            CollOp::Allreduce,
+        ] {
+            let (alg, _) = select(
+                &platform,
+                platform.msg_latency_s(),
+                op,
+                CollAlgorithm::Auto,
+                0,
+                0,
+                4,
+            );
+            assert_eq!(alg, CollAlgorithm::Linear, "{op}: zero-bit hint");
+        }
+    }
+
+    #[test]
+    fn broadcast_overlap_delivers_and_calls_back_once_per_chunk() {
+        for alg in ALGOS {
+            let cfg = CollectiveConfig::uniform(alg);
+            let report = engine(6).run(move |ctx| {
+                let msg = if ctx.is_root() {
+                    Some(WireVec(vec![3u32; 64]))
+                } else {
+                    None
+                };
+                let mut calls = Vec::new();
+                let payload = {
+                    let calls = &mut calls;
+                    broadcast_overlap(ctx, &cfg, 0, msg, 64 * 32, |_, c, k| calls.push((c, k)))
+                        .expect("broadcast")
+                };
+                (payload.0, calls)
+            });
+            for r in 0..6 {
+                let (payload, calls) = report.result(r);
+                assert_eq!(*payload, vec![3u32; 64], "{alg}: rank {r}");
+                let k = calls.len();
+                assert!(k >= 1, "{alg}: rank {r} callback never ran");
+                let expect: Vec<(usize, usize)> = (0..k).map(|c| (c, k)).collect();
+                assert_eq!(*calls, expect, "{alg}: rank {r} chunk indices");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_leaf_compute_never_finishes_later() {
+        // Same wire schedule, compute sliced into the arrival gaps: the
+        // overlapped run must end no later than broadcast-then-compute.
+        let platform = presets::fully_heterogeneous();
+        let mflops = 20.0;
+        let cfg = CollectiveConfig {
+            broadcast: CollAlgorithm::PipelinedChunked,
+            ..CollectiveConfig::linear()
+        };
+        let bits: u64 = 16_128 * 8;
+        let plain = Engine::new(platform.clone())
+            .run(move |ctx| {
+                let msg = if ctx.is_root() {
+                    Some(WireVec(vec![0u8; (bits / 8) as usize]))
+                } else {
+                    None
+                };
+                let _ = broadcast(ctx, &cfg, 0, msg, bits).expect("broadcast");
+                ctx.compute_par(mflops);
+            })
+            .total_time;
+        let overlapped = Engine::new(platform)
+            .run(move |ctx| {
+                let msg = if ctx.is_root() {
+                    Some(WireVec(vec![0u8; (bits / 8) as usize]))
+                } else {
+                    None
+                };
+                let _ = broadcast_overlap(ctx, &cfg, 0, msg, bits, |ctx, _, k| {
+                    ctx.compute_par(mflops / k as f64)
+                })
+                .expect("broadcast");
+            })
+            .total_time;
+        assert!(
+            overlapped <= plain + 1e-12,
+            "overlap slower: {overlapped} > {plain}"
+        );
+        assert!(
+            overlapped < plain,
+            "overlap should absorb serial-link gaps ({overlapped} vs {plain})"
+        );
     }
 
     #[test]

@@ -76,6 +76,24 @@ pub fn reduce<M: Wire>(
     coll::reduce(ctx, &CollectiveConfig::linear(), root, msg, fold, bits)
 }
 
+/// Allreduce with a binary fold: every rank returns the fold of the
+/// surviving contributions in rank order (a linear gather plus a linear
+/// broadcast of the result, fused onto one star schedule).
+///
+/// Like the other wrappers, the `bits_hint` forwarded to [`crate::coll`]
+/// is the payload's own size — zero for empty payloads, which `Auto`
+/// configurations treat as "no size information" and resolve to
+/// `Linear` (moot here, where the schedule is pinned linear anyway).
+pub fn allreduce<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    root: usize,
+    msg: M,
+    fold: impl Fn(M, M) -> M,
+) -> M {
+    let bits = msg.size_bits();
+    coll::allreduce(ctx, &CollectiveConfig::linear(), root, msg, fold, bits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +192,15 @@ mod tests {
     fn reduce_folds_in_rank_order() {
         let report = engine(4).run(|ctx| reduce(ctx, 0, ctx.rank() as u64 + 1, |a, b| a * 10 + b));
         assert_eq!(*report.result(0), Some(((10 + 2) * 10 + 3) * 10 + 4));
+    }
+
+    #[test]
+    fn allreduce_delivers_rank_order_fold_everywhere() {
+        let report =
+            engine(4).run(|ctx| allreduce(ctx, 0, ctx.rank() as u64 + 1, |a, b| a * 10 + b));
+        for r in 0..4 {
+            assert_eq!(*report.result(r), ((10 + 2) * 10 + 3) * 10 + 4, "rank {r}");
+        }
     }
 
     #[test]

@@ -75,6 +75,12 @@ impl<R> RunReport<R> {
         self.failures.iter().find(|f| f.rank == rank)
     }
 
+    /// The recorded collective choices for one operation, in call order
+    /// — e.g. every `Allreduce` decision of a winner-selection loop.
+    pub fn choices_of(&self, op: crate::coll::CollOp) -> impl Iterator<Item = &CollectiveChoice> {
+        self.collectives.iter().filter(move |c| c.op == op)
+    }
+
     /// The result of `rank`.
     ///
     /// # Panics
@@ -284,6 +290,23 @@ mod tests {
         assert!(!report.ok());
         assert_eq!(report.failure_of(1), Some(&failure));
         assert_eq!(*report.result(0), 10);
+    }
+
+    #[test]
+    fn choices_of_filters_by_operation() {
+        use crate::coll::{CollAlgorithm, CollOp};
+        let mut report = RunReport::new("t".into(), vec![ledger(0.0, 1.0, 0.0, 0.0)], vec![()]);
+        for op in [CollOp::Broadcast, CollOp::Allreduce, CollOp::Allreduce] {
+            report.collectives.push(CollectiveChoice {
+                op,
+                requested: CollAlgorithm::Auto,
+                algorithm: CollAlgorithm::Linear,
+                bits: 64,
+                predicted_secs: 0.0,
+            });
+        }
+        assert_eq!(report.choices_of(CollOp::Allreduce).count(), 2);
+        assert_eq!(report.choices_of(CollOp::Gather).count(), 0);
     }
 
     #[test]

@@ -14,12 +14,13 @@
 //!    guaranteed there for the grid-dependent classifiers).
 
 use heterospec::cube::synth::{wtc_scene, WtcConfig};
-use heterospec::hetero::config::AlgoParams;
+use heterospec::hetero::config::{AlgoParams, RunOptions};
 use heterospec::hetero::ft::{run_replan, run_self_sched, FtOptions};
+use heterospec::hetero::par::{atdca, ufcls};
 use heterospec::hetero::sched::{AtdcaChunks, MorphChunks, PctChunks, UfclsChunks};
 use heterospec::hetero::{eval, seq};
 use heterospec::simnet::engine::Engine;
-use heterospec::simnet::{presets, FailureCause, FaultPlan};
+use heterospec::simnet::{presets, CollAlgorithm, CollectiveConfig, FailureCause, FaultPlan};
 
 fn scene() -> heterospec::cube::synth::SyntheticScene {
     wtc_scene(WtcConfig::tiny())
@@ -176,6 +177,83 @@ fn identical_fault_plans_give_bit_identical_runs() {
     let d = run_replan(&engine_with(plan()), &algo, &opts);
     assert_eq!(c.report, d.report);
     assert_eq!(c.recoveries, d.recoveries);
+}
+
+/// A worker crashing mid-run under the **fused allreduce** winner
+/// selection must degrade structurally: its whole subtree surfaces as
+/// `RankFailure` records (`Crash` for the victim, `PeerLost` for the
+/// relays forwarding the loss), the root keeps folding the survivors —
+/// no hang, no abort — and identical plans replay bit-identically.
+#[test]
+fn worker_crash_mid_allreduce_degrades_structurally() {
+    let s = scene();
+    let p = params();
+    let options = RunOptions::hetero().with_collectives(CollectiveConfig {
+        allreduce: CollAlgorithm::BinomialTree,
+        ..CollectiveConfig::linear()
+    });
+    let run = || {
+        ufcls::run(
+            &engine_with(FaultPlan::new().crash(8, 0.01)),
+            &s.cube,
+            &p,
+            &options,
+        )
+    };
+    let out = run();
+    // The root completed every round over the survivors.
+    assert_eq!(out.result.len(), p.num_targets);
+    assert!(!out.report.ok());
+    let f = out.report.failure_of(8).expect("crash recorded");
+    assert_eq!(f.cause, FailureCause::Crash);
+    for failure in &out.report.failures {
+        assert!(
+            failure.rank == 8 || matches!(failure.cause, FailureCause::PeerLost { .. }),
+            "unexpected failure {failure:?}"
+        );
+        assert!(failure.rank != 0, "the root must survive");
+    }
+    let again = run();
+    assert_eq!(out.report, again.report, "fused crash rerun drift");
+    assert_eq!(coords(&out.result), coords(&again.result));
+}
+
+/// The same contract for a crash under the chunk-overlapped pipelined
+/// broadcast: structured failures, a surviving root with a full target
+/// list, and bit-identical replays.
+#[test]
+fn worker_crash_mid_overlapped_broadcast_degrades_structurally() {
+    let s = scene();
+    let p = params();
+    let options = RunOptions::hetero()
+        .with_collectives(CollectiveConfig {
+            broadcast: CollAlgorithm::PipelinedChunked,
+            ..CollectiveConfig::linear()
+        })
+        .with_bcast_overlap(true);
+    let run = || {
+        atdca::run(
+            &engine_with(FaultPlan::new().crash(5, 0.01)),
+            &s.cube,
+            &p,
+            &options,
+        )
+    };
+    let out = run();
+    assert_eq!(out.result.len(), p.num_targets);
+    assert!(!out.report.ok());
+    let f = out.report.failure_of(5).expect("crash recorded");
+    assert_eq!(f.cause, FailureCause::Crash);
+    for failure in &out.report.failures {
+        assert!(
+            failure.rank == 5 || matches!(failure.cause, FailureCause::PeerLost { .. }),
+            "unexpected failure {failure:?}"
+        );
+        assert!(failure.rank != 0, "the root must survive");
+    }
+    let again = run();
+    assert_eq!(out.report, again.report, "overlapped crash rerun drift");
+    assert_eq!(coords(&out.result), coords(&again.result));
 }
 
 #[test]

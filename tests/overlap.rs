@@ -1,0 +1,161 @@
+//! Integration suite for pipelined broadcast/compute overlap
+//! (`RunOptions::bcast_overlap`): chunk-overlapped ATDCA and UFCLS must
+//! produce **bit-identical** analysis outputs, never run slower on any
+//! paper network, run **strictly** faster on the serial-link networks
+//! (where endmember rows trickle through the inter-segment links and
+//! leaves have gaps to absorb), be an exact no-op under the linear
+//! schedule, and be deterministic across reruns — recorded collective
+//! choices included.
+
+use heterospec::cube::synth::{wtc_scene, WtcConfig};
+use heterospec::hetero::config::{AlgoParams, RunOptions};
+use heterospec::hetero::framework::ParallelRun;
+use heterospec::hetero::par::{atdca, ufcls};
+use heterospec::hetero::seq::DetectedTarget;
+use heterospec::simnet::engine::Engine;
+use heterospec::simnet::{presets, CollAlgorithm, CollectiveConfig, Platform};
+
+/// A pipelined-chunked broadcast with the legacy split winner
+/// selection: the configuration under which chunk overlap has work to
+/// do. (`CollectiveConfig::uniform(PipelinedChunked)` would instead
+/// select the *fused* allreduce path, which has no broadcast at all.)
+fn chunked_cfg() -> CollectiveConfig {
+    CollectiveConfig {
+        broadcast: CollAlgorithm::PipelinedChunked,
+        ..CollectiveConfig::linear()
+    }
+}
+
+fn params() -> AlgoParams {
+    AlgoParams {
+        num_targets: 6,
+        ..Default::default()
+    }
+}
+
+fn run_pair(
+    platform: &Platform,
+    algo: &str,
+) -> (
+    ParallelRun<Vec<DetectedTarget>>,
+    ParallelRun<Vec<DetectedTarget>>,
+) {
+    let s = wtc_scene(WtcConfig::tiny());
+    let engine = Engine::new(platform.clone());
+    let base = RunOptions::hetero().with_collectives(chunked_cfg());
+    let run = |options: &RunOptions| match algo {
+        "atdca" => atdca::run(&engine, &s.cube, &params(), options),
+        "ufcls" => ufcls::run(&engine, &s.cube, &params(), options),
+        _ => unreachable!(),
+    };
+    let plain = run(&base);
+    let overlapped = run(&base.with_bcast_overlap(true));
+    (plain, overlapped)
+}
+
+fn coords(ts: &[DetectedTarget]) -> Vec<(usize, usize)> {
+    ts.iter().map(|t| (t.line, t.sample)).collect()
+}
+
+#[test]
+fn overlap_outputs_are_bit_identical_on_every_paper_network() {
+    for network in presets::four_networks() {
+        for algo in ["atdca", "ufcls"] {
+            let (plain, overlapped) = run_pair(&network, algo);
+            assert_eq!(
+                coords(&plain.result),
+                coords(&overlapped.result),
+                "{algo} coordinates drift under overlap on {}",
+                network.name()
+            );
+            for (a, b) in plain.result.iter().zip(&overlapped.result) {
+                assert_eq!(
+                    a.spectrum,
+                    b.spectrum,
+                    "{algo} spectrum drift under overlap on {}",
+                    network.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlap_never_runs_slower_on_any_paper_network() {
+    for network in presets::four_networks() {
+        for algo in ["atdca", "ufcls"] {
+            let (plain, overlapped) = run_pair(&network, algo);
+            assert!(
+                overlapped.report.total_time <= plain.report.total_time + 1e-9,
+                "{algo} on {}: overlapped {} > plain {}",
+                network.name(),
+                overlapped.report.total_time,
+                plain.report.total_time
+            );
+        }
+    }
+}
+
+#[test]
+fn overlap_is_strictly_faster_on_the_serial_link_networks() {
+    for network in [
+        presets::fully_heterogeneous(),
+        presets::partially_homogeneous(),
+    ] {
+        for algo in ["atdca", "ufcls"] {
+            let (plain, overlapped) = run_pair(&network, algo);
+            assert!(
+                overlapped.report.total_time < plain.report.total_time,
+                "{algo} on {}: overlapped {} !< plain {}",
+                network.name(),
+                overlapped.report.total_time,
+                plain.report.total_time
+            );
+        }
+    }
+}
+
+/// Under the default linear schedule the overlap flag must be an exact
+/// no-op: one callback covering the whole follow-up charge, so the full
+/// report — every ledger, every recorded choice — compares equal.
+#[test]
+fn overlap_is_an_exact_noop_under_the_linear_schedule() {
+    let s = wtc_scene(WtcConfig::tiny());
+    let engine = Engine::new(presets::fully_heterogeneous());
+    for algo in ["atdca", "ufcls"] {
+        let run = |options: &RunOptions| match algo {
+            "atdca" => atdca::run(&engine, &s.cube, &params(), options),
+            "ufcls" => ufcls::run(&engine, &s.cube, &params(), options),
+            _ => unreachable!(),
+        };
+        let off = run(&RunOptions::hetero());
+        let on = run(&RunOptions::hetero().with_bcast_overlap(true));
+        assert_eq!(coords(&off.result), coords(&on.result), "{algo} output");
+        assert_eq!(off.report, on.report, "{algo}: linear overlap not a no-op");
+    }
+}
+
+/// Overlapped reruns are bit-identical, the collective-choice log
+/// included.
+#[test]
+fn overlapped_runs_are_deterministic_across_reruns() {
+    let s = wtc_scene(WtcConfig::tiny());
+    let engine = Engine::new(presets::fully_heterogeneous());
+    let options = RunOptions::hetero()
+        .with_collectives(chunked_cfg())
+        .with_bcast_overlap(true);
+    for algo in ["atdca", "ufcls"] {
+        let run = || match algo {
+            "atdca" => atdca::run(&engine, &s.cube, &params(), &options),
+            "ufcls" => ufcls::run(&engine, &s.cube, &params(), &options),
+            _ => unreachable!(),
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report, b.report, "{algo}: overlapped rerun drift");
+        assert!(
+            !a.report.collectives.is_empty(),
+            "{algo}: choices must be recorded"
+        );
+    }
+}

@@ -236,6 +236,85 @@ proptest! {
         }
     }
 
+    /// Allreduce agrees with a sequential fold of every rank's
+    /// contribution, for arbitrary payload sizes, platforms, and
+    /// backends — delivered to **every** rank.
+    #[test]
+    fn allreduce_agrees_with_sequential_fold(seed in 0u64..1_000, p in 2usize..12,
+                                             len in 1usize..300, backend in 0usize..5) {
+        use heterospec::simnet::engine::{Engine, WireVec};
+        use heterospec::simnet::{coll, presets, CollAlgorithm, CollectiveConfig};
+        let backends = [
+            CollAlgorithm::Linear,
+            CollAlgorithm::BinomialTree,
+            CollAlgorithm::SegmentHierarchical,
+            CollAlgorithm::PipelinedChunked,
+            CollAlgorithm::Auto,
+        ];
+        let cfg = CollectiveConfig {
+            allreduce: backends[backend],
+            ..CollectiveConfig::linear()
+        };
+        let platform = presets::random_heterogeneous(seed, p, 3, 0.002, 0.05);
+        let report = Engine::new(platform).run(|ctx| {
+            let r = ctx.rank() as u32;
+            let own: Vec<u32> = (0..len as u32).map(|i| r ^ i.wrapping_mul(2_654_435_761)).collect();
+            coll::allreduce(
+                ctx,
+                &cfg,
+                0,
+                WireVec(own),
+                |a, b| WireVec(a.0.iter().zip(&b.0).map(|(x, y)| x.wrapping_add(*y)).collect()),
+                (len * 32) as u64,
+            )
+            .0
+        });
+        let expect: Vec<u32> = (0..len as u32)
+            .map(|i| {
+                (0..p as u32)
+                    .map(|r| r ^ i.wrapping_mul(2_654_435_761))
+                    .fold(0u32, u32::wrapping_add)
+            })
+            .collect();
+        for r in 0..p {
+            prop_assert_eq!(report.result(r), &expect, "backend {} rank {}", backends[backend], r);
+        }
+    }
+
+    /// Chunking the pipelined broadcast never changes the delivered
+    /// bytes: any chunk count hands every rank the exact payload the
+    /// linear star delivers.
+    #[test]
+    fn broadcast_chunking_never_changes_delivered_bytes(seed in 0u64..1_000, p in 2usize..10,
+                                                        len in 1usize..500, chunks in 1u32..9) {
+        use heterospec::simnet::engine::{Engine, WireVec};
+        use heterospec::simnet::{coll, presets, CollAlgorithm, CollectiveConfig};
+        let platform = presets::random_heterogeneous(seed.wrapping_add(7), p, 3, 0.002, 0.05);
+        let payload: Vec<u8> = (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed as u8))
+            .collect();
+        let deliver = |cfg: CollectiveConfig| {
+            let payload = payload.clone();
+            let report = Engine::new(platform.clone()).run(move |ctx| {
+                let msg = if ctx.is_root() { Some(WireVec(payload.clone())) } else { None };
+                coll::broadcast(ctx, &cfg, 0, msg, (len * 8) as u64)
+                    .expect("valid broadcast")
+                    .0
+            });
+            (0..p).map(|r| report.result(r).clone()).collect::<Vec<_>>()
+        };
+        let chunked = deliver(CollectiveConfig {
+            broadcast: CollAlgorithm::PipelinedChunked,
+            pipeline_chunks: chunks,
+            ..CollectiveConfig::linear()
+        });
+        let linear = deliver(CollectiveConfig::linear());
+        for r in 0..p {
+            prop_assert_eq!(&chunked[r], &payload, "chunked delivery at rank {}", r);
+            prop_assert_eq!(&linear[r], &payload, "linear delivery at rank {}", r);
+        }
+    }
+
     /// Makespan WEA fractions are a probability vector that never
     /// starves the fastest processor.
     #[test]
