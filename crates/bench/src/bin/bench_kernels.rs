@@ -248,6 +248,13 @@ fn main() {
         .collect();
     let gate_passed = gated.iter().all(|r| r.speedup() >= GATE_SPEEDUP);
     let enforced = gate_requested && gate_meaningful;
+    let gate_status = if !gate_meaningful {
+        "skipped"
+    } else if gate_passed {
+        "passed"
+    } else {
+        "failed"
+    };
     if gate_requested && !gate_meaningful {
         eprintln!(
             "# gate requested but host has {cores} cores / {threads} threads (< {GATE_MIN_CORES}): recording only"
@@ -282,6 +289,11 @@ fn main() {
                 ("required_speedup", Json::Number(GATE_SPEEDUP)),
                 ("min_cores", Json::Number(GATE_MIN_CORES as f64)),
                 ("enforced", Json::Bool(enforced)),
+                // "skipped" = the host cannot make the measurement
+                // meaningful (< min_cores); distinct from a genuine
+                // "failed" so trend tooling never mistakes a small CI
+                // runner for a regression.
+                ("status", Json::String(gate_status.into())),
                 ("passed", Json::Bool(gate_passed)),
             ]),
         ),

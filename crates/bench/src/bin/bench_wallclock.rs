@@ -1,0 +1,354 @@
+//! End-to-end wall-clock benchmark + zero-copy gate → `BENCH_wallclock.json`.
+//!
+//! Runs all four analysis algorithms (ATDCA, UFCLS, PCT, MORPH) end to
+//! end on the paper's four preset networks, recording for each run:
+//!
+//! * **wall-clock seconds** on the host (real time, thread-count- and
+//!   machine-dependent — the throughput trajectory of the repository),
+//! * the run's **virtual total time** (deterministic, host-independent),
+//! * the deterministic **copy telemetry** (`simnet::CopyStats`):
+//!   bytes deep-copied by collective fan-outs, hot-path allocation
+//!   count, and the owned-payload baseline the pre-zero-copy
+//!   implementation would have copied at the same sites.
+//!
+//! Two gates, both computed from the deterministic counters only, so
+//! they are **always enforced** — they pass or fail identically on any
+//! host, any core count:
+//!
+//! 1. **Broadcast copy bound** — an `Arc`-backed tree broadcast (every
+//!    tree algorithm × every network) must deep-copy at most one
+//!    root-payload's worth of bytes in total, not O(children × payload)
+//!    per relay, while the recorded owned-payload baseline at the same
+//!    sites is strictly positive. The owned-payload control run of the
+//!    same schedule must be bit-identical in virtual time.
+//! 2. **End-to-end copy reduction** — ATDCA and UFCLS with the
+//!    `Arc`-backed message bodies must deep-copy at most *half* the
+//!    owned-payload baseline recorded by the same run (a ≥ 2× measured
+//!    reduction), with a non-trivial baseline.
+//!
+//! Environment:
+//!
+//! * `HETEROSPEC_BENCH_SCENE` — `tiny` (default), `small`, `medium`.
+//! * `HETEROSPEC_BENCH_OUT` — output path (default
+//!   `BENCH_wallclock.json` in the current directory).
+
+use hetero_hsi::config::{AlgoParams, RunOptions};
+use repro_bench::microjson::{object, Json};
+use repro_bench::{print_table, run_algorithm, ALGORITHMS};
+use simnet::engine::{Engine, WireVec};
+use simnet::{coll, CollAlgorithm, CollectiveConfig, CopyStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Broadcast payload for gate 1: the paper's endmember matrix `U`
+/// (18 targets × 224 bands × f32), in bytes.
+const U_BYTES: usize = 18 * 224 * 4;
+
+/// The tree-shaped broadcast schedules gate 1 sweeps (linear is a
+/// 1-deep tree and is covered by the same bound).
+const TREE_ALGOS: [CollAlgorithm; 4] = [
+    CollAlgorithm::Linear,
+    CollAlgorithm::BinomialTree,
+    CollAlgorithm::SegmentHierarchical,
+    CollAlgorithm::PipelinedChunked,
+];
+
+fn copies_json(c: &CopyStats) -> Json {
+    object(vec![
+        (
+            "bytes_deep_copied",
+            Json::Number(c.bytes_deep_copied as f64),
+        ),
+        (
+            "allocs_on_hot_path",
+            Json::Number(c.allocs_on_hot_path as f64),
+        ),
+        (
+            "bytes_owned_baseline",
+            Json::Number(c.bytes_owned_baseline as f64),
+        ),
+    ])
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// One end-to-end (algorithm × network) measurement.
+struct WallclockRecord {
+    algorithm: &'static str,
+    network: String,
+    secs_wall: f64,
+    virtual_total: f64,
+    copies: CopyStats,
+}
+
+impl WallclockRecord {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("algorithm", Json::String(self.algorithm.into())),
+            ("network", Json::String(self.network.clone())),
+            ("secs_wall", Json::Number(self.secs_wall)),
+            ("virtual_total_secs", Json::Number(self.virtual_total)),
+            ("copies", copies_json(&self.copies)),
+        ])
+    }
+}
+
+/// One gate-1 broadcast measurement (shared payload + owned control).
+struct BroadcastRecord {
+    network: String,
+    algorithm: CollAlgorithm,
+    payload_bytes: u64,
+    shared: CopyStats,
+    owned: CopyStats,
+}
+
+impl BroadcastRecord {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("network", Json::String(self.network.clone())),
+            ("algorithm", Json::String(self.algorithm.to_string())),
+            ("payload_bytes", Json::Number(self.payload_bytes as f64)),
+            ("shared", copies_json(&self.shared)),
+            ("owned", copies_json(&self.owned)),
+        ])
+    }
+}
+
+fn main() {
+    let scene_name = std::env::var("HETEROSPEC_BENCH_SCENE").unwrap_or_else(|_| "tiny".into());
+    let (lines, samples) = match scene_name.as_str() {
+        "tiny" => (96, 64),
+        "small" => (512, 128),
+        "medium" => (1024, 256),
+        other => panic!("HETEROSPEC_BENCH_SCENE: unknown size '{other}'"),
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("# bench_wallclock: scene {scene_name} ({lines}x{samples}), host cores {cores}");
+    let scene = hsi_cube::synth::wtc_scene(hsi_cube::synth::WtcConfig {
+        lines,
+        samples,
+        ..Default::default()
+    });
+    let params = AlgoParams {
+        num_targets: 6,
+        morph_iterations: 2,
+        ..Default::default()
+    };
+    let networks = simnet::presets::four_networks();
+
+    // --- End-to-end wall-clock + copy telemetry, 4 algorithms × 4 nets.
+    let mut records: Vec<WallclockRecord> = Vec::new();
+    for algorithm in ALGORITHMS {
+        for network in &networks {
+            let engine = Engine::new(network.clone());
+            let t = Instant::now();
+            let run = run_algorithm(algorithm, &engine, &scene, &params, &RunOptions::hetero());
+            let secs_wall = t.elapsed().as_secs_f64();
+            records.push(WallclockRecord {
+                algorithm,
+                network: network.name().to_string(),
+                secs_wall,
+                virtual_total: run.report.total_time,
+                copies: run.report.copies,
+            });
+        }
+    }
+    print_table(
+        "bench_wallclock: end-to-end runs (wall-clock is host-dependent; the rest is not)",
+        &[
+            "Algorithm",
+            "Network",
+            "Wall s",
+            "Virtual s",
+            "Deep-copied B",
+            "Baseline B",
+        ],
+        &records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.to_string(),
+                    r.network.clone(),
+                    format!("{:.4}", r.secs_wall),
+                    format!("{:.4}", r.virtual_total),
+                    format!("{}", r.copies.bytes_deep_copied),
+                    format!("{}", r.copies.bytes_owned_baseline),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // --- Gate 1: Arc-backed tree broadcast copies ≤ one payload total.
+    let mut bcast_records: Vec<BroadcastRecord> = Vec::new();
+    let mut gate_broadcast = true;
+    for network in &networks {
+        for algorithm in TREE_ALGOS {
+            let cfg = CollectiveConfig::uniform(algorithm);
+            let bits = (U_BYTES * 8) as u64;
+
+            let shared_payload: Arc<WireVec<u8>> = Arc::new(WireVec(vec![0u8; U_BYTES]));
+            let engine = Engine::new(network.clone());
+            let shared_report = engine.run(|ctx| {
+                let msg = ctx.is_root().then(|| Arc::clone(&shared_payload));
+                let out = coll::broadcast(ctx, &cfg, 0, msg, bits).expect("valid broadcast");
+                out.0.len()
+            });
+
+            let engine = Engine::new(network.clone());
+            let owned_report = engine.run(|ctx| {
+                let msg = ctx.is_root().then(|| WireVec(vec![0u8; U_BYTES]));
+                let out = coll::broadcast(ctx, &cfg, 0, msg, bits).expect("valid broadcast");
+                out.0.len()
+            });
+
+            // The simulation must not see the payload representation.
+            assert_eq!(
+                shared_report,
+                owned_report,
+                "shared vs owned broadcast diverged on {} under {algorithm}",
+                network.name()
+            );
+            let s = shared_report.copies;
+            let o = owned_report.copies;
+            if s.bytes_deep_copied > U_BYTES as u64 {
+                eprintln!(
+                    "# GATE 1 FAIL: shared {algorithm} bcast on {} deep-copied {} B (> {} B payload)",
+                    network.name(),
+                    s.bytes_deep_copied,
+                    U_BYTES
+                );
+                gate_broadcast = false;
+            }
+            if s.bytes_owned_baseline == 0 || o.bytes_deep_copied == 0 {
+                eprintln!(
+                    "# GATE 1 FAIL: {algorithm} on {} recorded no fan-out traffic \
+                     (baseline {} B, owned deep copies {} B) — telemetry broken",
+                    network.name(),
+                    s.bytes_owned_baseline,
+                    o.bytes_deep_copied
+                );
+                gate_broadcast = false;
+            }
+            bcast_records.push(BroadcastRecord {
+                network: network.name().to_string(),
+                algorithm,
+                payload_bytes: U_BYTES as u64,
+                shared: s,
+                owned: o,
+            });
+        }
+    }
+
+    // --- Gate 2: end-to-end ≥ 2× copy reduction on ATDCA + UFCLS.
+    let mut gate_e2e = true;
+    let mut e2e_rows = Vec::new();
+    for algorithm in ["ATDCA", "UFCLS"] {
+        for network in &networks {
+            let r = records
+                .iter()
+                .find(|r| r.algorithm == algorithm && r.network == network.name())
+                .expect("end-to-end record present");
+            let c = r.copies;
+            let ok =
+                c.bytes_owned_baseline > 0 && 2 * c.bytes_deep_copied <= c.bytes_owned_baseline;
+            if !ok {
+                eprintln!(
+                    "# GATE 2 FAIL: {algorithm} on {}: deep-copied {} B vs baseline {} B \
+                     (need ≥ 2× reduction and a non-zero baseline)",
+                    network.name(),
+                    c.bytes_deep_copied,
+                    c.bytes_owned_baseline
+                );
+                gate_e2e = false;
+            }
+            e2e_rows.push((algorithm, network.name().to_string(), c, ok));
+        }
+    }
+
+    eprintln!(
+        "# gate 1 (Arc tree broadcast deep-copies ≤ {} B payload, all nets × algos): {}",
+        U_BYTES,
+        if gate_broadcast { "PASS" } else { "FAIL" }
+    );
+    eprintln!(
+        "# gate 2 (ATDCA/UFCLS end-to-end ≥ 2x copy reduction vs owned baseline): {}",
+        if gate_e2e { "PASS" } else { "FAIL" }
+    );
+
+    let epoch_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let all_passed = gate_broadcast && gate_e2e;
+    let doc = object(vec![
+        ("commit", Json::String(git_commit())),
+        ("epoch_secs", Json::Number(epoch_secs as f64)),
+        ("host_cores", Json::Number(cores as f64)),
+        (
+            "scene",
+            object(vec![
+                ("name", Json::String(scene_name.clone())),
+                ("lines", Json::Number(lines as f64)),
+                ("samples", Json::Number(samples as f64)),
+                ("bands", Json::Number(scene.cube.bands() as f64)),
+            ]),
+        ),
+        (
+            "runs",
+            Json::Array(records.iter().map(WallclockRecord::to_json).collect()),
+        ),
+        (
+            "broadcast_copy_sweep",
+            Json::Array(bcast_records.iter().map(BroadcastRecord::to_json).collect()),
+        ),
+        (
+            "e2e_reduction",
+            Json::Array(
+                e2e_rows
+                    .iter()
+                    .map(|(alg, net, c, ok)| {
+                        object(vec![
+                            ("algorithm", Json::String((*alg).into())),
+                            ("network", Json::String(net.clone())),
+                            ("copies", copies_json(c)),
+                            ("reduced_2x", Json::Bool(*ok)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "gate",
+            object(vec![
+                // Deterministic counters → enforced on every host.
+                ("enforced", Json::Bool(true)),
+                ("broadcast_copy_bound", Json::Bool(gate_broadcast)),
+                ("e2e_reduction_2x", Json::Bool(gate_e2e)),
+                (
+                    "status",
+                    Json::String(if all_passed { "passed" } else { "failed" }.into()),
+                ),
+                ("passed", Json::Bool(all_passed)),
+            ]),
+        ),
+    ]);
+    let out =
+        std::env::var("HETEROSPEC_BENCH_OUT").unwrap_or_else(|_| "BENCH_wallclock.json".into());
+    std::fs::write(&out, doc.pretty()).expect("write BENCH_wallclock.json");
+    eprintln!("# wrote {out}");
+
+    if !all_passed {
+        eprintln!("# GATE FAILED");
+        std::process::exit(1);
+    }
+}

@@ -177,6 +177,7 @@ pub fn run_rooted<T: Send>(
         failures,
         total_time,
         collectives,
+        copies,
     } = report;
     let result = results
         .get_mut(0)
@@ -192,6 +193,7 @@ pub fn run_rooted<T: Send>(
             failures,
             total_time,
             collectives,
+            copies,
         },
     }
 }
@@ -239,9 +241,9 @@ pub(crate) fn select_winner(
             ctx,
             &options.collectives,
             0,
-            Msg::Candidate(candidate),
+            Msg::candidate(candidate),
             |a, b| {
-                Msg::Candidate(better_candidate(
+                Msg::candidate(better_candidate(
                     a.into_candidate()
                         .expect("select_winner: protocol violation"),
                     b.into_candidate()
@@ -261,7 +263,7 @@ pub(crate) fn select_winner(
         ctx,
         &options.collectives,
         0,
-        Msg::Candidate(candidate),
+        Msg::candidate(candidate),
         cand_bits,
     )
     .map(|entries| {
@@ -278,7 +280,7 @@ pub(crate) fn select_winner(
     });
     let selected = best
         .as_ref()
-        .map(|b| Msg::Spectra(vec![b.spectrum.clone()]));
+        .map(|b| Msg::spectra(vec![b.spectrum.clone()]));
     let delivered = if options.bcast_overlap {
         coll::broadcast_overlap(
             ctx,

@@ -38,6 +38,7 @@ use simnet::engine::{Engine, Wire};
 use simnet::report::RunReport;
 use simnet::{Ctx, RecvError};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Knobs of the fault-tolerant drivers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,8 +96,9 @@ pub struct FtRun<O> {
 /// and partial payloads carry the algorithm-reported wire sizes.
 enum FtMsg<S, P> {
     /// Round start: the state every worker needs (the round number
-    /// rides on each `Assign`).
-    Round { state: S, bits: u64 },
+    /// rides on each `Assign`). Shared — the master fans one `Arc` to
+    /// every worker, so each send is a refcount bump, not a state copy.
+    Round { state: Arc<S>, bits: u64 },
     /// Work order for lines `[first, first + n)`.
     Assign {
         id: u64,
@@ -115,13 +117,22 @@ enum FtMsg<S, P> {
     Finish,
 }
 
-impl<S: Send + 'static, P: Send + 'static> Wire for FtMsg<S, P> {
+impl<S: Send + Sync + 'static, P: Send + 'static> Wire for FtMsg<S, P> {
     fn size_bits(&self) -> u64 {
         match self {
             FtMsg::Round { bits, .. } => 96 + bits,
             FtMsg::Assign { .. } => 192,
             FtMsg::Partial { bits, .. } => 128 + bits,
             FtMsg::Finish => 8,
+        }
+    }
+
+    fn deep_copy_bits(&self) -> u64 {
+        match self {
+            // Round carries its state behind an Arc; the other small
+            // variants are fixed-size headers.
+            FtMsg::Round { .. } | FtMsg::Assign { .. } | FtMsg::Finish => 0,
+            FtMsg::Partial { .. } => self.size_bits(),
         }
     }
 }
@@ -193,6 +204,7 @@ where
         failures,
         total_time,
         collectives,
+        copies,
     } = report;
     let (output, recoveries) = results
         .get_mut(0)
@@ -209,6 +221,7 @@ where
             failures,
             total_time,
             collectives,
+            copies,
         },
     }
 }
@@ -216,19 +229,29 @@ where
 /// Worker side of both modes: obey `Round`/`Assign` orders from the
 /// master until `Finish`.
 fn worker_loop<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, algo: &A) {
-    let mut state: Option<A::State> = None;
+    let mut state: Option<Arc<A::State>> = None;
+    // Round-constant scratch, rebuilt lazily on the first Assign of a
+    // round and reused for every later chunk of that round.
+    let mut scratch: Option<(usize, A::Scratch)> = None;
     loop {
         match ctx.recv(0) {
-            FtMsg::Round { state: s, .. } => state = Some(s),
+            FtMsg::Round { state: s, .. } => {
+                state = Some(s);
+                scratch = None;
+            }
             FtMsg::Assign {
                 id,
                 round,
                 first,
                 n,
             } => {
-                let st = state.as_ref().expect("ft: Assign before any Round");
+                let st = state.as_deref().expect("ft: Assign before any Round");
                 ctx.compute_par(algo.chunk_mflops(round, n));
-                let data = algo.run_chunk(round, st, first, n);
+                if scratch.as_ref().map(|&(r, _)| r) != Some(round) {
+                    scratch = Some((round, algo.prepare(round, st)));
+                }
+                let (_, sc) = scratch.as_mut().expect("ft: scratch just prepared");
+                let data = algo.run_chunk(round, st, sc, first, n);
                 let bits = algo.partial_bits(&data);
                 ctx.send(
                     0,
@@ -280,12 +303,15 @@ fn split_lines(
 /// epoch protocol — see ROADMAP "Open items" and docs/COMMS.md.
 fn broadcast_state<S, P>(ctx: &mut Ctx<FtMsg<S, P>>, alive: &[bool], state: &S, bits: u64)
 where
-    S: Clone + Send + 'static,
+    S: Clone + Send + Sync + 'static,
     P: Send + 'static,
 {
     let targets: Vec<usize> = (1..alive.len()).filter(|&w| alive[w]).collect();
+    // One deep copy total (the `Arc` construction); every per-worker
+    // send then shares it with a refcount bump.
+    let shared = Arc::new(state.clone());
     simnet::coll::fanout_with(ctx, &targets, || FtMsg::Round {
-        state: state.clone(),
+        state: Arc::clone(&shared),
         bits,
     });
 }

@@ -291,31 +291,40 @@ pub fn pct_label(
         reps32.push(vec![0.0; c]);
     }
     let reps32 = &reps32;
-    let chunks: Vec<Vec<u16>> = (0..chunk_count(range))
-        .into_par_iter()
-        .map(|ci| {
+    // One preassembled label buffer, written in place by the chunk
+    // workers; `par_chunks_mut` at `PAR_CHUNK_LINES × samples` pixels
+    // yields exactly the fixed chunk grid (the last chunk is the
+    // remainder), so no per-chunk Vec or final concat is needed. Each
+    // chunk reuses its three scratch buffers across every pixel.
+    let samples = cube.samples();
+    let pixels = (hi - lo) * samples;
+    let mut labels = vec![0u16; pixels];
+    labels
+        .par_chunks_mut((PAR_CHUNK_LINES * samples).max(1))
+        .enumerate()
+        .for_each(|(ci, part)| {
             let (clo, chi) = chunk_bounds(range, ci);
-            let mut part = Vec::with_capacity((chi - clo) * cube.samples());
+            debug_assert_eq!(part.len(), (chi - clo) * samples);
             let mut centred = vec![0.0f64; n];
+            let mut projected = vec![0.0f64; c];
+            let mut proj32 = vec![0.0f32; c];
             for line in clo..chi {
-                for sample in 0..cube.samples() {
+                for sample in 0..samples {
                     let px = cube.pixel(line, sample);
                     for (i, &v) in px.iter().enumerate() {
                         centred[i] = v as f64 - mean[i];
                     }
-                    let projected = transform
-                        .matvec(&centred)
+                    transform
+                        .matvec_into(&centred, &mut projected)
                         .expect("pct_label: transform shape");
-                    let proj32: Vec<f32> = projected.iter().map(|&v| v as f32).collect();
+                    for (o, &v) in proj32.iter_mut().zip(projected.iter()) {
+                        *o = v as f32;
+                    }
                     let best = hsi_cube::metrics::nearest_by_sad(&proj32, reps32).unwrap_or(0);
-                    part.push(best as u16);
+                    part[(line - clo) * samples + sample] = best as u16;
                 }
             }
-            part
-        })
-        .collect();
-    let labels = chunks.concat();
-    let pixels = (hi - lo) * cube.samples();
+        });
     let mflops = flops::mflop(
         (flops::pct_transform(n, c) + flops::pct_classify(c, class_reps.len().max(1)))
             * pixels as f64,
@@ -328,23 +337,25 @@ pub fn pct_label(
 pub fn sad_label(cube: &HyperCube, range: (usize, usize), classes: &[Vec<f32>]) -> (Vec<u16>, f64) {
     let n = cube.bands();
     let (lo, hi) = range;
-    let chunks: Vec<Vec<u16>> = (0..chunk_count(range))
-        .into_par_iter()
-        .map(|ci| {
+    // Same in-place chunk-grid write as `pct_label`: one output buffer,
+    // no per-chunk Vecs, no concat.
+    let samples = cube.samples();
+    let pixels = (hi - lo) * samples;
+    let mut labels = vec![0u16; pixels];
+    labels
+        .par_chunks_mut((PAR_CHUNK_LINES * samples).max(1))
+        .enumerate()
+        .for_each(|(ci, part)| {
             let (clo, chi) = chunk_bounds(range, ci);
-            let mut part = Vec::with_capacity((chi - clo) * cube.samples());
+            debug_assert_eq!(part.len(), (chi - clo) * samples);
             for line in clo..chi {
-                for sample in 0..cube.samples() {
+                for sample in 0..samples {
                     let best = hsi_cube::metrics::nearest_by_sad(cube.pixel(line, sample), classes)
                         .unwrap_or(0);
-                    part.push(best as u16);
+                    part[(line - clo) * samples + sample] = best as u16;
                 }
             }
-            part
-        })
-        .collect();
-    let labels = chunks.concat();
-    let pixels = (hi - lo) * cube.samples();
+        });
     (
         labels,
         flops::mflop(flops::sad_classify(n, classes.len().max(1)) * pixels as f64),

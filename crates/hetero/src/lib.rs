@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::redundant_clone))]
 
 pub mod config;
 pub mod dynamic;

@@ -5,9 +5,25 @@
 //! the actual payload (f32 spectra at 32 bits/band, labels at 16, etc.),
 //! so virtual communication costs track real message volumes — the role
 //! MPI derived datatypes play in the paper.
+//!
+//! ## Zero-copy payload bodies
+//!
+//! The broadcast-heavy variants — [`Msg::Partition`], [`Msg::Spectra`],
+//! [`Msg::Candidate`], [`Msg::Candidates`], [`Msg::PctModel`] — carry
+//! their bodies behind [`Arc`], so cloning a `Msg` at a collective
+//! fan-out point is a refcount bump, not a deep copy of the megabyte
+//! payload. Wire sizes are computed through the `Arc` and are
+//! bit-identical to the historic owned-body encoding, and the `into_*`
+//! decoders keep their owned-value signatures: they unwrap the `Arc`
+//! when this rank holds the last reference and clone the body otherwise
+//! (both paths produce the same value, so outputs never depend on
+//! refcount timing). [`simnet::Wire::deep_copy_bits`] reports `0` for
+//! the shared variants, which is what the collective copy telemetry
+//! ([`simnet::CopyStats`]) observes.
 
 use hsi_cube::HyperCube;
 use simnet::Wire;
+use std::sync::Arc;
 
 /// A worker's candidate pixel: coordinates are **global** image
 /// coordinates; the spectrum rides along so the master can re-score and
@@ -31,6 +47,17 @@ impl Candidate {
     }
 }
 
+/// The body of a [`Msg::PctModel`] broadcast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PctModelBody {
+    /// Rows of the `c × N` principal transform.
+    pub transform: Vec<Vec<f64>>,
+    /// The image mean spectrum.
+    pub mean: Vec<f64>,
+    /// Class representatives, already transformed (`c`-dimensional).
+    pub classes: Vec<Vec<f64>>,
+}
+
 /// Message payloads of the master/worker protocols.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
@@ -47,28 +74,23 @@ pub enum Msg {
         samples: u32,
         /// Spectral bands.
         bands: u32,
-        /// The block, including halo lines, in BIP order.
-        data: Vec<f32>,
+        /// The block, including halo lines, in BIP order (shared — a
+        /// clone bumps a refcount, never copies the block).
+        data: Arc<Vec<f32>>,
     },
-    /// One candidate pixel (gathers in ATDCA/UFCLS).
-    Candidate(Candidate),
+    /// One candidate pixel (gathers and fused allreduces in
+    /// ATDCA/UFCLS; shared so the winner's fan-down is copy-free).
+    Candidate(Arc<Candidate>),
     /// Several candidate pixels (gathers in PCT/MORPH).
-    Candidates(Vec<Candidate>),
+    Candidates(Arc<Vec<Candidate>>),
     /// A list of spectra (broadcast of the target matrix `U` or of the
     /// final unique class set).
-    Spectra(Vec<Vec<f32>>),
+    Spectra(Arc<Vec<Vec<f32>>>),
     /// Flat `f64` statistics (covariance accumulator shards).
     Stats(Vec<f64>),
     /// The PCT model broadcast: transform rows (`c × N`), image mean
     /// (`N`), and the class representatives in transformed space.
-    PctModel {
-        /// Rows of the `c × N` principal transform.
-        transform: Vec<Vec<f64>>,
-        /// The image mean spectrum.
-        mean: Vec<f64>,
-        /// Class representatives, already transformed (`c`-dimensional).
-        classes: Vec<Vec<f64>>,
-    },
+    PctModel(Arc<PctModelBody>),
     /// A block of classification labels for the sender's owned lines.
     Labels {
         /// First global line the labels cover.
@@ -88,17 +110,28 @@ impl Wire for Msg {
             Msg::Candidates(cs) => cs.iter().map(Candidate::size_bits).sum(),
             Msg::Spectra(rows) => rows.iter().map(|r| (r.len() * 32) as u64).sum(),
             Msg::Stats(v) => (v.len() * 64) as u64,
-            Msg::PctModel {
-                transform,
-                mean,
-                classes,
-            } => {
-                let t: u64 = transform.iter().map(|r| (r.len() * 64) as u64).sum();
-                let c: u64 = classes.iter().map(|r| (r.len() * 64) as u64).sum();
-                t + (mean.len() * 64) as u64 + c
+            Msg::PctModel(m) => {
+                let t: u64 = m.transform.iter().map(|r| (r.len() * 64) as u64).sum();
+                let c: u64 = m.classes.iter().map(|r| (r.len() * 64) as u64).sum();
+                t + (m.mean.len() * 64) as u64 + c
             }
             Msg::Labels { labels, .. } => 32 + (labels.len() * 16) as u64,
             Msg::Token => 0,
+        }
+    }
+
+    fn deep_copy_bits(&self) -> u64 {
+        match self {
+            // Arc-backed bodies: a clone bumps a refcount. The few
+            // fixed-size header words are not counted.
+            Msg::Partition { .. }
+            | Msg::Candidate(_)
+            | Msg::Candidates(_)
+            | Msg::Spectra(_)
+            | Msg::PctModel(_)
+            | Msg::Token => 0,
+            // Owned bodies copy their full payload on clone.
+            Msg::Stats(_) | Msg::Labels { .. } => self.size_bits(),
         }
     }
 }
@@ -124,6 +157,14 @@ impl std::fmt::Display for WireMismatch {
 
 impl std::error::Error for WireMismatch {}
 
+/// Unwraps an `Arc` body: by move when this rank holds the last
+/// reference, by clone when the body is still shared with other ranks.
+/// Both paths yield the same value, so run outputs never depend on
+/// drop-order races between rank threads.
+fn unwrap_or_clone<T: Clone>(body: Arc<T>) -> T {
+    Arc::try_unwrap(body).unwrap_or_else(|shared| (*shared).clone())
+}
+
 impl Msg {
     /// Wraps an owned sub-cube block as a partition message.
     pub fn partition(first_line: usize, n_lines: usize, pre: usize, block: &HyperCube) -> Msg {
@@ -133,8 +174,32 @@ impl Msg {
             pre: pre as u32,
             samples: block.samples() as u32,
             bands: block.bands() as u32,
-            data: block.as_slice().to_vec(),
+            data: Arc::new(block.as_slice().to_vec()),
         }
+    }
+
+    /// Wraps one candidate as a shared-body message.
+    pub fn candidate(c: Candidate) -> Msg {
+        Msg::Candidate(Arc::new(c))
+    }
+
+    /// Wraps a candidate list as a shared-body message.
+    pub fn candidates(cs: Vec<Candidate>) -> Msg {
+        Msg::Candidates(Arc::new(cs))
+    }
+
+    /// Wraps a spectra list as a shared-body message.
+    pub fn spectra(rows: Vec<Vec<f32>>) -> Msg {
+        Msg::Spectra(Arc::new(rows))
+    }
+
+    /// Wraps the PCT model parts as a shared-body message.
+    pub fn pct_model(transform: Vec<Vec<f64>>, mean: Vec<f64>, classes: Vec<Vec<f64>>) -> Msg {
+        Msg::PctModel(Arc::new(PctModelBody {
+            transform,
+            mean,
+            classes,
+        }))
     }
 
     /// This message's variant name (for [`WireMismatch`] diagnostics).
@@ -170,6 +235,7 @@ impl Msg {
                 bands,
                 data,
             } => {
+                let data = unwrap_or_clone(data);
                 let total_lines = data.len() / (samples as usize * bands as usize);
                 Ok((
                     first_line as usize,
@@ -185,6 +251,14 @@ impl Msg {
     /// Decodes a candidate.
     pub fn into_candidate(self) -> Result<Candidate, WireMismatch> {
         match self {
+            Msg::Candidate(c) => Ok(unwrap_or_clone(c)),
+            other => Err(other.mismatch("Candidate")),
+        }
+    }
+
+    /// Borrows a candidate without consuming the message.
+    pub fn as_candidate(&self) -> Result<&Candidate, WireMismatch> {
+        match self {
             Msg::Candidate(c) => Ok(c),
             other => Err(other.mismatch("Candidate")),
         }
@@ -193,13 +267,22 @@ impl Msg {
     /// Decodes a candidate list.
     pub fn into_candidates(self) -> Result<Vec<Candidate>, WireMismatch> {
         match self {
-            Msg::Candidates(c) => Ok(c),
+            Msg::Candidates(c) => Ok(unwrap_or_clone(c)),
             other => Err(other.mismatch("Candidates")),
         }
     }
 
     /// Decodes a spectra list.
     pub fn into_spectra(self) -> Result<Vec<Vec<f32>>, WireMismatch> {
+        match self {
+            Msg::Spectra(s) => Ok(unwrap_or_clone(s)),
+            other => Err(other.mismatch("Spectra")),
+        }
+    }
+
+    /// Borrows the spectra list without consuming the message (the
+    /// copy-free path for read-only scoring kernels).
+    pub fn as_spectra(&self) -> Result<&[Vec<f32>], WireMismatch> {
         match self {
             Msg::Spectra(s) => Ok(s),
             other => Err(other.mismatch("Spectra")),
@@ -217,11 +300,22 @@ impl Msg {
     /// Decodes the PCT model broadcast as `(transform, mean, classes)`.
     pub fn into_pct_model(self) -> Result<PctModelParts, WireMismatch> {
         match self {
-            Msg::PctModel {
-                transform,
-                mean,
-                classes,
-            } => Ok((transform, mean, classes)),
+            Msg::PctModel(m) => {
+                let PctModelBody {
+                    transform,
+                    mean,
+                    classes,
+                } = unwrap_or_clone(m);
+                Ok((transform, mean, classes))
+            }
+            other => Err(other.mismatch("PctModel")),
+        }
+    }
+
+    /// Borrows the PCT model body without consuming the message.
+    pub fn as_pct_model(&self) -> Result<&PctModelBody, WireMismatch> {
+        match self {
+            Msg::PctModel(m) => Ok(m),
             other => Err(other.mismatch("PctModel")),
         }
     }
@@ -261,9 +355,9 @@ mod tests {
             score: 0.5,
             spectrum: vec![0.0; 224],
         };
-        assert_eq!(Msg::Candidate(c.clone()).size_bits(), 128 + 224 * 32);
+        assert_eq!(Msg::candidate(c.clone()).size_bits(), 128 + 224 * 32);
         assert_eq!(
-            Msg::Candidates(vec![c.clone(), c]).size_bits(),
+            Msg::candidates(vec![c.clone(), c]).size_bits(),
             2 * (128 + 224 * 32)
         );
     }
@@ -271,7 +365,7 @@ mod tests {
     #[test]
     fn spectra_and_stats_sizes() {
         assert_eq!(
-            Msg::Spectra(vec![vec![0.0; 10], vec![0.0; 6]]).size_bits(),
+            Msg::spectra(vec![vec![0.0; 10], vec![0.0; 6]]).size_bits(),
             16 * 32
         );
         assert_eq!(Msg::Stats(vec![0.0; 5]).size_bits(), 5 * 64);
@@ -288,6 +382,44 @@ mod tests {
             .size_bits(),
             32 + 1600
         );
+    }
+
+    #[test]
+    fn shared_bodies_report_zero_deep_copy_bits() {
+        let c = Candidate {
+            line: 0,
+            sample: 0,
+            score: 1.0,
+            spectrum: vec![0.0; 32],
+        };
+        assert_eq!(Msg::candidate(c.clone()).deep_copy_bits(), 0);
+        assert_eq!(Msg::candidates(vec![c]).deep_copy_bits(), 0);
+        assert_eq!(Msg::spectra(vec![vec![0.0; 8]]).deep_copy_bits(), 0);
+        assert_eq!(
+            Msg::pct_model(vec![vec![0.0; 4]], vec![0.0; 4], vec![vec![0.0; 1]]).deep_copy_bits(),
+            0
+        );
+        let cube = HyperCube::zeros(2, 2, 2);
+        assert_eq!(Msg::partition(0, 2, 0, &cube).deep_copy_bits(), 0);
+        assert_eq!(Msg::Token.deep_copy_bits(), 0);
+        // Owned bodies report their full wire size as deep-copied.
+        let stats = Msg::Stats(vec![0.0; 5]);
+        assert_eq!(stats.deep_copy_bits(), stats.size_bits());
+        let labels = Msg::Labels {
+            first_line: 0,
+            labels: vec![0; 10],
+        };
+        assert_eq!(labels.deep_copy_bits(), labels.size_bits());
+    }
+
+    #[test]
+    fn shared_decode_clones_when_shared_and_moves_when_unique() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let msg = Msg::spectra(rows.clone());
+        let held = msg.clone(); // second reference keeps the Arc shared
+        assert_eq!(msg.into_spectra().unwrap(), rows);
+        // `held` is now the unique owner: decode moves the body out.
+        assert_eq!(held.into_spectra().unwrap(), rows);
     }
 
     #[test]
@@ -308,15 +440,18 @@ mod tests {
         assert!(Msg::Token.into_candidates().is_err());
         assert!(Msg::Token.into_labels().is_err());
         assert!(Msg::Token.into_stats().is_err());
+        assert!(Msg::Token.as_spectra().is_err());
+        assert!(Msg::Token.as_candidate().is_err());
+        assert!(Msg::Token.as_pct_model().is_err());
     }
 
     #[test]
     fn pct_model_size() {
-        let msg = Msg::PctModel {
-            transform: vec![vec![0.0f64; 4]; 2],
-            mean: vec![0.0f64; 4],
-            classes: vec![vec![0.0f64; 2]; 3],
-        };
+        let msg = Msg::pct_model(
+            vec![vec![0.0f64; 4]; 2],
+            vec![0.0f64; 4],
+            vec![vec![0.0f64; 2]; 3],
+        );
         // (2*4 + 4 + 3*2) f64 values at 64 bits each.
         assert_eq!(msg.size_bits(), (8 + 4 + 6) * 64);
     }

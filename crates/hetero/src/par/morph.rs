@@ -95,7 +95,7 @@ pub fn run(
             ctx,
             &options.collectives,
             0,
-            Msg::Candidates(cands),
+            Msg::candidates(cands),
             cands_bits,
         );
         let merged = entries.map(|entries| {
@@ -108,7 +108,7 @@ pub fn run(
             let (reps, mflops) =
                 crate::seq::reduce_candidates(&scored, params.sad_threshold, params.num_classes);
             ctx.compute_seq(mflops);
-            Msg::Spectra(reps)
+            Msg::spectra(reps)
         });
         let reps: Vec<Vec<f32>> = coll::broadcast(ctx, &options.collectives, 0, merged, reps_bits)
             .expect("morph: broadcast misuse")

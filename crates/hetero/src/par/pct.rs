@@ -94,7 +94,7 @@ pub fn run(
             ctx,
             &options.collectives,
             0,
-            Msg::Candidates(local_cands),
+            Msg::candidates(local_cands),
             cands_bits,
         );
         let stat_entries = coll::gather(
@@ -139,13 +139,13 @@ pub fn run(
             ctx.compute_seq(flops::mflop(
                 reps.len() as f64 * flops::pct_transform(n, transform.rows()),
             ));
-            Msg::PctModel {
-                transform: (0..transform.rows())
+            Msg::pct_model(
+                (0..transform.rows())
                     .map(|r| transform.row(r).to_vec())
                     .collect(),
                 mean,
-                classes: class_reps,
-            }
+                class_reps,
+            )
         });
 
         // Broadcast the model; every rank (root included) decodes it.

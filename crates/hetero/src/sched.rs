@@ -85,12 +85,20 @@ impl ChunkPolicy {
 /// master/worker model of [`crate::ft`] — data staging costs are the
 /// drivers' concern, not the trait's).
 pub trait ChunkedAlgo {
-    /// Master-held state broadcast to workers at each round start.
-    type State: Clone + Send + 'static;
+    /// Master-held state broadcast to workers at each round start
+    /// (`Sync` because workers hold it behind an `Arc` wire body).
+    type State: Clone + Send + Sync + 'static;
     /// Per-chunk result returned to the master.
     type Partial: Send + 'static;
     /// The final analysis result.
     type Output;
+    /// Round-constant scratch built once per `(round, state)` by
+    /// [`ChunkedAlgo::prepare`] and reused across every chunk of the
+    /// round, so per-chunk work stops reallocating round-invariant
+    /// structures (ATDCA's orthogonal basis, UFCLS's Gram system, PCT's
+    /// transform matrix). Purely a host-allocation concern: the charged
+    /// cost model ([`ChunkedAlgo::chunk_mflops`]) is unchanged.
+    type Scratch;
 
     /// Short algorithm name (reports and benches).
     fn name(&self) -> &'static str;
@@ -109,9 +117,17 @@ pub trait ChunkedAlgo {
     fn state_bits(&self, state: &Self::State) -> u64;
     /// Wire size (bits) of a partial result.
     fn partial_bits(&self, partial: &Self::Partial) -> u64;
+    /// Builds the scratch shared by every `run_chunk` call of `round`.
+    fn prepare(&self, round: usize, state: &Self::State) -> Self::Scratch;
     /// Computes the partial for global lines `[first, first + n)`.
-    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize)
-        -> Self::Partial;
+    fn run_chunk(
+        &self,
+        round: usize,
+        state: &Self::State,
+        scratch: &mut Self::Scratch,
+        first: usize,
+        n: usize,
+    ) -> Self::Partial;
     /// Merges a round's partials (sorted by first line) into the next
     /// state; returns it with the master's merge cost in megaflops.
     fn reduce(
@@ -166,6 +182,7 @@ impl ChunkedAlgo for AtdcaChunks<'_> {
     type State = Vec<DetectedTarget>;
     type Partial = Candidate;
     type Output = Vec<DetectedTarget>;
+    type Scratch = OrthoBasis;
 
     fn name(&self) -> &'static str {
         "ATDCA"
@@ -205,13 +222,23 @@ impl ChunkedAlgo for AtdcaChunks<'_> {
         candidate_bits(partial)
     }
 
-    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize) -> Candidate {
+    fn prepare(&self, _round: usize, state: &Self::State) -> OrthoBasis {
+        self.basis_of(state)
+    }
+
+    fn run_chunk(
+        &self,
+        round: usize,
+        _state: &Self::State,
+        scratch: &mut OrthoBasis,
+        first: usize,
+        n: usize,
+    ) -> Candidate {
         let range = (first, first + n);
         let (cand, _) = if round == 0 {
             kernels::brightest(self.cube, range)
         } else {
-            let basis = self.basis_of(state);
-            kernels::max_projection(self.cube, &basis, range)
+            kernels::max_projection(self.cube, scratch, range)
         };
         match cand {
             Some(p) => p.to_candidate(self.cube, 0, 0),
@@ -273,6 +300,9 @@ impl ChunkedAlgo for UfclsChunks<'_> {
     type State = Vec<DetectedTarget>;
     type Partial = Candidate;
     type Output = Vec<DetectedTarget>;
+    /// `None` in round 0 (brightness needs no system); the factored
+    /// least-squares problem afterwards.
+    type Scratch = Option<FclsProblem>;
 
     fn name(&self) -> &'static str {
         "UFCLS"
@@ -310,14 +340,29 @@ impl ChunkedAlgo for UfclsChunks<'_> {
         candidate_bits(partial)
     }
 
-    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize) -> Candidate {
+    fn prepare(&self, round: usize, state: &Self::State) -> Option<FclsProblem> {
+        if round == 0 {
+            None
+        } else {
+            let u = Self::endmember_matrix(state);
+            Some(FclsProblem::new(u).expect("ufcls: singular endmembers"))
+        }
+    }
+
+    fn run_chunk(
+        &self,
+        round: usize,
+        _state: &Self::State,
+        scratch: &mut Option<FclsProblem>,
+        first: usize,
+        n: usize,
+    ) -> Candidate {
         let range = (first, first + n);
         let (cand, _) = if round == 0 {
             kernels::brightest(self.cube, range)
         } else {
-            let u = Self::endmember_matrix(state);
-            let problem = FclsProblem::new(u).expect("ufcls: singular endmembers");
-            kernels::max_fcls_error(self.cube, &problem, range)
+            let problem = scratch.as_ref().expect("ufcls: round > 0 has a system");
+            kernels::max_fcls_error(self.cube, problem, range)
         };
         match cand {
             Some(p) => p.to_candidate(self.cube, 0, 0),
@@ -418,6 +463,9 @@ impl ChunkedAlgo for PctChunks<'_> {
     type State = PctState;
     type Partial = PctPartial;
     type Output = (LabelImage, PctModel);
+    /// The assembled transform matrix for the labelling round; `None`
+    /// in earlier rounds.
+    type Scratch = Option<Matrix>;
 
     fn name(&self) -> &'static str {
         "PCT"
@@ -480,7 +528,25 @@ impl ChunkedAlgo for PctChunks<'_> {
         }
     }
 
-    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize) -> PctPartial {
+    fn prepare(&self, round: usize, state: &Self::State) -> Option<Matrix> {
+        if round < 2 {
+            return None;
+        }
+        let PctState::Model { transform, .. } = state else {
+            panic!("pct: labelling round without a model")
+        };
+        let rows: Vec<&[f64]> = transform.iter().map(|r| r.as_slice()).collect();
+        Some(Matrix::from_rows(&rows))
+    }
+
+    fn run_chunk(
+        &self,
+        round: usize,
+        state: &Self::State,
+        scratch: &mut Option<Matrix>,
+        first: usize,
+        n: usize,
+    ) -> PctPartial {
         let range = (first, first + n);
         match round {
             0 => {
@@ -498,18 +564,13 @@ impl ChunkedAlgo for PctChunks<'_> {
                 PctPartial::Stats(acc.to_flat())
             }
             _ => {
-                let PctState::Model {
-                    transform,
-                    mean,
-                    classes,
-                    ..
-                } = state
-                else {
+                let PctState::Model { mean, classes, .. } = state else {
                     panic!("pct: labelling round without a model")
                 };
-                let rows: Vec<&[f64]> = transform.iter().map(|r| r.as_slice()).collect();
-                let t = Matrix::from_rows(&rows);
-                let (labels, _) = kernels::pct_label(self.cube, range, &t, mean, classes);
+                let t = scratch
+                    .as_ref()
+                    .expect("pct: labelling round has a transform");
+                let (labels, _) = kernels::pct_label(self.cube, range, t, mean, classes);
                 PctPartial::Labels(labels)
             }
         }
@@ -720,6 +781,9 @@ impl ChunkedAlgo for MorphChunks<'_> {
     type State = MorphState;
     type Partial = MorphPartial;
     type Output = (LabelImage, Vec<Vec<f32>>);
+    /// Chunk extraction is inherent to MORPH's overlap decomposition;
+    /// no round-constant structure exists to cache.
+    type Scratch = ();
 
     fn name(&self) -> &'static str {
         "MORPH"
@@ -766,7 +830,16 @@ impl ChunkedAlgo for MorphChunks<'_> {
         }
     }
 
-    fn run_chunk(&self, round: usize, state: &Self::State, first: usize, n: usize) -> MorphPartial {
+    fn prepare(&self, _round: usize, _state: &Self::State) {}
+
+    fn run_chunk(
+        &self,
+        round: usize,
+        state: &Self::State,
+        _scratch: &mut (),
+        first: usize,
+        n: usize,
+    ) -> MorphPartial {
         match round {
             0 => MorphPartial::Cands(self.candidates(first, n)),
             _ => {
@@ -836,11 +909,12 @@ mod tests {
     fn run_local<A: ChunkedAlgo>(algo: &A, chunk: usize) -> A::Output {
         let mut state = algo.initial_state();
         for round in 0..algo.rounds() {
+            let mut scratch = algo.prepare(round, &state);
             let mut partials = Vec::new();
             let mut first = 0;
             while first < algo.lines() {
                 let n = chunk.min(algo.lines() - first);
-                partials.push((first, algo.run_chunk(round, &state, first, n)));
+                partials.push((first, algo.run_chunk(round, &state, &mut scratch, first, n)));
                 first += n;
             }
             let (next, _) = algo.reduce(round, state, partials);

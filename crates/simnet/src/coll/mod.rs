@@ -409,6 +409,69 @@ fn resolve_and_log<M: Wire>(
     algorithm
 }
 
+/// Fan-out of one payload to `children` when the local rank must also
+/// **retain** the payload (tree broadcast, allreduce down-phase): the
+/// retained copy is cloned first, every non-final child receives a
+/// clone, and the final child takes the payload **by move** — so a rank
+/// with `c` children performs exactly `c` clones, never `c + 1`.
+///
+/// Every clone goes through [`Ctx::clone_counted`], so the run's
+/// [`crate::CopyStats`] record the deep bytes deterministically: for an
+/// `Arc`-backed payload each clone is a refcount bump contributing 0
+/// deep bytes, while the owned-payload baseline counter accrues one full
+/// payload per send either way.
+fn fanout_retain<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    children: &[usize],
+    payload: M,
+    chunk_bits: Option<u64>,
+) -> M {
+    let send = |ctx: &mut Ctx<M>, dst: usize, m: M| match chunk_bits {
+        Some(bits) => ctx.send_bits(dst, m, bits),
+        None => ctx.send(dst, m),
+    };
+    match children.split_last() {
+        None => payload,
+        Some((&last, rest)) => {
+            let keep = ctx.clone_counted(&payload);
+            for &child in rest {
+                ctx.note_fanout_send(&payload);
+                let copy = ctx.clone_counted(&payload);
+                send(ctx, child, copy);
+            }
+            ctx.note_fanout_send(&payload);
+            send(ctx, last, payload);
+            keep
+        }
+    }
+}
+
+/// Fan-out of one payload the local rank does **not** need afterwards
+/// (pipelined non-final chunks, master fan-outs): non-final destinations
+/// receive telemetry-counted clones, the final destination takes the
+/// payload by move — one fewer deep copy than [`fanout_retain`].
+fn fanout_consume<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    dsts: &[usize],
+    payload: M,
+    chunk_bits: Option<u64>,
+) {
+    let send = |ctx: &mut Ctx<M>, dst: usize, m: M| match chunk_bits {
+        Some(bits) => ctx.send_bits(dst, m, bits),
+        None => ctx.send(dst, m),
+    };
+    let Some((&last, rest)) = dsts.split_last() else {
+        return;
+    };
+    for &child in rest {
+        ctx.note_fanout_send(&payload);
+        let copy = ctx.clone_counted(&payload);
+        send(ctx, child, copy);
+    }
+    ctx.note_fanout_send(&payload);
+    send(ctx, last, payload);
+}
+
 /// Broadcast from `root` under `cfg`: the root passes `Some(msg)`, every
 /// other rank passes `None`; all ranks return the payload.
 ///
@@ -438,8 +501,9 @@ pub fn broadcast<M: Wire + Clone>(
 }
 
 /// The unchunked tree broadcast body shared by [`broadcast`] and
-/// [`broadcast_overlap`]: receive from the parent, forward full clones
-/// to the broadcast children in schedule order.
+/// [`broadcast_overlap`]: receive from the parent, forward to the
+/// broadcast children in schedule order — clones for all but the last
+/// child, which takes the payload by move (see [`fanout_retain`]).
 fn run_broadcast_tree<M: Wire + Clone>(
     ctx: &mut Ctx<M>,
     tree: &Tree,
@@ -456,10 +520,7 @@ fn run_broadcast_tree<M: Wire + Clone>(
             ctx.recv(parent)
         }
     };
-    for &child in tree.children_bcast(rank) {
-        ctx.send(child, payload.clone());
-    }
-    Ok(payload)
+    Ok(fanout_retain(ctx, tree.children_bcast(rank), payload, None))
 }
 
 /// Broadcast with per-chunk compute overlap: identical wire schedule to
@@ -534,36 +595,55 @@ fn broadcast_pipelined<M: Wire + Clone>(
     let op = CollOp::Broadcast;
     let rank = ctx.rank();
     let k = pipeline_chunks.max(1) as usize;
-    let forward = |ctx: &mut Ctx<M>, payload: &M, chunk_bits: u64| {
-        for &child in tree.children_bcast(rank) {
-            ctx.send_bits(child, payload.clone(), chunk_bits);
-        }
-    };
     match tree.parent(rank) {
         None => {
             let payload = msg.ok_or(CollError::RootMissingPayload { op })?;
             let sizes = split_chunks(payload.size_bits(), k);
-            for &chunk_bits in &sizes {
-                forward(ctx, &payload, chunk_bits);
+            let (&last_bits, head) = sizes
+                .split_last()
+                .expect("split_chunks yields at least one chunk");
+            // The root needs the payload for every chunk, so non-final
+            // chunks clone per child; the final chunk moves to the last
+            // child and the root keeps the retained copy.
+            for &chunk_bits in head {
+                for &child in tree.children_bcast(rank) {
+                    ctx.note_fanout_send(&payload);
+                    let copy = ctx.clone_counted(&payload);
+                    ctx.send_bits(child, copy, chunk_bits);
+                }
             }
-            Ok(payload)
+            Ok(fanout_retain(
+                ctx,
+                tree.children_bcast(rank),
+                payload,
+                Some(last_bits),
+            ))
         }
         Some(parent) => {
             if msg.is_some() {
                 return Err(CollError::NonRootPayload { op });
             }
-            // Every chunk carries a full clone of the payload; only the
-            // charged wire size is chunked. The receiver keeps the last.
+            // Every chunk carries a full payload; only the charged wire
+            // size is chunked. A relay drops each non-final chunk after
+            // forwarding, so the last child takes it by move; the final
+            // chunk is retained as this rank's result.
             let mut payload = ctx.recv(parent);
             // The payload is identical on every rank, so the locally
             // computed chunk sizes agree with the root's.
             let sizes = split_chunks(payload.size_bits(), k);
-            forward(ctx, &payload, sizes[0]);
-            for &chunk_bits in &sizes[1..] {
+            let (&last_bits, head) = sizes
+                .split_last()
+                .expect("split_chunks yields at least one chunk");
+            for &chunk_bits in head {
+                fanout_consume(ctx, tree.children_bcast(rank), payload, Some(chunk_bits));
                 payload = ctx.recv(parent);
-                forward(ctx, &payload, chunk_bits);
             }
-            Ok(payload)
+            Ok(fanout_retain(
+                ctx,
+                tree.children_bcast(rank),
+                payload,
+                Some(last_bits),
+            ))
         }
     }
 }
@@ -819,10 +899,7 @@ pub fn allreduce<M: Wire + Clone>(
                 acc = fold(acc, partial);
             }
         }
-        for &child in tree.children_bcast(root) {
-            ctx.send(child, acc.clone());
-        }
-        acc
+        fanout_retain(ctx, tree.children_bcast(root), acc, None)
     } else {
         for &child in tree.children_gather(rank) {
             let partial = ctx.recv(child);
@@ -831,10 +908,7 @@ pub fn allreduce<M: Wire + Clone>(
         let parent = tree.parent(rank).expect("allreduce: non-root has a parent");
         ctx.send(parent, acc);
         let result = ctx.recv(parent);
-        for &child in tree.children_bcast(rank) {
-            ctx.send(child, result.clone());
-        }
-        result
+        fanout_retain(ctx, tree.children_bcast(rank), result, None)
     }
 }
 
@@ -870,6 +944,16 @@ pub fn fanout_with<M: Wire>(ctx: &mut Ctx<M>, dsts: &[usize], mut make: impl FnM
         let m = make();
         ctx.send(dst, m);
     }
+}
+
+/// [`fanout_with`] for the common case where every destination receives
+/// the **same** payload: non-final destinations get telemetry-counted
+/// clones and the final destination takes `msg` by move, so a master
+/// fanning one `Arc`-backed state to `n` workers performs `n - 1`
+/// refcount bumps and zero deep copies. Destinations are sent in slice
+/// order, exactly like [`fanout_with`].
+pub fn fanout_shared<M: Wire + Clone>(ctx: &mut Ctx<M>, dsts: &[usize], msg: M) {
+    fanout_consume(ctx, dsts, msg, None);
 }
 
 #[cfg(test)]

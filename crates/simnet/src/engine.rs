@@ -43,6 +43,18 @@ type TraceSink = Option<Arc<Mutex<Vec<TraceEvent>>>>;
 pub trait Wire: Send + 'static {
     /// Serialized size of this message in bits.
     fn size_bits(&self) -> u64;
+
+    /// Bits a host-side `clone()` of this message deep-copies (heap
+    /// payload only). Defaults to [`Wire::size_bits`], which is correct
+    /// for owned buffers; shared payloads (`Arc`-backed messages, plain
+    /// scalars) override to `0` because cloning them allocates nothing.
+    ///
+    /// This feeds the deterministic copy-telemetry counters
+    /// ([`crate::report::CopyStats`]) only — it never participates in
+    /// virtual-time charging, which always uses [`Wire::size_bits`].
+    fn deep_copy_bits(&self) -> u64 {
+        self.size_bits()
+    }
 }
 
 /// A `Vec` wrapper implementing [`Wire`] with `len × size_of::<T>() × 8`
@@ -62,6 +74,10 @@ macro_rules! impl_wire_fixed {
             fn size_bits(&self) -> u64 {
                 (std::mem::size_of::<$t>() * 8) as u64
             }
+
+            fn deep_copy_bits(&self) -> u64 {
+                0 // plain scalar: cloning allocates nothing
+            }
         }
     )*};
 }
@@ -77,6 +93,34 @@ impl Wire for () {
 impl<A: Send + 'static, B: Send + 'static> Wire for (A, B) {
     fn size_bits(&self) -> u64 {
         (std::mem::size_of::<(A, B)>() * 8) as u64
+    }
+}
+
+/// Shared-payload wire messages: an `Arc<M>` travels with the wire size
+/// of its pointee — the *transfer* cost model is unchanged — while its
+/// `clone()` is a refcount bump, so [`Wire::deep_copy_bits`] is `0`.
+/// This is the zero-copy building block: fan-out relays that clone an
+/// `Arc`-backed payload per child copy pointer-width state, not the
+/// payload.
+impl<M: Wire + Sync> Wire for Arc<M> {
+    fn size_bits(&self) -> u64 {
+        (**self).size_bits()
+    }
+
+    fn deep_copy_bits(&self) -> u64 {
+        0 // refcount bump, no payload copy
+    }
+}
+
+/// Shared numeric slabs (`Arc<[T]>`): wire size is `len × size_of::<T>()
+/// × 8` bits, exactly like [`WireVec`]; cloning deep-copies nothing.
+impl<T: Send + Sync + 'static> Wire for Arc<[T]> {
+    fn size_bits(&self) -> u64 {
+        (self.len() * std::mem::size_of::<T>() * 8) as u64
+    }
+
+    fn deep_copy_bits(&self) -> u64 {
+        0
     }
 }
 
@@ -179,6 +223,9 @@ pub struct Ctx<M: Wire> {
     /// [`crate::coll`]); the root's log lands in
     /// [`RunReport::collectives`].
     coll_log: Vec<crate::coll::CollectiveChoice>,
+    /// Host-side copy telemetry for this rank's collective fan-outs;
+    /// summed over ranks into [`RunReport::copies`].
+    copies: crate::report::CopyStats,
     trace: TraceSink,
 }
 
@@ -434,10 +481,7 @@ impl<M: Wire> Ctx<M> {
             Stashed::Gone { at, failure } => {
                 // The marker is permanent: stash it back so later
                 // receives observe the same state.
-                self.pending[src] = Some(Stashed::Gone {
-                    at,
-                    failure: failure.clone(),
-                });
+                self.pending[src] = Some(Stashed::Gone { at, failure });
                 if at >= self.crash_at {
                     self.die();
                 }
@@ -552,6 +596,37 @@ impl<M: Wire> Ctx<M> {
     /// Appends a collective algorithm decision to this rank's log.
     pub(crate) fn log_collective(&mut self, choice: crate::coll::CollectiveChoice) {
         self.coll_log.push(choice);
+    }
+
+    /// This rank's copy telemetry so far (see
+    /// [`crate::report::CopyStats`]).
+    pub fn copy_stats(&self) -> crate::report::CopyStats {
+        self.copies
+    }
+
+    /// Clones `payload` on a collective hot path, charging its
+    /// [`Wire::deep_copy_bits`] to the telemetry counters. All fan-out
+    /// clones in [`crate::coll`] go through here, which is what makes
+    /// the counters deterministic: they count *schedule* clone sites,
+    /// never racy `Arc` refcount observations.
+    pub(crate) fn clone_counted(&mut self, payload: &M) -> M
+    where
+        M: Clone,
+    {
+        let deep = payload.deep_copy_bits();
+        self.copies.bytes_deep_copied += deep / 8;
+        if deep > 0 {
+            self.copies.allocs_on_hot_path += 1;
+        }
+        payload.clone()
+    }
+
+    /// Records one fan-out send against the owned-payload baseline: the
+    /// bytes the pre-zero-copy implementation would have deep-copied
+    /// here (one full payload clone per child), whether the actual send
+    /// clones or moves.
+    pub(crate) fn note_fanout_send(&mut self, payload: &M) {
+        self.copies.bytes_owned_baseline += payload.size_bits() / 8;
     }
 }
 
@@ -693,6 +768,7 @@ impl Engine {
         type Outcome<R> = (
             TimeLedger,
             Vec<crate::coll::CollectiveChoice>,
+            crate::report::CopyStats,
             Option<R>,
             Option<RankFailure>,
         );
@@ -729,6 +805,7 @@ impl Engine {
                         rxs,
                         pending: (0..p).map(|_| None).collect(),
                         coll_log: Vec::new(),
+                        copies: crate::report::CopyStats::default(),
                         trace,
                     };
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -772,6 +849,7 @@ impl Engine {
                     (
                         ctx.ledger,
                         std::mem::take(&mut ctx.coll_log),
+                        ctx.copies,
                         result,
                         failure,
                     )
@@ -791,10 +869,13 @@ impl Engine {
         let mut results = Vec::with_capacity(p);
         let mut failures = Vec::new();
         let mut collectives = Vec::new();
+        let mut copies = crate::report::CopyStats::default();
         for (rank, o) in outcomes.into_iter().enumerate() {
-            let (ledger, coll_log, result, failure) = o.expect("engine: missing rank outcome");
+            let (ledger, coll_log, rank_copies, result, failure) =
+                o.expect("engine: missing rank outcome");
             ledgers.push(ledger);
             results.push(result);
+            copies.merge(rank_copies);
             if rank == 0 {
                 // Collective choices are resolved identically on every
                 // rank; the root's log is the canonical record.
@@ -807,6 +888,7 @@ impl Engine {
         let mut report =
             RunReport::with_failures(self.platform.name().to_string(), ledgers, results, failures);
         report.collectives = collectives;
+        report.copies = copies;
         report
     }
 }

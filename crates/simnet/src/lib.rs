@@ -64,6 +64,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::redundant_clone))]
 
 pub mod clock;
 pub mod coll;
@@ -83,4 +84,4 @@ pub use coll::{
 pub use engine::{Ctx, Engine, Wire};
 pub use faults::{FailureCause, FaultPlan, RankFailure, RecvError};
 pub use platform::{Platform, ProcessorSpec};
-pub use report::RunReport;
+pub use report::{CopyStats, RunReport};

@@ -12,12 +12,47 @@ use crate::clock::TimeLedger;
 use crate::coll::CollectiveChoice;
 use crate::faults::RankFailure;
 
+/// Host-side copy telemetry for one run, summed over all ranks.
+///
+/// The counters are **deterministic**: they count the clone sites the
+/// collective schedules execute (a function of the platform, rank count
+/// and payload types only), charging each site the payload's
+/// [`crate::Wire::deep_copy_bits`]. They never observe `Arc` refcounts
+/// or decoder unwrap outcomes, which can differ between hosts. The
+/// counters describe host behaviour, not the simulation, so they are
+/// excluded from [`RunReport`]'s `PartialEq` bit-identity contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CopyStats {
+    /// Bytes actually deep-copied by collective fan-out clones (heap
+    /// payload only; an `Arc`-backed payload contributes 0 per clone).
+    pub bytes_deep_copied: u64,
+    /// Number of fan-out clones that allocated (deep-copied > 0 bytes).
+    pub allocs_on_hot_path: u64,
+    /// Bytes the pre-zero-copy implementation would have deep-copied at
+    /// the same sites: one full payload clone per fan-out send. The
+    /// `bytes_deep_copied / bytes_owned_baseline` ratio is the measured
+    /// zero-copy saving.
+    pub bytes_owned_baseline: u64,
+}
+
+impl CopyStats {
+    /// Accumulates another rank's counters into this one.
+    pub fn merge(&mut self, other: CopyStats) {
+        self.bytes_deep_copied += other.bytes_deep_copied;
+        self.allocs_on_hot_path += other.allocs_on_hot_path;
+        self.bytes_owned_baseline += other.bytes_owned_baseline;
+    }
+}
+
 /// The outcome of one [`crate::Engine::run`].
 ///
-/// `PartialEq` compares every field — including each rank's full time
-/// ledger — which is how the fault-injection tests assert that two runs
-/// under identical fault plans are *bit-identical*.
-#[derive(Debug, Clone, PartialEq)]
+/// `PartialEq` compares every *simulation* field — including each rank's
+/// full time ledger — which is how the fault-injection tests assert that
+/// two runs under identical fault plans are *bit-identical*. The
+/// [`RunReport::copies`] host telemetry is deliberately excluded: a
+/// shared-payload run must compare equal to an owned-payload run that
+/// produced the same simulation.
+#[derive(Debug, Clone)]
 pub struct RunReport<R> {
     /// Name of the platform the run executed on.
     pub platform_name: String,
@@ -33,6 +68,20 @@ pub struct RunReport<R> {
     /// in call order; see [`crate::coll`]). Deterministic, so it
     /// participates in the report's bit-identity comparisons.
     pub collectives: Vec<CollectiveChoice>,
+    /// Copy telemetry summed over all ranks (host observability only;
+    /// not part of the `PartialEq` identity contract).
+    pub copies: CopyStats,
+}
+
+impl<R: PartialEq> PartialEq for RunReport<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.platform_name == other.platform_name
+            && self.ledgers == other.ledgers
+            && self.results == other.results
+            && self.failures == other.failures
+            && self.total_time == other.total_time
+            && self.collectives == other.collectives
+    }
 }
 
 impl<R> RunReport<R> {
@@ -62,6 +111,7 @@ impl<R> RunReport<R> {
             failures,
             total_time,
             collectives: Vec::new(),
+            copies: CopyStats::default(),
         }
     }
 

@@ -45,7 +45,7 @@ fn main() {
             let block = distribute(ctx, cube, &assignments, 0, options.scatter_mode);
             let (cand, mflops) = kernels::brightest(&block.cube, block.own_range());
             ctx.compute_par(mflops);
-            let msg = Msg::Candidate(match cand {
+            let msg = Msg::candidate(match cand {
                 Some(p) => p.to_candidate(&block.cube, block.first_line, block.pre),
                 None => heterospec::hetero::msg::Candidate {
                     line: 0,

@@ -151,6 +151,99 @@ where
         .collect()
 }
 
+/// Runs `f(index, item)` for every item across the current width. Items
+/// are moved into the workers in contiguous index blocks, mirroring
+/// [`run_indexed`]'s split, so two calls with the same width visit items
+/// under the same block layout.
+fn run_items<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(usize, I) + Sync,
+{
+    let n = items.len();
+    let width = current_num_threads().min(n.max(1));
+    if width <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let mut slots: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let block = n.div_ceil(width);
+    std::thread::scope(|scope| {
+        for (b, chunk) in slots.chunks_mut(block).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                // Same nested-width pinning as `run_indexed`.
+                let inner = ThreadPool { width: 1 };
+                inner.install(|| {
+                    let base = b * block;
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let item = slot.take().expect("rayon shim: item taken twice");
+                        f(base + i, item);
+                    }
+                });
+            });
+        }
+    });
+}
+
+/// Parallel chunked iteration over mutable slices
+/// (`rayon::slice::ParallelSliceMut`). Only the `par_chunks_mut` entry
+/// point the workspace uses is provided.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into contiguous chunks of at most `chunk_size`
+    /// elements (the last chunk is the remainder), to be visited in
+    /// parallel. Panics if `chunk_size` is zero, as in rayon.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must not be zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable slice chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_items(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// The `enumerate` stage of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Runs `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run_items(self.chunks, |i, chunk| f((i, chunk)));
+    }
+}
+
 /// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
 pub trait IntoParallelIterator {
     /// The concrete parallel iterator type.
@@ -253,7 +346,7 @@ impl<T> FromParallelIterator<T> for Vec<T> {
 
 /// The prelude, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{FromParallelIterator, IntoParallelIterator};
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -309,6 +402,37 @@ mod tests {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk_in_order() {
+        for width in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            let mut v = vec![0usize; 10];
+            pool.install(|| {
+                v.par_chunks_mut(3).enumerate().for_each(|(ci, chunk)| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = ci * 100 + i;
+                    }
+                });
+            });
+            assert_eq!(v, vec![0, 1, 2, 100, 101, 102, 200, 201, 202, 300]);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_on_empty_slice_is_a_no_op() {
+        let mut v: Vec<u8> = Vec::new();
+        v.par_chunks_mut(4).for_each(|chunk| {
+            panic!("unexpected chunk of len {}", chunk.len());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must not be zero")]
+    fn par_chunks_mut_rejects_zero_chunk_size() {
+        let mut v = [0u8; 4];
+        v.par_chunks_mut(0).for_each(|_| {});
     }
 
     #[test]
