@@ -289,7 +289,21 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let all_passed = gate_broadcast && gate_e2e;
+    // Same tristate contract as bench_kernels: the gate is "skipped"
+    // only when no measurements were taken at all, so trend tooling
+    // never mistakes an empty sweep for a pass or a regression. The
+    // counters themselves are deterministic, so whenever the sweeps
+    // ran, the gate is enforced on every host.
+    let gate_meaningful = !records.is_empty() && !bcast_records.is_empty();
+    let gate_passed = gate_broadcast && gate_e2e;
+    let enforced = gate_meaningful;
+    let gate_status = if !gate_meaningful {
+        "skipped"
+    } else if gate_passed {
+        "passed"
+    } else {
+        "failed"
+    };
     let doc = object(vec![
         ("commit", Json::String(git_commit())),
         ("epoch_secs", Json::Number(epoch_secs as f64)),
@@ -331,14 +345,11 @@ fn main() {
             "gate",
             object(vec![
                 // Deterministic counters → enforced on every host.
-                ("enforced", Json::Bool(true)),
+                ("enforced", Json::Bool(enforced)),
                 ("broadcast_copy_bound", Json::Bool(gate_broadcast)),
                 ("e2e_reduction_2x", Json::Bool(gate_e2e)),
-                (
-                    "status",
-                    Json::String(if all_passed { "passed" } else { "failed" }.into()),
-                ),
-                ("passed", Json::Bool(all_passed)),
+                ("status", Json::String(gate_status.into())),
+                ("passed", Json::Bool(gate_passed)),
             ]),
         ),
     ]);
@@ -347,7 +358,7 @@ fn main() {
     std::fs::write(&out, doc.pretty()).expect("write BENCH_wallclock.json");
     eprintln!("# wrote {out}");
 
-    if !all_passed {
+    if enforced && !gate_passed {
         eprintln!("# GATE FAILED");
         std::process::exit(1);
     }

@@ -177,6 +177,7 @@ pub fn run_rooted<T: Send>(
         failures,
         total_time,
         collectives,
+        epochs,
         copies,
     } = report;
     let result = results
@@ -193,6 +194,7 @@ pub fn run_rooted<T: Send>(
             failures,
             total_time,
             collectives,
+            epochs,
             copies,
         },
     }

@@ -24,6 +24,32 @@
 //! loop deterministic (it never has to interleave its own compute with
 //! polling) and survives every plan that crashes workers only.
 //!
+//! **State distribution.** With the default
+//! [`FtOptions::collectives`] (linear) the master fans the round state
+//! to every worker directly — bit- and timing-identical to the historic
+//! path. Any other broadcast algorithm enables **tree mode**: the
+//! master keeps an epoch-stamped [`Membership`] view (the epoch bumps
+//! on every observed failure), opens each round by sending a tiny
+//! `(epoch, survivors, algorithm)` header to every survivor, and ships
+//! the large state down the survivor-set schedule tree, where workers
+//! relay it to their tree children and then send one `StateAck` back.
+//! The master collects an ack (or the failure marker) from every
+//! survivor **before dispatching any work** — a state-distribution
+//! barrier. The barrier is what keeps the protocol deadlock-free: the
+//! engine has no non-blocking poll (`recv_deadline` physically waits
+//! for the peer's next packet), so a rank may only ever block on a
+//! channel whose peer is bound to send again; with the barrier, every
+//! wait in the protocol is of that kind. Crashed interior relays are
+//! routed around at the next view; a worker orphaned *mid-round* (its
+//! relay parent died before forwarding) requests the state directly
+//! from the master, which answers from the round's shared `Arc` during
+//! the ack sweep — under the epoch frozen at round start. Epoch-stamped
+//! messages from a superseded view are dropped as stale, never folded
+//! into the current round. [`CollAlgorithm::PipelinedChunked`]
+//! normalizes to the segment-hierarchical tree it shares: chunk
+//! streaming composes poorly with mid-round rescue (every chunk is a
+//! full payload with partial charge).
+//!
 //! **Determinism.** All scheduling decisions are functions of virtual
 //! time: the master polls workers in rank order at deadlines computed
 //! from the analytic cost model ([`ChunkedAlgo::chunk_mflops`]) or at
@@ -34,6 +60,7 @@
 
 use crate::sched::ChunkedAlgo;
 use crate::wea::apportion_rows;
+use simnet::coll::{self, CollAlgorithm, CollOp, CollectiveConfig, Membership, Stamped};
 use simnet::engine::{Engine, Wire};
 use simnet::report::RunReport;
 use simnet::{Ctx, RecvError};
@@ -53,6 +80,13 @@ pub struct FtOptions {
     pub margin_s: f64,
     /// Idle poll interval (seconds) of the self-scheduling master.
     pub poll_interval_s: f64,
+    /// Collective configuration of the round-state distribution. Only
+    /// the `broadcast` slot (and `pipeline_chunks`) matters here:
+    /// [`CollAlgorithm::Linear`] (the default) runs the historic
+    /// direct fan-out, bit- and timing-identical to earlier releases;
+    /// anything else enables the epoch-stamped survivor-tree mode (see
+    /// the module docs).
+    pub collectives: CollectiveConfig,
 }
 
 impl Default for FtOptions {
@@ -62,9 +96,48 @@ impl Default for FtOptions {
             failure_threshold: 4.0,
             margin_s: 0.05,
             poll_interval_s: 0.02,
+            collectives: CollectiveConfig::linear(),
         }
     }
 }
+
+/// Structured rejection of a fault-tolerant run that can never
+/// complete, detected before the engine spins up any rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtError {
+    /// The fault plan crashes rank 0 — the coordinator. The ft
+    /// protocol has a single dispatch loop on rank 0 and no master
+    /// re-election, so such a run can only end in every worker dying of
+    /// `PeerLost` with no result; it is rejected at startup instead.
+    MasterCrashScheduled {
+        /// Virtual time of the scheduled coordinator crash.
+        at: f64,
+    },
+    /// The platform has fewer than two processors (a master and at
+    /// least one worker are required).
+    TooFewRanks {
+        /// Processors in the platform.
+        num_procs: usize,
+    },
+}
+
+impl std::fmt::Display for FtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtError::MasterCrashScheduled { at } => write!(
+                f,
+                "ft: fault plan crashes rank 0 (the coordinator) at {at:.6}s; \
+                 the ft drivers have no master re-election, so the run cannot complete"
+            ),
+            FtError::TooFewRanks { num_procs } => write!(
+                f,
+                "ft: need a master and at least one worker (platform has {num_procs} processor(s))"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
 
 /// One detected worker loss and the work it orphaned.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,10 +168,39 @@ pub struct FtRun<O> {
 /// Master/worker wire protocol. Headers are a few machine words; state
 /// and partial payloads carry the algorithm-reported wire sizes.
 enum FtMsg<S, P> {
-    /// Round start: the state every worker needs (the round number
-    /// rides on each `Assign`). Shared — the master fans one `Arc` to
-    /// every worker, so each send is a refcount bump, not a state copy.
+    /// Linear-mode round start: the state every worker needs (the round
+    /// number rides on each `Assign`). Shared — the master fans one
+    /// `Arc` to every worker, so each send is a refcount bump, not a
+    /// state copy.
     Round { state: Arc<S>, bits: u64 },
+    /// Tree-mode round header, master → every survivor directly: the
+    /// epoch-stamped membership view and the concrete (master-resolved)
+    /// schedule algorithm of this round's state tree. A worker cannot
+    /// know its tree parent before it holds this header, which is why
+    /// the header fan-out stays linear — P−1 tiny sends paid before the
+    /// large state goes down the tree.
+    RoundStart {
+        round: usize,
+        epoch: u64,
+        survivors: Vec<usize>,
+        algo: CollAlgorithm,
+    },
+    /// Tree-mode round state, relayed edge-by-edge down the survivor
+    /// tree (and master → orphan directly on rescue). Epoch-stamped:
+    /// receivers drop copies from a superseded view as stale.
+    RoundState {
+        epoch: u64,
+        round: usize,
+        state: Arc<S>,
+        bits: u64,
+    },
+    /// Tree-mode rescue request, orphan → master: the worker's relay
+    /// parent died before forwarding the round state.
+    StateRequest { round: usize },
+    /// Tree-mode barrier token, worker → master: the worker holds the
+    /// round state and has relayed it to its tree children. The master
+    /// collects one per survivor before dispatching any work.
+    StateAck { round: usize },
     /// Work order for lines `[first, first + n)`.
     Assign {
         id: u64,
@@ -121,6 +223,12 @@ impl<S: Send + Sync + 'static, P: Send + 'static> Wire for FtMsg<S, P> {
     fn size_bits(&self) -> u64 {
         match self {
             FtMsg::Round { bits, .. } => 96 + bits,
+            // Round + epoch + algorithm words, plus 16 bits per
+            // survivor — the piggybacked membership view.
+            FtMsg::RoundStart { survivors, .. } => 136 + 16 * survivors.len() as u64,
+            FtMsg::RoundState { bits, .. } => 160 + bits,
+            FtMsg::StateRequest { .. } => 64,
+            FtMsg::StateAck { .. } => 64,
             FtMsg::Assign { .. } => 192,
             FtMsg::Partial { bits, .. } => 128 + bits,
             FtMsg::Finish => 8,
@@ -129,10 +237,26 @@ impl<S: Send + Sync + 'static, P: Send + 'static> Wire for FtMsg<S, P> {
 
     fn deep_copy_bits(&self) -> u64 {
         match self {
-            // Round carries its state behind an Arc; the other small
-            // variants are fixed-size headers.
-            FtMsg::Round { .. } | FtMsg::Assign { .. } | FtMsg::Finish => 0,
+            // Round/RoundState carry their state behind an Arc; the
+            // other small variants are fixed-size headers (the survivor
+            // list is the only heap part of a RoundStart).
+            FtMsg::Round { .. }
+            | FtMsg::RoundState { .. }
+            | FtMsg::StateRequest { .. }
+            | FtMsg::StateAck { .. }
+            | FtMsg::Assign { .. }
+            | FtMsg::Finish => 0,
+            FtMsg::RoundStart { survivors, .. } => 16 * survivors.len() as u64,
             FtMsg::Partial { .. } => self.size_bits(),
+        }
+    }
+}
+
+impl<S: Send + Sync + 'static, P: Send + 'static> Stamped for FtMsg<S, P> {
+    fn stamp(&self) -> Option<u64> {
+        match self {
+            FtMsg::RoundStart { epoch, .. } | FtMsg::RoundState { epoch, .. } => Some(*epoch),
+            _ => None,
         }
     }
 }
@@ -148,9 +272,30 @@ enum Mode {
 /// orphaned lines over the survivors when a worker is lost.
 ///
 /// # Panics
-/// Panics if the platform has fewer than two processors, if every
-/// worker is lost, or if the fault plan crashes rank 0 (the master).
+/// Panics with the [`FtError`] message if the run is structurally
+/// doomed (fewer than two processors, or the fault plan crashes the
+/// rank-0 coordinator — detected at startup, before any rank spins up);
+/// use [`try_run_replan`] for the structured error. Also panics if
+/// every worker is lost mid-run.
 pub fn run_replan<A>(engine: &Engine, algo: &A, opts: &FtOptions) -> FtRun<A::Output>
+where
+    A: ChunkedAlgo + Sync,
+    A::Output: Send,
+{
+    match try_run_replan(engine, algo, opts) {
+        Ok(run) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`run_replan`]: rejects structurally doomed runs
+/// (coordinator crash scheduled, too few ranks) with a structured
+/// [`FtError`] before the engine starts.
+pub fn try_run_replan<A>(
+    engine: &Engine,
+    algo: &A,
+    opts: &FtOptions,
+) -> Result<FtRun<A::Output>, FtError>
 where
     A: ChunkedAlgo + Sync,
     A::Output: Send,
@@ -166,9 +311,30 @@ where
 /// not (asserted by the `fault_injection` suite).
 ///
 /// # Panics
-/// Panics if the platform has fewer than two processors, if every
-/// worker is lost, or if the fault plan crashes rank 0 (the master).
+/// Panics with the [`FtError`] message if the run is structurally
+/// doomed (fewer than two processors, or the fault plan crashes the
+/// rank-0 coordinator — detected at startup, before any rank spins up);
+/// use [`try_run_self_sched`] for the structured error. Also panics if
+/// every worker is lost mid-run.
 pub fn run_self_sched<A>(engine: &Engine, algo: &A, opts: &FtOptions) -> FtRun<A::Output>
+where
+    A: ChunkedAlgo + Sync,
+    A::Output: Send,
+{
+    match try_run_self_sched(engine, algo, opts) {
+        Ok(run) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`run_self_sched`]: rejects structurally doomed
+/// runs (coordinator crash scheduled, too few ranks) with a structured
+/// [`FtError`] before the engine starts.
+pub fn try_run_self_sched<A>(
+    engine: &Engine,
+    algo: &A,
+    opts: &FtOptions,
+) -> Result<FtRun<A::Output>, FtError>
 where
     A: ChunkedAlgo + Sync,
     A::Output: Send,
@@ -176,15 +342,27 @@ where
     run_mode(engine, algo, opts, Mode::SelfSched)
 }
 
-fn run_mode<A>(engine: &Engine, algo: &A, opts: &FtOptions, mode: Mode) -> FtRun<A::Output>
+fn run_mode<A>(
+    engine: &Engine,
+    algo: &A,
+    opts: &FtOptions,
+    mode: Mode,
+) -> Result<FtRun<A::Output>, FtError>
 where
     A: ChunkedAlgo + Sync,
     A::Output: Send,
 {
-    assert!(
-        engine.platform().num_procs() >= 2,
-        "ft: need a master and at least one worker"
-    );
+    let num_procs = engine.platform().num_procs();
+    if num_procs < 2 {
+        return Err(FtError::TooFewRanks { num_procs });
+    }
+    // Fail fast on a doomed run: the coordinator has no stand-in, so a
+    // planned rank-0 crash means no rank can ever produce the output —
+    // catch it here instead of spinning up P threads that all die of
+    // cascading PeerLost.
+    if let Some(at) = engine.faults().crash_time(0) {
+        return Err(FtError::MasterCrashScheduled { at });
+    }
     let report = engine.run(|ctx: &mut Ctx<FtMsg<A::State, A::Partial>>| {
         if ctx.is_root() {
             let out = match mode {
@@ -192,6 +370,9 @@ where
                 Mode::SelfSched => master_self_sched(ctx, algo, opts),
             };
             Some(out)
+        } else if tree_mode(opts) {
+            worker_loop_tree(ctx, algo);
+            None
         } else {
             worker_loop(ctx, algo);
             None
@@ -204,6 +385,7 @@ where
         failures,
         total_time,
         collectives,
+        epochs,
         copies,
     } = report;
     let (output, recoveries) = results
@@ -211,7 +393,7 @@ where
         .and_then(Option::take)
         .flatten()
         .unwrap_or_else(|| panic!("ft: master produced no result (failures: {failures:?})"));
-    FtRun {
+    Ok(FtRun {
         output,
         recoveries,
         report: RunReport {
@@ -221,9 +403,16 @@ where
             failures,
             total_time,
             collectives,
+            epochs,
             copies,
         },
-    }
+    })
+}
+
+/// `true` when the options select the epoch-stamped survivor-tree state
+/// distribution (any non-linear broadcast algorithm).
+fn tree_mode(opts: &FtOptions) -> bool {
+    opts.collectives.broadcast != CollAlgorithm::Linear
 }
 
 /// Worker side of both modes: obey `Round`/`Assign` orders from the
@@ -264,7 +453,147 @@ fn worker_loop<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, algo:
                 );
             }
             FtMsg::Finish => break,
-            FtMsg::Partial { .. } => unreachable!("ft: master never sends Partial"),
+            _ => unreachable!("ft: linear-mode masters send Round, Assign and Finish only"),
+        }
+    }
+}
+
+/// Worker side of the tree mode: headers and work orders arrive on the
+/// master channel; the round state arrives over the survivor tree (from
+/// the tree parent), is relayed onward to the tree children, and is
+/// recovered directly from the master when the parent dies before
+/// forwarding. Every round closes its state distribution with a
+/// `StateAck`, which the master collects from every survivor before
+/// dispatching work (the barrier in the module docs) — so each receive
+/// below blocks on a channel whose peer is bound to produce: the relay
+/// parent sends the state or its failure marker, and the master (which
+/// cannot crash — such plans are rejected at startup) answers rescues
+/// during its ack sweep before sending anything else.
+fn worker_loop_tree<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, algo: &A) {
+    let me = ctx.rank();
+    let p = ctx.num_ranks();
+    let mut scratch: Option<(usize, A::Scratch)> = None;
+    // A header consumed early: the master opened the next round while
+    // this worker (owing nothing) was still parked in its work loop.
+    let mut pending: Option<(usize, u64, Vec<usize>, CollAlgorithm)> = None;
+    'rounds: loop {
+        let (round, epoch, survivors, algorithm) = match pending.take() {
+            Some(h) => h,
+            None => match ctx.recv(0) {
+                FtMsg::RoundStart {
+                    round,
+                    epoch,
+                    survivors,
+                    algo: a,
+                } => (round, epoch, survivors, a),
+                FtMsg::Finish => return,
+                _ => unreachable!("ft: a round opens with RoundStart or Finish"),
+            },
+        };
+        let view = Membership::from_survivors(epoch, p, &survivors);
+        let tree = coll::tree_over(ctx, algorithm, 0, &view);
+        let parent = tree
+            .parent(me)
+            .expect("ft: a surviving worker has a tree parent");
+        // ---- obtain the round state ---------------------------------
+        let (state, bits) = if parent == 0 {
+            // FIFO on the master channel: our RoundState was queued
+            // right behind the header, before anything else.
+            match ctx.recv(0) {
+                FtMsg::RoundState {
+                    epoch: e,
+                    round: r,
+                    state,
+                    bits,
+                } if e == epoch && r == round => (state, bits),
+                _ => unreachable!("ft: master-children receive their state right after the header"),
+            }
+        } else {
+            // The relay parent is bound to produce: the round's state,
+            // or its failure marker. (An infinite deadline is safe — a
+            // worker cannot clean-exit mid-round.)
+            match ctx.recv_deadline(parent, f64::INFINITY) {
+                Ok(FtMsg::RoundState {
+                    epoch: e,
+                    round: r,
+                    state,
+                    bits,
+                }) if e == epoch && r == round => (state, bits),
+                Ok(_) => unreachable!("ft: only the round's state relay flows down tree edges"),
+                Err(RecvError::Failed(_)) => {
+                    // Orphaned: the relay died before forwarding. The
+                    // master's ack sweep owes us the rescue before
+                    // anything else on this channel.
+                    ctx.send(0, FtMsg::StateRequest { round });
+                    match ctx.recv(0) {
+                        FtMsg::RoundState {
+                            epoch: e,
+                            round: r,
+                            state,
+                            bits,
+                        } if e == epoch && r == round => (state, bits),
+                        _ => unreachable!("ft: a StateRequest is answered with the round state"),
+                    }
+                }
+                Err(RecvError::Timeout { .. }) => {
+                    unreachable!("ft: a relay parent cannot clean-exit mid-round")
+                }
+            }
+        };
+        // ---- relay down the survivor tree, then ack -----------------
+        for &c in tree.children_bcast(me) {
+            ctx.send(
+                c,
+                FtMsg::RoundState {
+                    epoch,
+                    round,
+                    state: Arc::clone(&state),
+                    bits,
+                },
+            );
+        }
+        ctx.send(0, FtMsg::StateAck { round });
+        // ---- the work loop ------------------------------------------
+        loop {
+            match ctx.recv(0) {
+                FtMsg::Assign {
+                    id,
+                    round: r,
+                    first,
+                    n,
+                } => {
+                    debug_assert_eq!(r, round);
+                    ctx.compute_par(algo.chunk_mflops(round, n));
+                    if scratch.as_ref().map(|&(r, _)| r) != Some(round) {
+                        scratch = Some((round, algo.prepare(round, &state)));
+                    }
+                    let (_, sc) = scratch.as_mut().expect("ft: scratch just prepared");
+                    let data = algo.run_chunk(round, &state, sc, first, n);
+                    let pbits = algo.partial_bits(&data);
+                    ctx.send(
+                        0,
+                        FtMsg::Partial {
+                            id,
+                            first,
+                            data,
+                            bits: pbits,
+                        },
+                    );
+                }
+                FtMsg::RoundStart {
+                    round: r,
+                    epoch: e,
+                    survivors: s,
+                    algo: a,
+                } => {
+                    pending = Some((r, e, s, a));
+                    continue 'rounds;
+                }
+                FtMsg::Finish => return,
+                _ => {
+                    unreachable!("ft: masters send Assign, RoundStart or Finish after the barrier")
+                }
+            }
         }
     }
 }
@@ -293,14 +622,12 @@ fn split_lines(
     out
 }
 
-/// Broadcasts the round-start state to every surviving worker.
-///
-/// Deliberately a master-rooted [`simnet::coll::fanout_with`] rather
-/// than a tree collective: tree schedules route through relay ranks
-/// whose membership must be agreed by *all* participants, and here the
-/// alive-set is known only to the master (workers just `recv(0)`).
-/// Promoting this to a crash-aware tree broadcast needs a membership /
-/// epoch protocol — see ROADMAP "Open items" and docs/COMMS.md.
+/// Broadcasts the round-start state to every surviving worker — the
+/// linear (default) mode's master-rooted [`simnet::coll::fanout_with`].
+/// Workers just `recv(0)`, so no membership agreement is needed; the
+/// price is P−1 full-payload sends from the master every round. Tree
+/// mode ([`start_round_tree`]) shares that cost across the survivor
+/// tree via the membership/epoch protocol.
 fn broadcast_state<S, P>(ctx: &mut Ctx<FtMsg<S, P>>, alive: &[bool], state: &S, bits: u64)
 where
     S: Clone + Send + Sync + 'static,
@@ -316,6 +643,131 @@ where
     });
 }
 
+/// Normalizes a broadcast algorithm for the ft tree mode: pipelined
+/// chunk streaming composes poorly with mid-round rescue (every chunk is
+/// a full payload with partial charge), so it falls back to the
+/// segment-hierarchical tree it shares.
+fn normalize_tree_algo(algorithm: CollAlgorithm) -> CollAlgorithm {
+    match algorithm {
+        CollAlgorithm::PipelinedChunked => CollAlgorithm::SegmentHierarchical,
+        a => a,
+    }
+}
+
+/// Opens a tree-mode round and runs it to the state-distribution
+/// barrier: resolves the schedule over the current survivor view
+/// (logging the [`simnet::CollectiveChoice`] on rank 0), sends the
+/// epoch-stamped header to every surviving worker directly, ships the
+/// state to the master's tree children, then sweeps the survivors in
+/// rank order for one `StateAck` each — answering `StateRequest`s from
+/// orphaned subtrees from the round's shared `Arc` (under the epoch
+/// frozen at round start) and absorbing failure markers (epoch bump +
+/// zero-line recovery record, since no work is out yet) along the way.
+/// When it returns, every remaining live worker holds the round state,
+/// so the dispatch/collection phase can block exactly like the linear
+/// mode: only on workers that owe it a `Partial`.
+///
+/// The sweep cannot deadlock: every tree shape parents a member with a
+/// lower-ranked member, and the sweep ascends — while the master waits
+/// on `w`, everything `w`'s relay chain needs is either already settled
+/// (an ancestor's ack or failure) or arrives on the very channel being
+/// watched (`w`'s own rescue request).
+#[allow(clippy::too_many_arguments)] // two call sites; a struct would just rename the fields
+fn start_round_tree<S, P>(
+    ctx: &mut Ctx<FtMsg<S, P>>,
+    view: &mut Membership,
+    alive: &mut [bool],
+    recoveries: &mut Vec<Recovery>,
+    cfg: &CollectiveConfig,
+    round: usize,
+    state: &S,
+    bits: u64,
+) where
+    S: Clone + Send + Sync + 'static,
+    P: Send + 'static,
+{
+    let requested = normalize_tree_algo(cfg.broadcast);
+    let resolved = coll::resolve_over(
+        ctx,
+        CollOp::Broadcast,
+        requested,
+        0,
+        view,
+        bits,
+        cfg.pipeline_chunks,
+    );
+    let algorithm = normalize_tree_algo(resolved);
+    let epoch = view.epoch();
+    let survivors = view.survivors();
+    for &w in survivors.iter().filter(|&&w| w != 0) {
+        ctx.send(
+            w,
+            FtMsg::RoundStart {
+                round,
+                epoch,
+                survivors: survivors.clone(),
+                algo: algorithm,
+            },
+        );
+    }
+    let tree = coll::tree_over(ctx, algorithm, 0, view);
+    let shared = Arc::new(state.clone());
+    for &c in tree.children_bcast(0) {
+        ctx.send(
+            c,
+            FtMsg::RoundState {
+                epoch,
+                round,
+                state: Arc::clone(&shared),
+                bits,
+            },
+        );
+    }
+    // ---- the ack sweep (state-distribution barrier) -----------------
+    for &w in survivors.iter().filter(|&&w| w != 0) {
+        loop {
+            match ctx.recv_deadline(w, f64::INFINITY) {
+                Ok(FtMsg::StateAck { round: r }) => {
+                    debug_assert_eq!(r, round);
+                    break;
+                }
+                Ok(FtMsg::StateRequest { round: r }) => {
+                    debug_assert_eq!(r, round);
+                    ctx.send(
+                        w,
+                        FtMsg::RoundState {
+                            epoch,
+                            round,
+                            state: Arc::clone(&shared),
+                            bits,
+                        },
+                    );
+                }
+                Ok(_) => unreachable!("ft: pre-barrier workers send StateAck or StateRequest only"),
+                Err(RecvError::Failed(f)) => {
+                    let detected_at = ctx.elapsed();
+                    alive[w] = false;
+                    if view.observe_failure(&f) {
+                        ctx.mark_epoch(view.epoch(), w, view.num_survivors());
+                    }
+                    recoveries.push(Recovery {
+                        rank: w,
+                        at: f.at,
+                        detected_at,
+                        lines: 0,
+                        round,
+                    });
+                    ctx.mark_recovery(detected_at, w);
+                    break;
+                }
+                Err(RecvError::Timeout { .. }) => {
+                    unreachable!("ft: a worker cannot clean-exit before the barrier")
+                }
+            }
+        }
+    }
+}
+
 /// A dispatched batch of the re-planning master.
 struct Batch {
     id: u64,
@@ -323,6 +775,12 @@ struct Batch {
     first: usize,
     n: usize,
     deadline: f64,
+    /// Analytic worst-case completion: the κ-padded estimate stretched
+    /// through every active slowdown window of the worker
+    /// ([`simnet::FaultPlan::dilate`]), plus one margin. A live worker —
+    /// however slowed — finishes by this instant, so deadline
+    /// extensions never pass it.
+    cap: f64,
     done: bool,
 }
 
@@ -332,14 +790,33 @@ fn master_replan<A: ChunkedAlgo>(
     opts: &FtOptions,
 ) -> (A::Output, Vec<Recovery>) {
     let p = ctx.num_ranks();
+    let tree = tree_mode(opts);
     let speeds: Vec<f64> = (0..p).map(|i| ctx.platform().proc(i).speed()).collect();
     let mut alive = vec![true; p];
+    let mut view = Membership::new(p);
     let mut recoveries: Vec<Recovery> = Vec::new();
     let mut next_id: u64 = 0;
     let mut state = algo.initial_state();
 
     for round in 0..algo.rounds() {
-        broadcast_state(ctx, &alive, &state, algo.state_bits(&state));
+        let state_bits = algo.state_bits(&state);
+        // Tree mode distributes the state down the survivor tree and
+        // runs to the ack barrier (possibly shrinking `alive`/`view`);
+        // after either branch, every live worker holds the state.
+        if tree {
+            start_round_tree(
+                ctx,
+                &mut view,
+                &mut alive,
+                &mut recoveries,
+                &opts.collectives,
+                round,
+                &state,
+                state_bits,
+            );
+        } else {
+            broadcast_state(ctx, &alive, &state, state_bits);
+        }
 
         // One speed-proportional batch per surviving worker (the WEA
         // apportionment), each with an analytic completion deadline.
@@ -365,12 +842,17 @@ fn master_replan<A: ChunkedAlgo>(
             let est = algo.chunk_mflops(round, n) / speeds[w];
             let start = ready_at[w].max(ctx.elapsed());
             ready_at[w] = start + est * opts.failure_threshold;
+            let cap = ctx
+                .fault_plan()
+                .dilate(w, start, est * opts.failure_threshold)
+                + opts.margin_s;
             batches.push(Batch {
                 id,
                 worker: w,
                 first,
                 n,
                 deadline: ready_at[w] + opts.margin_s,
+                cap,
                 done: false,
             });
         };
@@ -399,15 +881,28 @@ fn master_replan<A: ChunkedAlgo>(
                         partials.push((first, data));
                     }
                 }
-                Ok(_) => unreachable!("ft: workers only send Partial"),
+                Ok(_) => unreachable!("ft: workers send Partial only after the barrier"),
                 Err(RecvError::Timeout { .. }) => {
                     // Late ≠ dead: only a failure marker is
-                    // authoritative. Extend and keep waiting.
-                    batches[i].deadline = ctx.elapsed() + opts.margin_s;
+                    // authoritative. Extend — but no further than the
+                    // analytic worst case: past `cap` even a worker
+                    // slowed by every active window would have
+                    // delivered, so stop stepping the clock margin by
+                    // margin and block for the authoritative outcome
+                    // (the Partial or the failure marker).
+                    let extended = ctx.elapsed() + opts.margin_s;
+                    batches[i].deadline = if extended < batches[i].cap {
+                        extended
+                    } else {
+                        f64::INFINITY
+                    };
                 }
                 Err(RecvError::Failed(f)) => {
                     let detected_at = ctx.elapsed();
                     alive[w] = false;
+                    if view.observe_failure(&f) {
+                        ctx.mark_epoch(view.epoch(), w, view.num_survivors());
+                    }
                     let orphans: Vec<(usize, usize)> = batches
                         .iter_mut()
                         .filter(|b| b.worker == w && !b.done)
@@ -453,14 +948,33 @@ fn master_self_sched<A: ChunkedAlgo>(
     opts: &FtOptions,
 ) -> (A::Output, Vec<Recovery>) {
     let p = ctx.num_ranks();
+    let tree = tree_mode(opts);
     let mut alive = vec![true; p];
+    let mut view = Membership::new(p);
     let mut recoveries: Vec<Recovery> = Vec::new();
     let mut next_id: u64 = 0;
     let mut state = algo.initial_state();
     let chunk = opts.chunk_lines.max(1);
 
     for round in 0..algo.rounds() {
-        broadcast_state(ctx, &alive, &state, algo.state_bits(&state));
+        let state_bits = algo.state_bits(&state);
+        // Tree mode distributes the state down the survivor tree and
+        // runs to the ack barrier (possibly shrinking `alive`/`view`);
+        // after either branch, every live worker holds the state.
+        if tree {
+            start_round_tree(
+                ctx,
+                &mut view,
+                &mut alive,
+                &mut recoveries,
+                &opts.collectives,
+                round,
+                &state,
+                state_bits,
+            );
+        } else {
+            broadcast_state(ctx, &alive, &state, state_bits);
+        }
 
         // The FIXED chunk grid: output does not depend on which worker
         // computes which chunk, so crashes cannot change the result.
@@ -500,17 +1014,17 @@ fn master_self_sched<A: ChunkedAlgo>(
                     }
                 }
             }
-            // Poll outstanding workers in rank order at the current
-            // virtual instant (a past deadline never advances time).
+            // Poll workers with an outstanding chunk in rank order at
+            // the current virtual instant (a past deadline never
+            // advances time). A worker that owes nothing is never
+            // polled — its channel may stay silent until the next
+            // round, and a receive would block on it for good.
             let now = ctx.elapsed();
             let mut productive = false;
             for w in 1..p {
-                if !alive[w] {
+                if !alive[w] || outstanding[w].is_none() {
                     continue;
                 }
-                let Some((id, cf, cn)) = outstanding[w] else {
-                    continue;
-                };
                 match ctx.recv_deadline(w, now) {
                     Ok(FtMsg::Partial {
                         id: pid,
@@ -518,27 +1032,36 @@ fn master_self_sched<A: ChunkedAlgo>(
                         data,
                         ..
                     }) => {
-                        if pid == id {
+                        if outstanding[w].map(|(id, _, _)| id) == Some(pid) {
                             outstanding[w] = None;
                             partials.push((pf, data));
                             done += 1;
                             productive = true;
                         }
                     }
-                    Ok(_) => unreachable!("ft: workers only send Partial"),
+                    Ok(_) => unreachable!("ft: workers send Partial only after the barrier"),
                     Err(RecvError::Timeout { .. }) => {}
                     Err(RecvError::Failed(f)) => {
                         let detected_at = ctx.elapsed();
                         alive[w] = false;
-                        outstanding[w] = None;
-                        // Back on the queue front — the next free worker
-                        // picks the orphaned chunk up first.
-                        queue.push_front((cf, cn));
+                        if view.observe_failure(&f) {
+                            ctx.mark_epoch(view.epoch(), w, view.num_survivors());
+                        }
+                        // The in-flight chunk (if any) goes back on the
+                        // queue front — the next free worker picks the
+                        // orphaned chunk up first.
+                        let lost = match outstanding[w].take() {
+                            Some((_, cf, cn)) => {
+                                queue.push_front((cf, cn));
+                                cn
+                            }
+                            None => 0,
+                        };
                         recoveries.push(Recovery {
                             rank: w,
                             at: f.at,
                             detected_at,
-                            lines: cn,
+                            lines: lost,
                             round,
                         });
                         ctx.mark_recovery(detected_at, w);
@@ -641,6 +1164,161 @@ mod tests {
         assert_eq!(run.recoveries.len(), 1);
         assert_eq!(run.recoveries[0].rank, 5);
         assert!(run.recoveries[0].lines > 0);
+    }
+
+    #[test]
+    fn replan_survives_heavy_slowdown_without_unbounded_extension() {
+        // A worker slowed 60× for the whole run is late, not dead: the
+        // master must neither declare it failed nor stretch the round
+        // margin-by-margin forever. The analytic cap (dilate of the
+        // κ-padded estimate) bounds the stepping; past it the master
+        // blocks for the authoritative outcome.
+        let s = scene();
+        let p = params();
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let run_once = || {
+            let engine = Engine::new(presets::fully_heterogeneous()).with_faults(
+                FaultPlan::new()
+                    .slowdown(2, 0.0, 1e6, 60.0)
+                    .slowdown(5, 0.0, 1e6, 25.0),
+            );
+            run_replan(&engine, &algo, &FtOptions::default())
+        };
+        let run = run_once();
+        assert_eq!(coords(&run.output), coords(&seq.result));
+        assert!(run.recoveries.is_empty(), "slowdown must not be a failure");
+        assert!(run.report.ok());
+        // The round ends when the slowed stragglers deliver — within
+        // the dilated analytic envelope, not margin-quantised past it.
+        let rerun = run_once();
+        assert_eq!(run.report, rerun.report);
+    }
+
+    #[test]
+    fn master_crash_plan_is_rejected_at_startup() {
+        let s = scene();
+        let p = params();
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let engine =
+            Engine::new(presets::fully_heterogeneous()).with_faults(FaultPlan::new().crash(0, 0.1));
+        let err = try_run_replan(&engine, &algo, &FtOptions::default())
+            .expect_err("coordinator crash must be rejected");
+        assert_eq!(err, FtError::MasterCrashScheduled { at: 0.1 });
+        assert!(err.to_string().contains("rank 0"));
+        let err = try_run_self_sched(&engine, &algo, &FtOptions::default())
+            .expect_err("coordinator crash must be rejected");
+        assert!(matches!(err, FtError::MasterCrashScheduled { .. }));
+    }
+
+    #[test]
+    fn master_crash_plan_panics_with_structured_message() {
+        let s = scene();
+        let p = params();
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let engine = Engine::new(presets::fully_heterogeneous())
+            .with_faults(FaultPlan::new().crash(0, 0.25));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = run_self_sched(&engine, &algo, &FtOptions::default());
+        }))
+        .expect_err("must panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("coordinator"), "got: {msg}");
+    }
+
+    fn tree_opts() -> FtOptions {
+        FtOptions {
+            collectives: CollectiveConfig::uniform(CollAlgorithm::SegmentHierarchical),
+            ..FtOptions::default()
+        }
+    }
+
+    #[test]
+    fn tree_mode_fault_free_matches_sequential() {
+        let s = scene();
+        let p = params();
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let engine = Engine::new(presets::fully_heterogeneous());
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        for run in [
+            run_replan(&engine, &algo, &tree_opts()),
+            run_self_sched(&engine, &algo, &tree_opts()),
+        ] {
+            assert_eq!(coords(&run.output), coords(&seq.result));
+            assert!(run.recoveries.is_empty());
+            assert!(run.report.ok());
+            assert!(run.report.epochs.is_empty(), "no failures, no epoch bumps");
+            // The master resolves (and logs) one broadcast choice per round.
+            assert_eq!(
+                run.report.choices_of(simnet::CollOp::Broadcast).count(),
+                algo.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn tree_mode_auto_resolves_against_the_cost_model() {
+        let s = scene();
+        let p = params();
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let engine = Engine::new(presets::fully_heterogeneous());
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let opts = FtOptions {
+            collectives: CollectiveConfig::uniform(CollAlgorithm::Auto),
+            ..FtOptions::default()
+        };
+        let run = run_replan(&engine, &algo, &opts);
+        assert_eq!(coords(&run.output), coords(&seq.result));
+        for c in run.report.choices_of(simnet::CollOp::Broadcast) {
+            assert_eq!(c.requested, CollAlgorithm::Auto);
+            assert_ne!(c.algorithm, CollAlgorithm::Auto, "must resolve concretely");
+        }
+    }
+
+    #[test]
+    fn tree_mode_recovers_from_interior_relay_crash() {
+        // Rank 4 leads segment 1 in the segment-hierarchical tree and
+        // relays the round state to ranks 5..=7. Crashing it before it
+        // can forward forces the orphan rescue path (StateRequest →
+        // direct RoundState) and, from the next round on, a survivor
+        // tree that routes around it under a bumped epoch.
+        let s = scene();
+        let p = params();
+        let seq = crate::seq::atdca(&s.cube, &p);
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        for mode in [Mode::Replan, Mode::SelfSched] {
+            let engine = Engine::new(presets::fully_heterogeneous())
+                .with_faults(FaultPlan::new().crash(4, 1e-4));
+            let run = match mode {
+                Mode::Replan => run_replan(&engine, &algo, &tree_opts()),
+                Mode::SelfSched => run_self_sched(&engine, &algo, &tree_opts()),
+            };
+            assert_eq!(coords(&run.output), coords(&seq.result), "{mode:?}");
+            assert_eq!(run.recoveries.len(), 1, "{mode:?}");
+            assert_eq!(run.recoveries[0].rank, 4);
+            assert_eq!(run.report.epochs.len(), 1, "{mode:?}");
+            assert_eq!(run.report.epochs[0].epoch, 1);
+            assert_eq!(run.report.epochs[0].failed, 4);
+            assert_eq!(run.report.epochs[0].survivors, 15);
+        }
+    }
+
+    #[test]
+    fn tree_mode_crash_plans_are_bit_deterministic() {
+        let s = scene();
+        let p = params();
+        let algo = AtdcaChunks::new(&s.cube, &p);
+        let run_once = || {
+            let engine = Engine::new(presets::fully_heterogeneous())
+                .with_faults(FaultPlan::new().crash(4, 1e-4).crash(10, 0.02));
+            run_replan(&engine, &algo, &tree_opts())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.report, b.report);
+        assert_eq!(coords(&a.output), coords(&b.output));
+        assert_eq!(a.recoveries, b.recoveries);
+        assert_eq!(a.report.epochs.len(), 2);
     }
 
     #[test]

@@ -58,5 +58,5 @@ pub mod wea;
 
 pub use config::{AlgoParams, PartitionStrategy, RunOptions};
 pub use framework::ParallelRun;
-pub use ft::{FtOptions, FtRun, Recovery};
+pub use ft::{FtError, FtOptions, FtRun, Recovery};
 pub use sched::{ChunkPolicy, ChunkedAlgo};

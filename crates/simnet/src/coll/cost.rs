@@ -11,10 +11,17 @@
 //! picks a strictly-dominated algorithm (asserted by the
 //! `ablation_collectives` gate).
 //!
-//! Two documented approximations: fault plans are ignored (predictions
-//! are for healthy runs), and for roots other than rank 0 the receiver-
-//! side FIFO interleaving at rank 0 is not replayed (no algorithm in
-//! this repository roots a collective away from rank 0).
+//! [`predict_over`] extends the replay to **survivor sets**: it rebuilds
+//! the schedule over an explicit member list (a
+//! [`crate::coll::Membership`] view's survivors) and replays only those
+//! ranks, so on a degraded topology — a crash plan whose failures the
+//! view has already observed — predicted equals measured exactly, the
+//! same guarantee [`predict`] gives healthy runs. This closes the old
+//! "fault plans are ignored" approximation for *crash* plans; slowdown
+//! and link-fault windows remain unreplayed (predictions assume nominal
+//! link and processor speeds), and for roots other than rank 0 the
+//! receiver-side FIFO interleaving at rank 0 is not replayed (no
+//! algorithm in this repository roots a collective away from rank 0).
 
 use super::schedule::{self, Tree};
 use super::{split_chunks, CollAlgorithm, CollOp};
@@ -74,19 +81,49 @@ pub fn predict(
     bits: u64,
     pipeline_chunks: u32,
 ) -> f64 {
+    let members: Vec<usize> = (0..platform.num_procs()).collect();
+    predict_over(
+        platform,
+        latency_s,
+        op,
+        algorithm,
+        root,
+        bits,
+        pipeline_chunks,
+        &members,
+    )
+}
+
+/// [`predict`] over an explicit **survivor set**: the schedule is
+/// rebuilt over `members` (ascending rank order, containing `root` —
+/// the survivors of a [`crate::coll::Membership`] view) and only those
+/// ranks are replayed. With every rank a member this is exactly
+/// [`predict`]; on a degraded topology it is exact in the same sense —
+/// the `*_over` collectives execute precisely this schedule.
+#[allow(clippy::too_many_arguments)] // mirrors `predict` plus the member set
+pub fn predict_over(
+    platform: &Platform,
+    latency_s: f64,
+    op: CollOp,
+    algorithm: CollAlgorithm,
+    root: usize,
+    bits: u64,
+    pipeline_chunks: u32,
+    members: &[usize],
+) -> f64 {
     debug_assert!(
         algorithm != CollAlgorithm::Auto,
         "predict: resolve Auto first"
     );
     let p = platform.num_procs();
-    if p <= 1 {
+    if p <= 1 || members.len() <= 1 {
         return 0.0;
     }
     let tree = match algorithm {
-        CollAlgorithm::Linear => schedule::linear(root, p),
-        CollAlgorithm::BinomialTree => schedule::binomial(root, p),
+        CollAlgorithm::Linear => schedule::linear_over(root, members, p),
+        CollAlgorithm::BinomialTree => schedule::binomial_over(root, members, p),
         CollAlgorithm::SegmentHierarchical | CollAlgorithm::PipelinedChunked => {
-            schedule::segment_hierarchical(root, platform)
+            schedule::segment_hierarchical_over(root, platform, members)
         }
         CollAlgorithm::Auto => unreachable!("checked above"),
     };

@@ -1,0 +1,532 @@
+//! The deterministic membership/epoch protocol for survivor-set
+//! collectives.
+//!
+//! A fault-tolerant master cannot keep tree collectives alive with the
+//! classic schedules: once an interior relay crashes, every later round
+//! routed through it loses the whole subtree (`docs/COMMS.md`, failure
+//! semantics). This module provides the agreement layer that fixes it:
+//!
+//! * [`Membership`] — an epoch-stamped alive-set view. The master owns
+//!   the authoritative copy and bumps the epoch on every observed
+//!   [`RankFailure`]; workers rebuild their copy from the `(epoch,
+//!   survivors)` header the master piggybacks on the first send of each
+//!   round ([`Membership::from_survivors`]).
+//! * `*_over` collectives — [`broadcast_over`], [`gather_over`],
+//!   [`reduce_over`], [`allreduce_over`]: the same wire protocols as
+//!   their classic counterparts, but every schedule (linear, binomial,
+//!   segment-hierarchical, pipelined) is rebuilt over the view's
+//!   survivor set, so known-dead relays are routed *around*. With every
+//!   rank alive the schedules — and therefore the bits and virtual
+//!   times — are identical to the classic collectives.
+//! * [`Stamped`] + [`recv_epoch`] — epoch validation for composed
+//!   protocols: messages carrying a stamp from a superseded view are
+//!   rejected with a structured [`CollError::EpochMismatch`] instead of
+//!   corrupting the current round.
+//!
+//! Everything here is deterministic: views only change when their owner
+//! observes a failure (a virtual-time event), schedules are pure
+//! functions of `(view, algorithm, platform)`, and
+//! [`crate::coll::predict_over`] replays the survivor schedule exactly.
+
+use super::schedule::{self, Tree};
+use super::{
+    broadcast_pipelined, cost, run_broadcast_tree, run_gather, run_reduce_tree, CollAlgorithm,
+    CollError, CollOp, CollectiveChoice, CollectiveConfig, GatherEntry,
+};
+use crate::engine::{Ctx, Wire};
+use crate::faults::{FailureCause, RankFailure};
+use crate::platform::Platform;
+
+/// An epoch-stamped view of which ranks are alive.
+///
+/// The epoch is a monotone counter that bumps on every *newly* observed
+/// failure, so two views with the same epoch (derived from the same
+/// observation sequence) agree on the survivor set — the property the
+/// `*_over` collectives rely on when every participant passes the same
+/// view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Membership {
+    epoch: u64,
+    alive: Vec<bool>,
+    /// Recorded failure per dead rank; `None` for views rebuilt from a
+    /// wire header, which carries the survivor set but not the causes.
+    failures: Vec<Option<RankFailure>>,
+}
+
+impl Membership {
+    /// The initial view: epoch 0, every rank alive.
+    pub fn new(num_ranks: usize) -> Self {
+        Membership {
+            epoch: 0,
+            alive: vec![true; num_ranks],
+            failures: vec![None; num_ranks],
+        }
+    }
+
+    /// Rebuilds a view from an `(epoch, survivors)` wire header.
+    /// Failure causes are unknown to the receiver, so
+    /// [`Membership::lost_entry`] synthesizes them on demand.
+    pub fn from_survivors(epoch: u64, num_ranks: usize, survivors: &[usize]) -> Self {
+        let mut alive = vec![false; num_ranks];
+        for &r in survivors {
+            alive[r] = true;
+        }
+        Membership {
+            epoch,
+            alive,
+            failures: vec![None; num_ranks],
+        }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total rank count the view covers (alive or not).
+    pub fn num_ranks(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// `true` while `rank` has no observed failure in this view.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.alive[rank]
+    }
+
+    /// The surviving ranks, ascending.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&r| self.alive[r]).collect()
+    }
+
+    /// Number of surviving ranks.
+    pub fn num_survivors(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Observes a failure: marks the rank dead, records the cause and
+    /// bumps the epoch. Returns `false` (and changes nothing) when the
+    /// rank was already dead in this view — re-observing the same
+    /// permanent failure must not advance the epoch.
+    pub fn observe_failure(&mut self, failure: &RankFailure) -> bool {
+        let r = failure.rank;
+        if !self.alive[r] {
+            return false;
+        }
+        self.alive[r] = false;
+        self.failures[r] = Some(failure.clone());
+        self.epoch += 1;
+        true
+    }
+
+    /// The recorded failure of a dead rank, when the view observed it
+    /// directly (views rebuilt from a wire header have none).
+    pub fn failure_of(&self, rank: usize) -> Option<&RankFailure> {
+        self.failures[rank].as_ref()
+    }
+
+    /// The failure record a gather reports for a rank outside the
+    /// survivor set: the observed one when recorded, otherwise a
+    /// synthesized `PeerLost` (deterministic — wire-rebuilt views know
+    /// *that* a rank is gone, not when or why).
+    pub fn lost_entry(&self, rank: usize) -> RankFailure {
+        debug_assert!(!self.alive[rank], "lost_entry: rank {rank} is alive");
+        self.failures[rank].clone().unwrap_or(RankFailure {
+            rank,
+            at: 0.0,
+            cause: FailureCause::PeerLost { peer: rank },
+        })
+    }
+
+    /// Wire size in bits of this view's `(epoch, survivors)` header: a
+    /// 64-bit epoch plus 16 bits per survivor — the charge a master pays
+    /// to piggyback the view on the first send of a round.
+    pub fn header_bits(&self) -> u64 {
+        64 + 16 * self.num_survivors() as u64
+    }
+}
+
+/// Messages that may carry an epoch stamp, for validation with
+/// [`recv_epoch`]. Return `None` from unstamped variants (control
+/// traffic that is epoch-agnostic).
+pub trait Stamped {
+    /// The epoch this message was sent under, if stamped.
+    fn stamp(&self) -> Option<u64>;
+}
+
+/// Receives one message from `src` and validates its stamp against the
+/// receiver's view epoch. Unstamped messages and matching stamps pass;
+/// a mismatch consumes (drops) the message and returns the structured
+/// [`CollError::EpochMismatch`] — `got < expected` is *stale* traffic
+/// from a superseded view (callers typically loop and keep receiving),
+/// `got > expected` means this rank's view is behind, a protocol
+/// violation.
+///
+/// Uses plain [`Ctx::recv`], so a dead `src` unwinds as `PeerLost`;
+/// protocols that must observe peer death as a value keep using
+/// [`Ctx::recv_deadline`] and validate stamps themselves.
+pub fn recv_epoch<M: Wire + Stamped>(
+    ctx: &mut Ctx<M>,
+    src: usize,
+    expected: u64,
+) -> Result<M, CollError> {
+    let msg = ctx.recv(src);
+    match msg.stamp() {
+        None => Ok(msg),
+        Some(e) if e == expected => Ok(msg),
+        Some(got) => Err(CollError::EpochMismatch { expected, got }),
+    }
+}
+
+fn check_member(view: &Membership, rank: usize) -> Result<(), CollError> {
+    if view.is_alive(rank) {
+        Ok(())
+    } else {
+        Err(CollError::NotAMember { rank })
+    }
+}
+
+/// [`super::select`] over a survivor set: resolves a requested algorithm
+/// to the concrete one that will run and its predicted cost on the
+/// degraded topology ([`cost::predict_over`]). Deterministic in its
+/// arguments, so every surviving rank resolves identically.
+#[allow(clippy::too_many_arguments)] // mirrors `select` plus the member set
+pub fn select_over(
+    platform: &Platform,
+    latency_s: f64,
+    op: CollOp,
+    requested: CollAlgorithm,
+    root: usize,
+    bits: u64,
+    pipeline_chunks: u32,
+    members: &[usize],
+) -> (CollAlgorithm, f64) {
+    let normalize = |alg: CollAlgorithm| match (op, alg) {
+        (CollOp::Broadcast, a) => a,
+        (_, CollAlgorithm::PipelinedChunked) => CollAlgorithm::SegmentHierarchical,
+        (_, a) => a,
+    };
+    let predict = |alg| {
+        cost::predict_over(
+            platform,
+            latency_s,
+            op,
+            alg,
+            root,
+            bits,
+            pipeline_chunks,
+            members,
+        )
+    };
+    if requested != CollAlgorithm::Auto {
+        let alg = normalize(requested);
+        return (alg, predict(alg));
+    }
+    if bits == 0 {
+        // Same rule as `select`: a zero hint carries no size
+        // information, fall back to the baseline.
+        return (CollAlgorithm::Linear, predict(CollAlgorithm::Linear));
+    }
+    let candidates: &[CollAlgorithm] = match op {
+        CollOp::Broadcast => &[
+            CollAlgorithm::Linear,
+            CollAlgorithm::BinomialTree,
+            CollAlgorithm::SegmentHierarchical,
+            CollAlgorithm::PipelinedChunked,
+        ],
+        _ => &[
+            CollAlgorithm::Linear,
+            CollAlgorithm::BinomialTree,
+            CollAlgorithm::SegmentHierarchical,
+        ],
+    };
+    let mut best = CollAlgorithm::Linear;
+    let mut best_cost = f64::INFINITY;
+    for &alg in candidates {
+        let cost = predict(alg);
+        // Strict `<` keeps the earliest candidate on ties, like `select`.
+        if cost < best_cost {
+            best = alg;
+            best_cost = cost;
+        }
+    }
+    (best, best_cost)
+}
+
+/// Resolves over the survivor set on every member identically and
+/// records the choice when rank 0 participates (rank 0's log is the
+/// canonical one the engine collects).
+fn resolve_and_log_over<M: Wire>(
+    ctx: &mut Ctx<M>,
+    op: CollOp,
+    requested: CollAlgorithm,
+    root: usize,
+    bits_hint: u64,
+    pipeline_chunks: u32,
+    view: &Membership,
+) -> CollAlgorithm {
+    let (algorithm, predicted_secs) = select_over(
+        ctx.platform(),
+        ctx.msg_latency_s(),
+        op,
+        requested,
+        root,
+        bits_hint,
+        pipeline_chunks,
+        &view.survivors(),
+    );
+    if ctx.rank() == 0 {
+        ctx.log_collective(CollectiveChoice {
+            op,
+            requested,
+            algorithm,
+            bits: bits_hint,
+            predicted_secs,
+        });
+    }
+    algorithm
+}
+
+/// Resolves (and, on rank 0, logs) one collective decision over a
+/// survivor set — the driver-facing form of the resolution the `*_over`
+/// collectives do internally, for protocols (like `hetero::ft`) that
+/// run their own wire protocol over the survivor [`Tree`] but want the
+/// same cost-model-driven choice and [`CollectiveChoice`] observability.
+/// Deterministic in its arguments, so every participant that calls it
+/// with the same view resolves identically.
+pub fn resolve_over<M: Wire>(
+    ctx: &mut Ctx<M>,
+    op: CollOp,
+    requested: CollAlgorithm,
+    root: usize,
+    view: &Membership,
+    bits_hint: u64,
+    pipeline_chunks: u32,
+) -> CollAlgorithm {
+    resolve_and_log_over(ctx, op, requested, root, bits_hint, pipeline_chunks, view)
+}
+
+/// Builds the concrete schedule [`Tree`] for `algorithm` over the view's
+/// survivor set. [`CollAlgorithm::PipelinedChunked`] shares the
+/// segment-hierarchical tree; [`CollAlgorithm::Auto`] must be resolved
+/// to a concrete algorithm first (e.g. via [`resolve_over`]).
+pub fn tree_over<M: Wire>(
+    ctx: &Ctx<M>,
+    algorithm: CollAlgorithm,
+    root: usize,
+    view: &Membership,
+) -> Tree {
+    build_tree_over(ctx, algorithm, root, view)
+}
+
+fn build_tree_over<M: Wire>(
+    ctx: &Ctx<M>,
+    algorithm: CollAlgorithm,
+    root: usize,
+    view: &Membership,
+) -> Tree {
+    let p = ctx.num_ranks();
+    let members = view.survivors();
+    match algorithm {
+        CollAlgorithm::Linear => schedule::linear_over(root, &members, p),
+        CollAlgorithm::BinomialTree => schedule::binomial_over(root, &members, p),
+        CollAlgorithm::SegmentHierarchical | CollAlgorithm::PipelinedChunked => {
+            schedule::segment_hierarchical_over(root, ctx.platform(), &members)
+        }
+        CollAlgorithm::Auto => unreachable!("selection resolved before building"),
+    }
+}
+
+/// [`super::broadcast`] over a [`Membership`] view: only the view's
+/// survivors participate (every survivor must call; known-dead ranks are
+/// routed around). The root passes `Some(msg)`, every other survivor
+/// `None`; all participants return the payload. Every participant must
+/// pass the *same* view and `bits_hint` or schedules would disagree.
+pub fn broadcast_over<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    view: &Membership,
+    msg: Option<M>,
+    bits_hint: u64,
+) -> Result<M, CollError> {
+    check_member(view, root)?;
+    check_member(view, ctx.rank())?;
+    let algorithm = resolve_and_log_over(
+        ctx,
+        CollOp::Broadcast,
+        cfg.broadcast,
+        root,
+        bits_hint,
+        cfg.pipeline_chunks,
+        view,
+    );
+    let tree = build_tree_over(ctx, algorithm, root, view);
+    if algorithm == CollAlgorithm::PipelinedChunked {
+        return broadcast_pipelined(ctx, &tree, msg, cfg.pipeline_chunks);
+    }
+    run_broadcast_tree(ctx, &tree, msg)
+}
+
+/// [`super::gather`] over a [`Membership`] view: survivors contribute
+/// over the survivor tree; the root's rank-indexed result reports every
+/// known-dead rank as [`GatherEntry::Lost`] with the view's recorded
+/// failure ([`Membership::lost_entry`]) — zero subtree loss for known
+/// failures, because no schedule edge touches a dead rank.
+pub fn gather_over<M: Wire>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    view: &Membership,
+    msg: M,
+    bits_hint: u64,
+) -> Result<Option<Vec<GatherEntry<M>>>, CollError> {
+    check_member(view, root)?;
+    check_member(view, ctx.rank())?;
+    let algorithm = resolve_and_log_over(
+        ctx,
+        CollOp::Gather,
+        cfg.gather,
+        root,
+        bits_hint,
+        cfg.pipeline_chunks,
+        view,
+    );
+    let tree = build_tree_over(ctx, algorithm, root, view);
+    Ok(run_gather(ctx, &tree, root, msg, Some(view)))
+}
+
+/// [`super::reduce`] over a [`Membership`] view: survivors fold over the
+/// survivor tree (known-dead ranks contribute nothing and relay
+/// nothing). Fold-order caveats are those of [`super::reduce`], applied
+/// to the survivor list.
+pub fn reduce_over<M: Wire>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    view: &Membership,
+    msg: M,
+    fold: impl Fn(M, M) -> M,
+    bits_hint: u64,
+) -> Result<Option<M>, CollError> {
+    check_member(view, root)?;
+    check_member(view, ctx.rank())?;
+    let algorithm = resolve_and_log_over(
+        ctx,
+        CollOp::Reduce,
+        cfg.reduce,
+        root,
+        bits_hint,
+        cfg.pipeline_chunks,
+        view,
+    );
+    if algorithm == CollAlgorithm::Linear {
+        // The legacy shape over survivors: linear gather + free
+        // rank-order fold, skipping the known-dead (Lost) entries.
+        let tree = schedule::linear_over(root, &view.survivors(), ctx.num_ranks());
+        return Ok(
+            run_gather(ctx, &tree, root, msg, Some(view)).map(|entries| {
+                let mut it = entries.into_iter().filter_map(GatherEntry::into_msg);
+                let first = it.next().expect("reduce_over: a surviving contribution");
+                it.fold(first, fold)
+            }),
+        );
+    }
+    let tree = build_tree_over(ctx, algorithm, root, view);
+    Ok(run_reduce_tree(ctx, &tree, msg, fold))
+}
+
+/// [`super::allreduce`] over a [`Membership`] view: survivors fold up
+/// and fan back down the survivor tree; every survivor returns the
+/// folded value. The fold contract (associative, size-preserving; see
+/// [`super::allreduce`]) applies to the survivor list.
+pub fn allreduce_over<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    cfg: &CollectiveConfig,
+    root: usize,
+    view: &Membership,
+    msg: M,
+    fold: impl Fn(M, M) -> M,
+    bits_hint: u64,
+) -> Result<M, CollError> {
+    check_member(view, root)?;
+    check_member(view, ctx.rank())?;
+    let algorithm = resolve_and_log_over(
+        ctx,
+        CollOp::Allreduce,
+        cfg.allreduce,
+        root,
+        bits_hint,
+        cfg.pipeline_chunks,
+        view,
+    );
+    let tree = build_tree_over(ctx, algorithm, root, view);
+    Ok(super::run_allreduce_tree(ctx, &tree, msg, fold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failure(rank: usize, at: f64) -> RankFailure {
+        RankFailure {
+            rank,
+            at,
+            cause: FailureCause::Crash,
+        }
+    }
+
+    #[test]
+    fn epoch_bumps_once_per_newly_observed_failure() {
+        let mut view = Membership::new(6);
+        assert_eq!(view.epoch(), 0);
+        assert_eq!(view.num_survivors(), 6);
+        assert!(view.observe_failure(&failure(3, 1.0)));
+        assert_eq!(view.epoch(), 1);
+        assert!(!view.is_alive(3));
+        // Re-observing the same permanent failure changes nothing.
+        assert!(!view.observe_failure(&failure(3, 1.0)));
+        assert_eq!(view.epoch(), 1);
+        assert!(view.observe_failure(&failure(1, 2.0)));
+        assert_eq!(view.epoch(), 2);
+        assert_eq!(view.survivors(), vec![0, 2, 4, 5]);
+        assert_eq!(view.failure_of(3), Some(&failure(3, 1.0)));
+    }
+
+    #[test]
+    fn wire_rebuilt_view_matches_survivor_set() {
+        let mut owner = Membership::new(5);
+        owner.observe_failure(&failure(2, 0.5));
+        let rebuilt = Membership::from_survivors(owner.epoch(), 5, &owner.survivors());
+        assert_eq!(rebuilt.epoch(), owner.epoch());
+        assert_eq!(rebuilt.survivors(), owner.survivors());
+        // Causes don't travel on the wire; lost entries are synthesized.
+        assert_eq!(rebuilt.failure_of(2), None);
+        assert_eq!(
+            rebuilt.lost_entry(2).cause,
+            FailureCause::PeerLost { peer: 2 }
+        );
+        // The owner reports the observed failure verbatim.
+        assert_eq!(owner.lost_entry(2), failure(2, 0.5));
+    }
+
+    #[test]
+    fn header_bits_charge_epoch_plus_survivors() {
+        let mut view = Membership::new(8);
+        assert_eq!(view.header_bits(), 64 + 16 * 8);
+        view.observe_failure(&failure(7, 1.0));
+        assert_eq!(view.header_bits(), 64 + 16 * 7);
+    }
+
+    #[test]
+    fn select_over_full_set_matches_select() {
+        let platform = crate::presets::fully_heterogeneous();
+        let members: Vec<usize> = (0..platform.num_procs()).collect();
+        for op in [CollOp::Broadcast, CollOp::Gather, CollOp::Allreduce] {
+            for requested in [CollAlgorithm::Auto, CollAlgorithm::SegmentHierarchical] {
+                let classic = super::super::select(&platform, 0.001, op, requested, 0, 129_024, 4);
+                let over = select_over(&platform, 0.001, op, requested, 0, 129_024, 4, &members);
+                assert_eq!(classic, over, "{op}/{requested}");
+            }
+        }
+    }
+}

@@ -51,17 +51,37 @@
 //! structured `PeerLost` failure through its ancestors (recorded in the
 //! report, never a process abort) and the root marks that whole subtree
 //! lost. Link outages kill no ranks: every algorithm completes under
-//! link-fault plans, just later. See `docs/COMMS.md`.
+//! link-fault plans, just later.
+//!
+//! **Membership/epoch protocol.** Subtree loss is the price of routing
+//! through a rank that is *already* dead. The epoch layer removes it
+//! for known failures: a [`Membership`] view tracks the alive set
+//! (epoch bumps on every observed [`RankFailure`]), and the `*_over`
+//! collectives ([`broadcast_over`], [`gather_over`], [`reduce_over`],
+//! [`allreduce_over`]) rebuild every schedule over the view's survivor
+//! set, so known-dead interior relays are routed around instead of
+//! cascading `PeerLost` down their subtrees. Messages stamped via the
+//! [`Stamped`] trait are validated with [`recv_epoch`]: traffic from a
+//! superseded view is rejected with a structured
+//! [`CollError::EpochMismatch`] instead of corrupting the round. A rank
+//! that dies *mid*-collective — after the view was agreed — still
+//! degrades with the classic subtree-loss semantics until a new view
+//! observes it. See `docs/COMMS.md`.
 
 mod cost;
+mod epoch;
 mod schedule;
 
-pub use cost::predict;
+pub use cost::{predict, predict_over};
+pub use epoch::{
+    allreduce_over, broadcast_over, gather_over, recv_epoch, reduce_over, resolve_over,
+    select_over, tree_over, Membership, Stamped,
+};
+pub use schedule::Tree;
 
 use crate::engine::{Ctx, Wire};
 use crate::faults::{FailureCause, RankFailure, RecvError};
 use crate::platform::Platform;
-use schedule::Tree;
 use std::fmt;
 
 /// A collective communication algorithm (schedule family).
@@ -236,6 +256,25 @@ pub enum CollError {
         /// The number of items actually supplied.
         got: usize,
     },
+    /// An epoch-stamped message carried a different epoch than the
+    /// receiver's [`Membership`] view expects. `got < expected` is a
+    /// *stale* message — late traffic from a superseded view, rejected
+    /// so it cannot corrupt the current round; `got > expected` means
+    /// the receiving rank's view is behind the sender's, which is a
+    /// protocol violation (views must advance through the master's
+    /// headers before new-epoch traffic is read).
+    EpochMismatch {
+        /// The epoch of the receiver's current membership view.
+        expected: u64,
+        /// The epoch stamped on the rejected message.
+        got: u64,
+    },
+    /// A rank outside the [`Membership`] view's survivor set called (or
+    /// was named root of) a survivor-set collective.
+    NotAMember {
+        /// The offending rank.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for CollError {
@@ -249,6 +288,19 @@ impl fmt::Display for CollError {
             }
             CollError::WrongItemCount { expected, got } => {
                 write!(f, "scatter: need one item per rank ({expected}), got {got}")
+            }
+            CollError::EpochMismatch { expected, got } => {
+                let kind = if got < expected { "stale" } else { "future" };
+                write!(
+                    f,
+                    "epoch mismatch: received {kind}-epoch message (epoch {got}, view at {expected})"
+                )
+            }
+            CollError::NotAMember { rank } => {
+                write!(
+                    f,
+                    "rank {rank} is not in the membership view's survivor set"
+                )
             }
         }
     }
@@ -671,14 +723,20 @@ pub fn gather<M: Wire>(
         cfg.pipeline_chunks,
     );
     let tree = build_tree(ctx, algorithm, root);
-    run_gather(ctx, &tree, root, msg)
+    run_gather(ctx, &tree, root, msg, None)
 }
 
+/// The gather body shared by [`gather`] and [`gather_over`]. With a
+/// membership `view`, ranks outside the tree (the view's known-dead
+/// ranks) become [`GatherEntry::Lost`] entries carrying the view's
+/// recorded failure; without one, the tree spans every rank and a hole
+/// is a protocol bug.
 fn run_gather<M: Wire>(
     ctx: &mut Ctx<M>,
     tree: &Tree,
     root: usize,
     msg: M,
+    view: Option<&Membership>,
 ) -> Option<Vec<GatherEntry<M>>> {
     let rank = ctx.rank();
     if rank == root {
@@ -716,7 +774,16 @@ fn run_gather<M: Wire>(
         }
         Some(
             out.into_iter()
-                .map(|e| e.expect("gather: every rank is in exactly one subtree"))
+                .enumerate()
+                .map(|(r, e)| match (e, view) {
+                    (Some(entry), _) => entry,
+                    // Not in the survivor tree: the view already knows
+                    // this rank is dead — report its recorded failure.
+                    (None, Some(v)) => GatherEntry::Lost(v.lost_entry(r)),
+                    (None, None) => {
+                        unreachable!("gather: rank {r} is in exactly one subtree")
+                    }
+                })
                 .collect(),
         )
     } else {
@@ -820,17 +887,29 @@ pub fn reduce<M: Wire>(
         // Exactly the legacy schedule: a linear gather plus a free
         // rank-order fold at the root, skipping lost contributions.
         let tree = schedule::linear(root, ctx.num_ranks());
-        return run_gather(ctx, &tree, root, msg).map(|entries| {
+        return run_gather(ctx, &tree, root, msg, None).map(|entries| {
             let mut it = entries.into_iter().filter_map(GatherEntry::into_msg);
             let first = it.next().expect("reduce: the root's own contribution");
             it.fold(first, fold)
         });
     }
     let tree = build_tree(ctx, algorithm, root);
+    run_reduce_tree(ctx, &tree, msg, fold)
+}
+
+/// The tree-reduce body shared by [`reduce`] and [`reduce_over`]:
+/// partials fold upward through the gather edges; the root returns the
+/// folded value, relays send theirs onward.
+fn run_reduce_tree<M: Wire>(
+    ctx: &mut Ctx<M>,
+    tree: &Tree,
+    msg: M,
+    fold: impl Fn(M, M) -> M,
+) -> Option<M> {
     let rank = ctx.rank();
     let mut acc = msg;
-    if rank == root {
-        for &child in tree.children_gather(root) {
+    if rank == tree.root() {
+        for &child in tree.children_gather(rank) {
             // A lost relay loses its subtree's partial; fold the
             // survivors (mirrors linear's hole-skipping).
             if let Ok(partial) = ctx.recv_deadline(child, f64::INFINITY) {
@@ -889,17 +968,29 @@ pub fn allreduce<M: Wire + Clone>(
         cfg.pipeline_chunks,
     );
     let tree = build_tree(ctx, algorithm, root);
+    run_allreduce_tree(ctx, &tree, msg, fold)
+}
+
+/// The fused allreduce body shared by [`allreduce`] and
+/// [`allreduce_over`]: partials fold up the gather edges, the result
+/// fans back down the broadcast edges of the same tree.
+fn run_allreduce_tree<M: Wire + Clone>(
+    ctx: &mut Ctx<M>,
+    tree: &Tree,
+    msg: M,
+    fold: impl Fn(M, M) -> M,
+) -> M {
     let rank = ctx.rank();
     let mut acc = msg;
-    if rank == root {
-        for &child in tree.children_gather(root) {
+    if rank == tree.root() {
+        for &child in tree.children_gather(rank) {
             // A lost relay loses its subtree's partial; fold the
             // survivors (mirrors `reduce`'s hole-skipping).
             if let Ok(partial) = ctx.recv_deadline(child, f64::INFINITY) {
                 acc = fold(acc, partial);
             }
         }
-        fanout_retain(ctx, tree.children_bcast(root), acc, None)
+        fanout_retain(ctx, tree.children_bcast(rank), acc, None)
     } else {
         for &child in tree.children_gather(rank) {
             let partial = ctx.recv(child);
@@ -935,10 +1026,13 @@ pub fn barrier<M: Wire + Clone>(
 
 /// Root-side fan-out of per-destination messages built by `make` —
 /// the collective entry point for masters whose workers only ever
-/// `recv(0)` (the fault-tolerant drivers in `hetero::ft`): a tree
-/// schedule cannot relay through workers that never forward, and the
-/// destination set changes as ranks die, so the fan-out stays linear by
-/// construction. Destinations are sent in slice order.
+/// `recv(0)`: a tree schedule cannot relay through workers that never
+/// forward, so the fan-out stays linear by construction. The
+/// fault-tolerant drivers in `hetero::ft` use this as their default
+/// state-distribution path; with [`crate::Membership`] and the
+/// survivor-view collectives (`*_over`) they can instead ship state
+/// down an epoch-stamped survivor tree (`FtOptions::collectives`).
+/// Destinations are sent in slice order.
 pub fn fanout_with<M: Wire>(ctx: &mut Ctx<M>, dsts: &[usize], mut make: impl FnMut() -> M) {
     for &dst in dsts {
         let m = make();

@@ -19,13 +19,28 @@
 //! *gather order* (ascending rank, which both fixes the receive order
 //! and makes tree reduces regroup — not reorder — the linear fold; see
 //! `docs/COMMS.md`).
+//!
+//! Every builder comes in two flavours: the classic full-rank one and a
+//! `*_over` variant that spans only an explicit **member set** (the
+//! survivors of a [`crate::coll::Membership`] view). Survivor trees are
+//! what lets the epoch protocol route *around* known-dead interior
+//! relays instead of cascading `PeerLost` down their subtrees; with the
+//! full member set the `*_over` builders reduce exactly to the classic
+//! shapes.
 
 use crate::platform::Platform;
 
-/// A rooted spanning tree of ranks `0..p`, with children kept in both
-/// broadcast (send) order and gather (receive/fold) order.
+/// A rooted spanning tree over a subset of ranks `0..p` (all of them for
+/// the classic builders), with children kept in both broadcast (send)
+/// order and gather (receive/fold) order. Vectors are always indexed by
+/// *real* rank; non-member ranks simply have no parent, no children and
+/// a subtree of themselves only.
 #[derive(Debug, Clone)]
-pub(crate) struct Tree {
+pub struct Tree {
+    /// The root rank, stored explicitly: in a survivor tree, non-member
+    /// ranks also have `parent == None`, so the root is not derivable
+    /// from the parent vector alone.
+    root: usize,
     parent: Vec<Option<usize>>,
     /// Children in broadcast send order: deepest/remote subtree first.
     bcast: Vec<Vec<usize>>,
@@ -36,7 +51,12 @@ pub(crate) struct Tree {
 }
 
 impl Tree {
-    fn from_parts(p: usize, parent: Vec<Option<usize>>, bcast: Vec<Vec<usize>>) -> Self {
+    fn from_parts(
+        p: usize,
+        root: usize,
+        parent: Vec<Option<usize>>,
+        bcast: Vec<Vec<usize>>,
+    ) -> Self {
         let gather: Vec<Vec<usize>> = bcast
             .iter()
             .map(|cs| {
@@ -47,12 +67,13 @@ impl Tree {
             .collect();
         let mut subtree = vec![1usize; p];
         // Accumulate sizes bottom-up: process ranks in reverse BFS order.
-        for &r in Self::bfs_order(&bcast, &parent).iter().rev() {
+        for &r in Self::bfs_order(root, &bcast).iter().rev() {
             if let Some(q) = parent[r] {
                 subtree[q] += subtree[r];
             }
         }
         Tree {
+            root,
             parent,
             bcast,
             gather,
@@ -60,12 +81,8 @@ impl Tree {
         }
     }
 
-    fn bfs_order(bcast: &[Vec<usize>], parent: &[Option<usize>]) -> Vec<usize> {
-        let root = parent
-            .iter()
-            .position(|p| p.is_none())
-            .expect("tree: a root exists");
-        let mut order = Vec::with_capacity(parent.len());
+    fn bfs_order(root: usize, bcast: &[Vec<usize>]) -> Vec<usize> {
+        let mut order = Vec::with_capacity(bcast.len());
         let mut queue = std::collections::VecDeque::from([root]);
         while let Some(r) = queue.pop_front() {
             order.push(r);
@@ -74,13 +91,18 @@ impl Tree {
         order
     }
 
-    /// The parent of `rank` (`None` for the root).
-    pub(crate) fn parent(&self, rank: usize) -> Option<usize> {
+    /// The root rank of this schedule.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The parent of `rank` (`None` for the root and for non-members).
+    pub fn parent(&self, rank: usize) -> Option<usize> {
         self.parent[rank]
     }
 
     /// Children of `rank` in broadcast send order.
-    pub(crate) fn children_bcast(&self, rank: usize) -> &[usize] {
+    pub fn children_bcast(&self, rank: usize) -> &[usize] {
         &self.bcast[rank]
     }
 
@@ -117,15 +139,11 @@ impl Tree {
         out
     }
 
-    /// All ranks, parents before children, following broadcast order.
+    /// All member ranks, parents before children, following broadcast
+    /// order.
     pub(crate) fn preorder_bcast(&self) -> Vec<usize> {
-        let root = self
-            .parent
-            .iter()
-            .position(|p| p.is_none())
-            .expect("tree: a root exists");
         let mut out = Vec::with_capacity(self.parent.len());
-        let mut stack = vec![root];
+        let mut stack = vec![self.root];
         while let Some(r) = stack.pop() {
             out.push(r);
             stack.extend(self.bcast[r].iter().rev().copied());
@@ -133,15 +151,11 @@ impl Tree {
         out
     }
 
-    /// All ranks, children before parents, following gather order.
+    /// All member ranks, children before parents, following gather
+    /// order.
     pub(crate) fn postorder_gather(&self) -> Vec<usize> {
-        let root = self
-            .parent
-            .iter()
-            .position(|p| p.is_none())
-            .expect("tree: a root exists");
         let mut out = Vec::with_capacity(self.parent.len());
-        let mut stack = vec![root];
+        let mut stack = vec![self.root];
         while let Some(r) = stack.pop() {
             out.push(r);
             stack.extend(self.gather[r].iter().copied());
@@ -154,15 +168,23 @@ impl Tree {
 /// The star schedule: every rank is a direct child of `root`, in
 /// ascending rank order (exactly the legacy [`crate::comm`] loops).
 pub(crate) fn linear(root: usize, p: usize) -> Tree {
+    let members: Vec<usize> = (0..p).collect();
+    linear_over(root, &members, p)
+}
+
+/// [`linear`] restricted to `members` (ascending, containing `root`):
+/// every member is a direct child of `root`, in ascending rank order.
+pub(crate) fn linear_over(root: usize, members: &[usize], p: usize) -> Tree {
+    debug_assert!(members.contains(&root), "linear_over: root is a member");
     let mut parent = vec![None; p];
     let mut bcast = vec![Vec::new(); p];
-    for (r, slot) in parent.iter_mut().enumerate() {
+    for &r in members {
         if r != root {
-            *slot = Some(root);
+            parent[r] = Some(root);
             bcast[root].push(r);
         }
     }
-    Tree::from_parts(p, parent, bcast)
+    Tree::from_parts(p, root, parent, bcast)
 }
 
 /// The binomial schedule by recursive halving over virtual ranks
@@ -173,10 +195,26 @@ pub(crate) fn linear(root: usize, p: usize) -> Tree {
 /// which is what lets a binomial reduce *regroup* (not reorder) the
 /// linear left-fold when the root is rank 0.
 pub(crate) fn binomial(root: usize, p: usize) -> Tree {
-    let to_rank = |v: usize| (v + root) % p;
+    let members: Vec<usize> = (0..p).collect();
+    binomial_over(root, &members, p)
+}
+
+/// [`binomial`] restricted to `members` (ascending, containing `root`):
+/// recursive halving over *virtual indices* into the member list,
+/// rotated so index 0 is the root. With the full member set the virtual
+/// index of rank `r` is `(r − root) mod p`, reproducing [`binomial`]
+/// exactly; with survivors removed the halving runs over the compacted
+/// survivor list, so the tree never routes through a dead rank.
+pub(crate) fn binomial_over(root: usize, members: &[usize], p: usize) -> Tree {
+    let m = members.len();
+    let k = members
+        .iter()
+        .position(|&r| r == root)
+        .expect("binomial_over: root is a member");
+    let to_rank = |v: usize| members[(v + k) % m];
     let mut parent = vec![None; p];
     let mut bcast = vec![Vec::new(); p];
-    let mut stack = vec![(0usize, p)];
+    let mut stack = vec![(0usize, m)];
     while let Some((lo, mut hi)) = stack.pop() {
         while hi - lo > 1 {
             let span = hi - lo;
@@ -189,7 +227,7 @@ pub(crate) fn binomial(root: usize, p: usize) -> Tree {
             hi = child;
         }
     }
-    Tree::from_parts(p, parent, bcast)
+    Tree::from_parts(p, root, parent, bcast)
 }
 
 /// The two-level schedule matched to the platform's segment map: the
@@ -200,6 +238,23 @@ pub(crate) fn binomial(root: usize, p: usize) -> Tree {
 /// serial-link transfers start as early as possible. On a single-segment
 /// platform this degenerates to [`linear`].
 pub(crate) fn segment_hierarchical(root: usize, platform: &Platform) -> Tree {
+    let members: Vec<usize> = (0..platform.num_procs()).collect();
+    segment_hierarchical_over(root, platform, &members)
+}
+
+/// [`segment_hierarchical`] restricted to `members` (ascending,
+/// containing `root`): the leader of each remote segment is its **lowest
+/// surviving member**, so a segment whose original leader died simply
+/// promotes the next rank instead of stranding the whole segment.
+pub(crate) fn segment_hierarchical_over(
+    root: usize,
+    platform: &Platform,
+    members: &[usize],
+) -> Tree {
+    debug_assert!(
+        members.contains(&root),
+        "segment_hierarchical_over: root is a member"
+    );
     let p = platform.num_procs();
     let root_seg = platform.segment_of(root);
     let mut parent = vec![None; p];
@@ -207,18 +262,18 @@ pub(crate) fn segment_hierarchical(root: usize, platform: &Platform) -> Tree {
     // Segment id → ascending member ranks.
     let mut segments: std::collections::BTreeMap<usize, Vec<usize>> =
         std::collections::BTreeMap::new();
-    for r in 0..p {
+    for &r in members {
         segments.entry(platform.segment_of(r)).or_default().push(r);
     }
     let mut own_segment_mates = Vec::new();
-    for (seg, members) in &segments {
+    for (seg, seg_members) in &segments {
         if *seg == root_seg {
-            own_segment_mates.extend(members.iter().copied().filter(|&r| r != root));
+            own_segment_mates.extend(seg_members.iter().copied().filter(|&r| r != root));
         } else {
-            let leader = members[0];
+            let leader = seg_members[0];
             parent[leader] = Some(root);
             bcast[root].push(leader);
-            for &r in &members[1..] {
+            for &r in &seg_members[1..] {
                 parent[r] = Some(leader);
                 bcast[leader].push(r);
             }
@@ -229,7 +284,7 @@ pub(crate) fn segment_hierarchical(root: usize, platform: &Platform) -> Tree {
         parent[r] = Some(root);
         bcast[root].push(r);
     }
-    Tree::from_parts(p, parent, bcast)
+    Tree::from_parts(p, root, parent, bcast)
 }
 
 #[cfg(test)]
@@ -379,6 +434,87 @@ mod tests {
         // Rank 4's subtree: itself, then gather-order children's subtrees.
         assert_eq!(t.subtree_order(4), vec![4, 5, 6, 7]);
         assert_eq!(t.subtree_order(2), vec![2, 3]);
+    }
+
+    fn assert_spanning_over(tree: &Tree, root: usize, members: &[usize]) {
+        assert_eq!(tree.root(), root);
+        assert_eq!(tree.parent(root), None);
+        let mut order = tree.subtree_order(root);
+        order.sort_unstable();
+        assert_eq!(order, members, "tree must span exactly the members");
+        assert_eq!(tree.subtree_size(root), members.len());
+        for &r in members {
+            if r != root {
+                let q = tree.parent(r).expect("non-root member has a parent");
+                assert!(members.contains(&q), "parents are members");
+                assert!(tree.children_bcast(q).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn over_builders_with_full_set_match_classic_shapes() {
+        let members: Vec<usize> = (0..8).collect();
+        let (a, b) = (binomial(3, 8), binomial_over(3, &members, 8));
+        for r in 0..8 {
+            assert_eq!(a.parent(r), b.parent(r));
+            assert_eq!(a.children_bcast(r), b.children_bcast(r));
+            assert_eq!(a.subtree_size(r), b.subtree_size(r));
+        }
+        let plat = platform_with_segments(&[0, 0, 1, 1, 1, 2, 2]);
+        let members: Vec<usize> = (0..7).collect();
+        let (a, b) = (
+            segment_hierarchical(0, &plat),
+            segment_hierarchical_over(0, &plat, &members),
+        );
+        for r in 0..7 {
+            assert_eq!(a.parent(r), b.parent(r));
+            assert_eq!(a.children_bcast(r), b.children_bcast(r));
+        }
+    }
+
+    #[test]
+    fn linear_over_spans_only_members() {
+        let t = linear_over(0, &[0, 1, 3, 4], 5);
+        assert_eq!(t.children_bcast(0), &[1, 3, 4]);
+        assert_eq!(t.parent(2), None);
+        assert!(t.children_bcast(2).is_empty());
+        assert_spanning_over(&t, 0, &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn binomial_over_routes_around_dead_relay() {
+        // In binomial(0, 8), rank 4 relays to subtree {4,5,6,7}. Remove
+        // it: the survivor tree must span the other 7 without touching 4.
+        let members = vec![0, 1, 2, 3, 5, 6, 7];
+        let t = binomial_over(0, &members, 8);
+        assert_spanning_over(&t, 0, &members);
+        for &r in &members {
+            assert!(!t.children_bcast(r).contains(&4), "dead rank never a child");
+            assert_ne!(t.parent(r), Some(4), "dead rank never a parent");
+        }
+        // Halving over the 7 survivors: children of virtual 0 at virtual
+        // offsets 4, 2, 1 → ranks 5, 2, 1.
+        assert_eq!(t.children_bcast(0), &[5, 2, 1]);
+    }
+
+    #[test]
+    fn binomial_over_nonzero_root_rotates_member_list() {
+        let members = vec![1, 2, 3, 5, 7];
+        let t = binomial_over(3, &members, 8);
+        assert_spanning_over(&t, 3, &members);
+    }
+
+    #[test]
+    fn hierarchical_over_promotes_next_surviving_leader() {
+        // Segments: 0 0 1 1 1 2 2. Killing rank 2 (segment 1's leader)
+        // must promote rank 3, not strand ranks 3 and 4.
+        let plat = platform_with_segments(&[0, 0, 1, 1, 1, 2, 2]);
+        let members = vec![0, 1, 3, 4, 5, 6];
+        let t = segment_hierarchical_over(0, &plat, &members);
+        assert_eq!(t.children_bcast(0), &[3, 5, 1]);
+        assert_eq!(t.children_bcast(3), &[4]);
+        assert_spanning_over(&t, 0, &members);
     }
 
     #[test]

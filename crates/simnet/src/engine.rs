@@ -223,6 +223,10 @@ pub struct Ctx<M: Wire> {
     /// [`crate::coll`]); the root's log lands in
     /// [`RunReport::collectives`].
     coll_log: Vec<crate::coll::CollectiveChoice>,
+    /// Membership epoch transitions recorded on this rank (see
+    /// [`Ctx::mark_epoch`]); the root's log lands in
+    /// [`RunReport::epochs`].
+    epoch_log: Vec<crate::report::EpochTransition>,
     /// Host-side copy telemetry for this rank's collective fan-outs;
     /// summed over ranks into [`RunReport::copies`].
     copies: crate::report::CopyStats,
@@ -359,6 +363,15 @@ impl<M: Wire> Ctx<M> {
     /// The platform this run executes on.
     pub fn platform(&self) -> &Platform {
         &self.platform
+    }
+
+    /// The fault plan this run executes under (empty when none was
+    /// attached). Schedulers use it to derive *analytic* bounds — e.g.
+    /// the worst-case completion of a batch on a merely-slowed worker
+    /// via [`FaultPlan::dilate`] — from the same plan the engine
+    /// charges, keeping predictions and measurements consistent.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Current virtual time in seconds.
@@ -587,6 +600,22 @@ impl<M: Wire> Ctx<M> {
         self.record(start, TraceKind::Recovery { lost });
     }
 
+    /// Records a membership epoch transition at the current virtual
+    /// time: this rank's [`crate::coll::Membership`] view observed the
+    /// failure of `failed` and advanced to `epoch`, leaving `survivors`
+    /// ranks alive. Emits a zero-length trace marker and appends to the
+    /// rank's epoch log (the root's log lands in
+    /// [`RunReport::epochs`]).
+    pub fn mark_epoch(&mut self, epoch: u64, failed: usize, survivors: usize) {
+        self.record(self.ledger.now, TraceKind::EpochBump { epoch });
+        self.epoch_log.push(crate::report::EpochTransition {
+            epoch,
+            at: self.ledger.now,
+            failed,
+            survivors,
+        });
+    }
+
     /// The per-message sender-side latency this run charges. The
     /// collectives' cost model ([`crate::coll::predict`]) replays it.
     pub(crate) fn msg_latency_s(&self) -> f64 {
@@ -768,6 +797,7 @@ impl Engine {
         type Outcome<R> = (
             TimeLedger,
             Vec<crate::coll::CollectiveChoice>,
+            Vec<crate::report::EpochTransition>,
             crate::report::CopyStats,
             Option<R>,
             Option<RankFailure>,
@@ -805,6 +835,7 @@ impl Engine {
                         rxs,
                         pending: (0..p).map(|_| None).collect(),
                         coll_log: Vec::new(),
+                        epoch_log: Vec::new(),
                         copies: crate::report::CopyStats::default(),
                         trace,
                     };
@@ -849,6 +880,7 @@ impl Engine {
                     (
                         ctx.ledger,
                         std::mem::take(&mut ctx.coll_log),
+                        std::mem::take(&mut ctx.epoch_log),
                         ctx.copies,
                         result,
                         failure,
@@ -869,17 +901,21 @@ impl Engine {
         let mut results = Vec::with_capacity(p);
         let mut failures = Vec::new();
         let mut collectives = Vec::new();
+        let mut epochs = Vec::new();
         let mut copies = crate::report::CopyStats::default();
         for (rank, o) in outcomes.into_iter().enumerate() {
-            let (ledger, coll_log, rank_copies, result, failure) =
+            let (ledger, coll_log, epoch_log, rank_copies, result, failure) =
                 o.expect("engine: missing rank outcome");
             ledgers.push(ledger);
             results.push(result);
             copies.merge(rank_copies);
             if rank == 0 {
                 // Collective choices are resolved identically on every
-                // rank; the root's log is the canonical record.
+                // rank; the root's log is the canonical record. Same for
+                // epoch transitions: the coordinator's view is
+                // authoritative.
                 collectives = coll_log;
+                epochs = epoch_log;
             }
             if let Some(f) = failure {
                 failures.push(f);
@@ -888,6 +924,7 @@ impl Engine {
         let mut report =
             RunReport::with_failures(self.platform.name().to_string(), ledgers, results, failures);
         report.collectives = collectives;
+        report.epochs = epochs;
         report.copies = copies;
         report
     }

@@ -99,6 +99,77 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Structured rejection of an invalid [`FaultPlan`] entry at
+/// construction time.
+///
+/// Historically a `slowdown` window with `factor = +∞` passed the
+/// builder's range assert and then sent [`FaultPlan::dilate`] into an
+/// infinite loop (each window slice contributes zero capacity), while a
+/// `link_degraded` window with a non-finite factor was *silently
+/// dropped* by the finite-factor filter in
+/// [`FaultPlan::adjust_transfer`] — the plan looked armed but did
+/// nothing. Both are now rejected here, at plan construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A `slowdown` factor that is NaN, ±∞, or not strictly positive.
+    InvalidSlowdownFactor {
+        /// The rank the window targeted.
+        rank: usize,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A `link_degraded` factor that is NaN, ±∞, or below 1.
+    InvalidLinkFactor {
+        /// Lower-numbered segment of the link.
+        seg_a: usize,
+        /// Higher-numbered segment of the link.
+        seg_b: usize,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A window whose end does not lie strictly after its start.
+    EmptyWindow {
+        /// Window start (virtual seconds).
+        from: f64,
+        /// Window end (virtual seconds).
+        until: f64,
+    },
+    /// A crash scheduled at a negative (or NaN) virtual time.
+    InvalidCrashTime {
+        /// The rank the crash targeted.
+        rank: usize,
+        /// The offending crash instant.
+        at: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::InvalidSlowdownFactor { rank, factor } => write!(
+                f,
+                "slowdown factor for rank {rank} must be finite and > 0 (got {factor})"
+            ),
+            FaultPlanError::InvalidLinkFactor {
+                seg_a,
+                seg_b,
+                factor,
+            } => write!(
+                f,
+                "link degradation factor for segments {seg_a}\u{2194}{seg_b} must be finite and \u{2265} 1 (got {factor}); use link_outage for a down link"
+            ),
+            FaultPlanError::EmptyWindow { from, until } => {
+                write!(f, "fault window [{from}, {until}) is empty")
+            }
+            FaultPlanError::InvalidCrashTime { rank, at } => {
+                write!(f, "crash time for rank {rank} must be non-negative (got {at})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// One per-rank slowdown window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Slowdown {
@@ -142,32 +213,104 @@ impl FaultPlan {
     /// `at` seconds. A rank that never advances past `at` (e.g. it
     /// finishes earlier) exits cleanly — a crash only materialises on
     /// activity at or after the crash instant.
-    pub fn crash(mut self, rank: usize, at: f64) -> Self {
-        assert!(at >= 0.0, "crash time must be non-negative");
+    ///
+    /// # Panics
+    /// On an invalid crash time; use [`FaultPlan::try_crash`] for a
+    /// structured [`FaultPlanError`] instead.
+    pub fn crash(self, rank: usize, at: f64) -> Self {
+        match self.try_crash(rank, at) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`FaultPlan::crash`]: rejects NaN or negative
+    /// crash times with a structured [`FaultPlanError`].
+    pub fn try_crash(mut self, rank: usize, at: f64) -> Result<Self, FaultPlanError> {
+        let at_ok = at.is_finite() && at >= 0.0;
+        if !at_ok {
+            return Err(FaultPlanError::InvalidCrashTime { rank, at });
+        }
         self.crashes.push((rank, at));
-        self
+        Ok(self)
     }
 
     /// During `[from, until)`, computation on `rank` takes `factor`×
     /// its nominal time (`factor ≥ 1`: an external load stealing
     /// cycles; `factor < 1` would model a turbo boost and is allowed).
-    pub fn slowdown(mut self, rank: usize, from: f64, until: f64, factor: f64) -> Self {
-        assert!(factor > 0.0, "slowdown factor must be positive");
-        assert!(until > from, "slowdown window must be non-empty");
+    ///
+    /// # Panics
+    /// On a NaN/±∞/non-positive factor or an empty window; use
+    /// [`FaultPlan::try_slowdown`] for a structured [`FaultPlanError`]
+    /// instead. An infinite factor is rejected rather than treated as a
+    /// halt: [`FaultPlan::dilate`] integrates work through windows, and
+    /// an infinite factor yields zero capacity per slice (a
+    /// non-terminating integral). Model a dead rank with
+    /// [`FaultPlan::crash`].
+    pub fn slowdown(self, rank: usize, from: f64, until: f64, factor: f64) -> Self {
+        match self.try_slowdown(rank, from, until, factor) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`FaultPlan::slowdown`]: rejects NaN, ±∞ and
+    /// non-positive factors (and empty windows) with a structured
+    /// [`FaultPlanError`].
+    pub fn try_slowdown(
+        mut self,
+        rank: usize,
+        from: f64,
+        until: f64,
+        factor: f64,
+    ) -> Result<Self, FaultPlanError> {
+        let factor_ok = factor.is_finite() && factor > 0.0;
+        if !factor_ok {
+            return Err(FaultPlanError::InvalidSlowdownFactor { rank, factor });
+        }
+        let window_ok = until > from;
+        if !window_ok {
+            return Err(FaultPlanError::EmptyWindow { from, until });
+        }
         self.slowdowns.push(Slowdown {
             rank,
             from,
             until,
             factor,
         });
-        self
+        Ok(self)
     }
 
     /// The `seg_a`↔`seg_b` inter-segment link is down during
     /// `[from, until)`: transfers starting inside the window wait for
     /// it to end.
-    pub fn link_outage(mut self, seg_a: usize, seg_b: usize, from: f64, until: f64) -> Self {
-        assert!(until > from, "outage window must be non-empty");
+    ///
+    /// # Panics
+    /// On an empty window; use [`FaultPlan::try_link_outage`] for a
+    /// structured [`FaultPlanError`] instead.
+    pub fn link_outage(self, seg_a: usize, seg_b: usize, from: f64, until: f64) -> Self {
+        match self.try_link_outage(seg_a, seg_b, from, until) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`FaultPlan::link_outage`]: rejects empty
+    /// windows with a structured [`FaultPlanError`]. (An outage is the
+    /// one legitimate infinite-factor window; it is stored with
+    /// `factor = ∞` internally and handled by the start-pushing loop in
+    /// [`FaultPlan::adjust_transfer`], never by duration stretching.)
+    pub fn try_link_outage(
+        mut self,
+        seg_a: usize,
+        seg_b: usize,
+        from: f64,
+        until: f64,
+    ) -> Result<Self, FaultPlanError> {
+        let window_ok = until > from;
+        if !window_ok {
+            return Err(FaultPlanError::EmptyWindow { from, until });
+        }
         self.links.push(LinkWindow {
             a: seg_a.min(seg_b),
             b: seg_a.max(seg_b),
@@ -175,22 +318,57 @@ impl FaultPlan {
             until,
             factor: f64::INFINITY,
         });
-        self
+        Ok(self)
     }
 
     /// The `seg_a`↔`seg_b` link is `factor`× slower for transfers
     /// starting during `[from, until)` (the factor is sampled at the
     /// transfer's start — a documented approximation).
+    ///
+    /// # Panics
+    /// On a NaN/±∞/sub-1 factor or an empty window; use
+    /// [`FaultPlan::try_link_degraded`] for a structured
+    /// [`FaultPlanError`] instead. An infinite factor used to slip
+    /// through the old range assert and then be silently ignored by the
+    /// finite-factor match in [`FaultPlan::adjust_transfer`]; it is now
+    /// rejected here with a pointer to [`FaultPlan::link_outage`].
     pub fn link_degraded(
-        mut self,
+        self,
         seg_a: usize,
         seg_b: usize,
         from: f64,
         until: f64,
         factor: f64,
     ) -> Self {
-        assert!(factor >= 1.0, "degradation factor must be ≥ 1");
-        assert!(until > from, "degradation window must be non-empty");
+        match self.try_link_degraded(seg_a, seg_b, from, until, factor) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`FaultPlan::link_degraded`]: rejects NaN, ±∞
+    /// and sub-1 factors (and empty windows) with a structured
+    /// [`FaultPlanError`].
+    pub fn try_link_degraded(
+        mut self,
+        seg_a: usize,
+        seg_b: usize,
+        from: f64,
+        until: f64,
+        factor: f64,
+    ) -> Result<Self, FaultPlanError> {
+        let factor_ok = factor.is_finite() && factor >= 1.0;
+        if !factor_ok {
+            return Err(FaultPlanError::InvalidLinkFactor {
+                seg_a: seg_a.min(seg_b),
+                seg_b: seg_a.max(seg_b),
+                factor,
+            });
+        }
+        let window_ok = until > from;
+        if !window_ok {
+            return Err(FaultPlanError::EmptyWindow { from, until });
+        }
         self.links.push(LinkWindow {
             a: seg_a.min(seg_b),
             b: seg_a.max(seg_b),
@@ -198,7 +376,19 @@ impl FaultPlan {
             until,
             factor,
         });
-        self
+        Ok(self)
+    }
+
+    /// Largest slowdown factor that any window for `rank` applies at or
+    /// after `start` (1.0 when no window is active). This is the
+    /// analytic worst case a scheduler may use to bound how late a
+    /// merely-slowed (not crashed) rank can finish nominal work.
+    pub fn max_slowdown_factor(&self, rank: usize, start: f64) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|s| s.rank == rank && s.until > start)
+            .map(|s| s.factor)
+            .fold(1.0f64, f64::max)
     }
 
     /// Earliest scheduled crash time of `rank`, if any.
@@ -364,6 +554,97 @@ mod tests {
         assert_eq!(plan.adjust_transfer(0, 1, 2.0, 0.5), (2.0, 2.0));
         // Outside the window: untouched.
         assert_eq!(plan.adjust_transfer(0, 1, 20.0, 0.5), (20.0, 0.5));
+    }
+
+    #[test]
+    fn non_finite_slowdown_factors_are_rejected_at_construction() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -2.0] {
+            let err = FaultPlan::new()
+                .try_slowdown(3, 0.0, 1.0, bad)
+                .expect_err("factor must be rejected");
+            match err {
+                FaultPlanError::InvalidSlowdownFactor { rank, factor } => {
+                    assert_eq!(rank, 3);
+                    assert!(factor.is_nan() == bad.is_nan() && (factor.is_nan() || factor == bad));
+                }
+                other => panic!("wrong error: {other:?}"),
+            }
+        }
+        // Valid factors (including turbo-boost < 1) still construct.
+        assert!(FaultPlan::new().try_slowdown(0, 0.0, 1.0, 0.5).is_ok());
+        assert!(FaultPlan::new().try_slowdown(0, 0.0, 1.0, 8.0).is_ok());
+    }
+
+    #[test]
+    fn non_finite_link_degradation_factors_are_rejected_at_construction() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.5, -1.0] {
+            let err = FaultPlan::new()
+                .try_link_degraded(1, 0, 0.0, 1.0, bad)
+                .expect_err("factor must be rejected");
+            match err {
+                FaultPlanError::InvalidLinkFactor { seg_a, seg_b, .. } => {
+                    assert_eq!((seg_a, seg_b), (0, 1), "segments normalised low-high");
+                }
+                other => panic!("wrong error: {other:?}"),
+            }
+        }
+        // The error text points the caller at the outage API.
+        let msg = FaultPlan::new()
+            .try_link_degraded(0, 1, 0.0, 1.0, f64::INFINITY)
+            .expect_err("infinite degradation rejected")
+            .to_string();
+        assert!(msg.contains("link_outage"), "got: {msg}");
+        // link_outage itself (the legitimate internal ∞) is unaffected.
+        let plan = FaultPlan::new().link_outage(0, 1, 1.0, 3.0);
+        assert_eq!(plan.adjust_transfer(0, 1, 2.0, 0.5), (3.0, 0.5));
+    }
+
+    #[test]
+    fn infallible_builders_panic_with_structured_message() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = FaultPlan::new().slowdown(2, 0.0, 1.0, f64::INFINITY);
+        })
+        .expect_err("must panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("finite"), "got: {msg}");
+        assert!(msg.contains("rank 2"), "got: {msg}");
+    }
+
+    #[test]
+    fn empty_windows_and_bad_crash_times_are_structured_errors() {
+        assert_eq!(
+            FaultPlan::new().try_slowdown(0, 2.0, 2.0, 2.0),
+            Err(FaultPlanError::EmptyWindow {
+                from: 2.0,
+                until: 2.0
+            })
+        );
+        assert_eq!(
+            FaultPlan::new().try_link_outage(0, 1, 5.0, 4.0),
+            Err(FaultPlanError::EmptyWindow {
+                from: 5.0,
+                until: 4.0
+            })
+        );
+        assert_eq!(
+            FaultPlan::new().try_crash(1, -0.5),
+            Err(FaultPlanError::InvalidCrashTime { rank: 1, at: -0.5 })
+        );
+        assert!(FaultPlan::new().try_crash(1, f64::NAN).is_err());
+        assert!(FaultPlan::new().try_crash(1, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn max_slowdown_factor_reports_worst_active_window() {
+        let plan = FaultPlan::new()
+            .slowdown(1, 0.0, 2.0, 3.0)
+            .slowdown(1, 1.0, 5.0, 6.0)
+            .slowdown(2, 0.0, 9.0, 2.0);
+        assert_eq!(plan.max_slowdown_factor(1, 0.0), 6.0);
+        // Windows entirely before `start` no longer apply.
+        assert_eq!(plan.max_slowdown_factor(1, 2.5), 6.0);
+        assert_eq!(plan.max_slowdown_factor(1, 5.5), 1.0);
+        assert_eq!(plan.max_slowdown_factor(0, 0.0), 1.0);
     }
 
     #[test]

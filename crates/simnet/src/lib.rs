@@ -79,9 +79,10 @@ pub mod report;
 pub mod trace;
 
 pub use coll::{
-    CollAlgorithm, CollError, CollOp, CollectiveChoice, CollectiveConfig, GatherEntry, ScatterMode,
+    CollAlgorithm, CollError, CollOp, CollectiveChoice, CollectiveConfig, GatherEntry, Membership,
+    ScatterMode, Stamped, Tree,
 };
 pub use engine::{Ctx, Engine, Wire};
-pub use faults::{FailureCause, FaultPlan, RankFailure, RecvError};
+pub use faults::{FailureCause, FaultPlan, FaultPlanError, RankFailure, RecvError};
 pub use platform::{Platform, ProcessorSpec};
-pub use report::{CopyStats, RunReport};
+pub use report::{CopyStats, EpochTransition, RunReport};

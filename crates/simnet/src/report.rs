@@ -44,6 +44,25 @@ impl CopyStats {
     }
 }
 
+/// One membership-view epoch bump recorded by a run's coordinator (see
+/// [`crate::coll::Membership`]): the coordinator observed a new rank
+/// failure and moved its view to `epoch`.
+///
+/// Deterministic — failures are virtual-time events and the observer's
+/// protocol is fixed — so the transition log participates in the
+/// report's bit-identity comparisons like [`CollectiveChoice`]s do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochTransition {
+    /// The epoch the view moved *to* (first bump is epoch 1).
+    pub epoch: u64,
+    /// Virtual time at which the coordinator observed the failure.
+    pub at: f64,
+    /// The rank whose failure triggered this bump.
+    pub failed: usize,
+    /// Survivor count after the bump.
+    pub survivors: usize,
+}
+
 /// The outcome of one [`crate::Engine::run`].
 ///
 /// `PartialEq` compares every *simulation* field — including each rank's
@@ -68,6 +87,12 @@ pub struct RunReport<R> {
     /// in call order; see [`crate::coll`]). Deterministic, so it
     /// participates in the report's bit-identity comparisons.
     pub collectives: Vec<CollectiveChoice>,
+    /// Membership epoch transitions observed by the run's coordinator
+    /// (rank 0's log, in observation order; empty unless the program
+    /// drives a [`crate::coll::Membership`] view through
+    /// [`crate::Ctx::mark_epoch`]). Deterministic, so it participates in
+    /// bit-identity comparisons.
+    pub epochs: Vec<EpochTransition>,
     /// Copy telemetry summed over all ranks (host observability only;
     /// not part of the `PartialEq` identity contract).
     pub copies: CopyStats,
@@ -81,6 +106,7 @@ impl<R: PartialEq> PartialEq for RunReport<R> {
             && self.failures == other.failures
             && self.total_time == other.total_time
             && self.collectives == other.collectives
+            && self.epochs == other.epochs
     }
 }
 
@@ -111,6 +137,7 @@ impl<R> RunReport<R> {
             failures,
             total_time,
             collectives: Vec::new(),
+            epochs: Vec::new(),
             copies: CopyStats::default(),
         }
     }

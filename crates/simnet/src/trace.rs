@@ -34,6 +34,12 @@ pub enum TraceKind {
         /// The rank whose loss triggered the recovery.
         lost: usize,
     },
+    /// Membership epoch bump (zero-length marker): the coordinator's
+    /// view observed a new failure and advanced to `epoch`.
+    EpochBump {
+        /// The epoch the view moved to.
+        epoch: u64,
+    },
 }
 
 /// One traced interval on a rank's virtual timeline.
@@ -79,13 +85,13 @@ impl Trace {
     /// Renders a text Gantt chart, one row per rank, `width` columns
     /// wide. Legend: `#` parallel compute, `S` sequential compute,
     /// `s` send overhead, `r` receive wait, `X` crash, `R` recovery,
-    /// `.` idle.
+    /// `E` epoch bump, `.` idle.
     pub fn gantt(&self, num_ranks: usize, width: usize) -> String {
         let horizon = self.horizon().max(f64::MIN_POSITIVE);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "virtual time 0 .. {horizon:.3} s  (# par, S seq, s send, r recv, X crash, R recovery, . idle)"
+            "virtual time 0 .. {horizon:.3} s  (# par, S seq, s send, r recv, X crash, R recovery, E epoch, . idle)"
         );
         for rank in 0..num_ranks {
             let mut row = vec!['.'; width];
@@ -104,11 +110,13 @@ impl Trace {
                     TraceKind::Recv { .. } => 'r',
                     TraceKind::Crash => 'X',
                     TraceKind::Recovery { .. } => 'R',
+                    TraceKind::EpochBump { .. } => 'E',
                 };
                 for c in row.iter_mut().take(b).skip(a.min(width)) {
                     // Compute paints over comm; fault markers paint over
                     // everything (they're the rarest and most important).
-                    if *c == '.' || (*c != '#' && ch == '#') || ch == 'X' || ch == 'R' {
+                    if *c == '.' || (*c != '#' && ch == '#') || ch == 'X' || ch == 'R' || ch == 'E'
+                    {
                         *c = ch;
                     }
                 }

@@ -272,3 +272,69 @@ fn crashes_are_recorded_as_structured_failures() {
     assert!((f.at - 0.05).abs() < 1e-12);
     assert!(run.report.failure_of(1).is_none());
 }
+
+/// Epoch-stamped tree mode: the round state travels down the survivor
+/// tree instead of the linear master fan-out. An interior relay (a
+/// segment leader) crashing at any point — before the round, mid state
+/// distribution, mid compute — must leave the fixed-grid self-sched
+/// output untouched and the replan output correct, bump the membership
+/// epoch exactly once per observed loss, and replay bit-identically.
+#[test]
+fn tree_mode_interior_relay_crashes_keep_every_contribution() {
+    let s = scene();
+    let p = params();
+    let want = coords(&seq::atdca(&s.cube, &p).result);
+    let algo = AtdcaChunks::new(&s.cube, &p);
+    let opts = FtOptions {
+        collectives: CollectiveConfig::uniform(CollAlgorithm::SegmentHierarchical),
+        ..FtOptions::default()
+    };
+    // Ranks 4 and 10 lead segments 1 and 3 of `fully_heterogeneous` —
+    // both relay the round state onward in the segment-hierarchical
+    // tree. The times span barrier-phase and compute-phase crashes.
+    for &(rank, at) in &[(4usize, 0.0001), (4, 0.05), (10, 0.01), (10, 0.2)] {
+        let plan = || FaultPlan::new().crash(rank, at);
+        let ss = run_self_sched(&engine_with(plan()), &algo, &opts);
+        assert_eq!(
+            coords(&ss.output),
+            want,
+            "tree self-sched crash({rank},{at})"
+        );
+        let rp = run_replan(&engine_with(plan()), &algo, &opts);
+        assert_eq!(coords(&rp.output), want, "tree replan crash({rank},{at})");
+        for run in [&ss, &rp] {
+            // One epoch bump per observed loss, naming the lost rank.
+            assert_eq!(run.report.epochs.len(), run.recoveries.len());
+            for (e, r) in run.report.epochs.iter().zip(&run.recoveries) {
+                assert_eq!(e.failed, rank);
+                assert_eq!(r.rank, rank);
+                assert_eq!(e.survivors, 15, "one loss of 16 ranks");
+            }
+        }
+        if at <= 0.05 {
+            assert!(!ss.recoveries.is_empty(), "crash({rank},{at}) must be seen");
+        }
+        let ss2 = run_self_sched(&engine_with(plan()), &algo, &opts);
+        assert_eq!(ss.report, ss2.report, "tree self-sched rerun drift");
+        assert_eq!(coords(&ss2.output), want);
+        let rp2 = run_replan(&engine_with(plan()), &algo, &opts);
+        assert_eq!(rp.report, rp2.report, "tree replan rerun drift");
+    }
+}
+
+/// Tree mode under the cost-model selector: `Auto` must resolve to a
+/// concrete schedule per round and still survive a relay crash.
+#[test]
+fn tree_mode_auto_survives_a_relay_crash() {
+    let s = scene();
+    let p = params();
+    let want = coords(&seq::atdca(&s.cube, &p).result);
+    let algo = AtdcaChunks::new(&s.cube, &p);
+    let opts = FtOptions {
+        collectives: CollectiveConfig::uniform(CollAlgorithm::Auto),
+        ..FtOptions::default()
+    };
+    let run = run_self_sched(&engine_with(FaultPlan::new().crash(8, 0.02)), &algo, &opts);
+    assert_eq!(coords(&run.output), want);
+    assert_eq!(run.report.epochs.len(), run.recoveries.len());
+}
