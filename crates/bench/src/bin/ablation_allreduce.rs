@@ -28,7 +28,7 @@
 
 use hetero_hsi::config::{AlgoParams, RunOptions};
 use repro_bench::microjson::{object, Json};
-use repro_bench::{print_table, write_csv};
+use repro_bench::{epoch_secs, gate_status, git_commit, print_table, write_csv};
 use simnet::engine::{Engine, WireVec};
 use simnet::{coll, CollAlgorithm, CollectiveConfig, Platform};
 
@@ -152,16 +152,6 @@ fn detection_outputs(
         digest(&ufcls.result),
         ufcls.report.total_time,
     )
-}
-
-fn git_commit() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 fn main() {
@@ -351,10 +341,7 @@ fn main() {
         if model_exact { "PASS" } else { "FAIL" }
     );
 
-    let epoch_secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+    let epoch_secs = epoch_secs();
     let all_passed = gate_collective && gate_fused_e2e && gate_overlap && model_exact;
     let doc = object(vec![
         ("commit", Json::String(git_commit())),
@@ -397,6 +384,7 @@ fn main() {
                 ("fused_ufcls_end_to_end", Json::Bool(gate_fused_e2e)),
                 ("overlap_never_slower", Json::Bool(gate_overlap)),
                 ("model_exact", Json::Bool(model_exact)),
+                ("status", Json::String(gate_status(true, all_passed).into())),
                 ("passed", Json::Bool(all_passed)),
             ]),
         ),

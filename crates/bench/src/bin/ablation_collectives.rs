@@ -25,7 +25,7 @@
 
 use hetero_hsi::config::{AlgoParams, RunOptions};
 use repro_bench::microjson::{object, Json};
-use repro_bench::{print_table, write_csv};
+use repro_bench::{epoch_secs, gate_status, git_commit, print_table, write_csv};
 use simnet::engine::{Engine, WireVec};
 use simnet::{coll, CollAlgorithm, CollOp, CollectiveConfig, Platform};
 
@@ -129,16 +129,6 @@ fn algorithm_outputs(
         pct.result.0,
         morph.result,
     )
-}
-
-fn git_commit() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 fn main() {
@@ -306,10 +296,7 @@ fn main() {
         if gate_identity { "PASS" } else { "FAIL" }
     );
 
-    let epoch_secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+    let epoch_secs = epoch_secs();
     let all_passed = gate_topology && gate_auto && gate_identity && model_exact;
     let doc = object(vec![
         ("commit", Json::String(git_commit())),
@@ -339,6 +326,7 @@ fn main() {
                 ("auto_undominated", Json::Bool(gate_auto)),
                 ("outputs_identical", Json::Bool(gate_identity)),
                 ("model_exact", Json::Bool(model_exact)),
+                ("status", Json::String(gate_status(true, all_passed).into())),
                 ("passed", Json::Bool(all_passed)),
             ]),
         ),

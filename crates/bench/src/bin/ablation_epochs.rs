@@ -29,19 +29,9 @@ use hetero_hsi::sched::AtdcaChunks;
 use hetero_hsi::seq::DetectedTarget;
 use hsi_cube::synth::wtc_scene;
 use repro_bench::microjson::{object, Json};
-use repro_bench::{print_table, scene_config, write_csv};
+use repro_bench::{epoch_secs, gate_status, git_commit, print_table, scene_config, write_csv};
 use simnet::engine::Engine;
 use simnet::{CollAlgorithm, CollectiveConfig, FaultPlan};
-
-fn git_commit() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
-}
 
 /// Full-fidelity output digest: coordinates *and* spectra, so a lost or
 /// substituted contribution cannot hide behind a matching pixel count.
@@ -212,10 +202,7 @@ fn main() {
         crash_lin_rp.report.total_time,
     );
 
-    let epoch_secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+    let epoch_secs = epoch_secs();
     let all_passed = gate_no_loss && gate_tree_wins;
     let doc = object(vec![
         ("commit", Json::String(git_commit())),
@@ -256,6 +243,7 @@ fn main() {
             object(vec![
                 ("no_contribution_loss", Json::Bool(gate_no_loss)),
                 ("tree_beats_linear", Json::Bool(gate_tree_wins)),
+                ("status", Json::String(gate_status(true, all_passed).into())),
                 ("passed", Json::Bool(all_passed)),
             ]),
         ),

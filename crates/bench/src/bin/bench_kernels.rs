@@ -25,6 +25,7 @@ use hsi_cube::synth::{wtc_scene, WtcConfig};
 use hsi_linalg::covariance::CovarianceAccumulator;
 use hsi_linalg::ortho::OrthoBasis;
 use repro_bench::microjson::{object, Json};
+use repro_bench::{epoch_secs, gate_status, git_commit};
 use std::time::Instant;
 
 /// Required parallel-vs-scalar speedup on the gated kernels.
@@ -76,16 +77,6 @@ impl KernelRecord {
             ),
         ])
     }
-}
-
-fn git_commit() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 fn main() {
@@ -248,23 +239,14 @@ fn main() {
         .collect();
     let gate_passed = gated.iter().all(|r| r.speedup() >= GATE_SPEEDUP);
     let enforced = gate_requested && gate_meaningful;
-    let gate_status = if !gate_meaningful {
-        "skipped"
-    } else if gate_passed {
-        "passed"
-    } else {
-        "failed"
-    };
+    let status = gate_status(gate_meaningful, gate_passed);
     if gate_requested && !gate_meaningful {
         eprintln!(
             "# gate requested but host has {cores} cores / {threads} threads (< {GATE_MIN_CORES}): recording only"
         );
     }
 
-    let epoch_secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+    let epoch_secs = epoch_secs();
     let doc = object(vec![
         ("commit", Json::String(git_commit())),
         ("epoch_secs", Json::Number(epoch_secs as f64)),
@@ -293,7 +275,7 @@ fn main() {
                 // meaningful (< min_cores); distinct from a genuine
                 // "failed" so trend tooling never mistakes a small CI
                 // runner for a regression.
-                ("status", Json::String(gate_status.into())),
+                ("status", Json::String(status.into())),
                 ("passed", Json::Bool(gate_passed)),
             ]),
         ),

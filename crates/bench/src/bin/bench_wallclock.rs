@@ -34,7 +34,7 @@
 
 use hetero_hsi::config::{AlgoParams, RunOptions};
 use repro_bench::microjson::{object, Json};
-use repro_bench::{print_table, run_algorithm, ALGORITHMS};
+use repro_bench::{epoch_secs, gate_status, git_commit, print_table, run_algorithm, ALGORITHMS};
 use simnet::engine::{Engine, WireVec};
 use simnet::{coll, CollAlgorithm, CollectiveConfig, CopyStats};
 use std::sync::Arc;
@@ -68,16 +68,6 @@ fn copies_json(c: &CopyStats) -> Json {
             Json::Number(c.bytes_owned_baseline as f64),
         ),
     ])
-}
-
-fn git_commit() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 /// One end-to-end (algorithm × network) measurement.
@@ -285,25 +275,15 @@ fn main() {
         if gate_e2e { "PASS" } else { "FAIL" }
     );
 
-    let epoch_secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    // Same tristate contract as bench_kernels: the gate is "skipped"
-    // only when no measurements were taken at all, so trend tooling
-    // never mistakes an empty sweep for a pass or a regression. The
-    // counters themselves are deterministic, so whenever the sweeps
+    let epoch_secs = epoch_secs();
+    // Shared tristate contract (see `repro_bench::gate_status`): the
+    // gate is "skipped" only when no measurements were taken at all.
+    // The counters themselves are deterministic, so whenever the sweeps
     // ran, the gate is enforced on every host.
     let gate_meaningful = !records.is_empty() && !bcast_records.is_empty();
     let gate_passed = gate_broadcast && gate_e2e;
     let enforced = gate_meaningful;
-    let gate_status = if !gate_meaningful {
-        "skipped"
-    } else if gate_passed {
-        "passed"
-    } else {
-        "failed"
-    };
+    let status = gate_status(gate_meaningful, gate_passed);
     let doc = object(vec![
         ("commit", Json::String(git_commit())),
         ("epoch_secs", Json::Number(epoch_secs as f64)),
@@ -348,7 +328,7 @@ fn main() {
                 ("enforced", Json::Bool(enforced)),
                 ("broadcast_copy_bound", Json::Bool(gate_broadcast)),
                 ("e2e_reduction_2x", Json::Bool(gate_e2e)),
-                ("status", Json::String(gate_status.into())),
+                ("status", Json::String(status.into())),
                 ("passed", Json::Bool(gate_passed)),
             ]),
         ),

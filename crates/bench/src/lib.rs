@@ -283,6 +283,42 @@ pub fn run_thunderhead_sweep(scene: &SyntheticScene, params: &AlgoParams) -> Vec
     entries
 }
 
+/// Tristate gate status for the `BENCH_*.json` emitters.
+///
+/// `"skipped"` means the host or configuration cannot make the
+/// measurement meaningful (e.g. too few cores, empty sweep) — distinct
+/// from a genuine `"failed"` so trend tooling never mistakes a small CI
+/// runner for a regression. Every emitter writes this same schema.
+pub fn gate_status(meaningful: bool, passed: bool) -> &'static str {
+    if !meaningful {
+        "skipped"
+    } else if passed {
+        "passed"
+    } else {
+        "failed"
+    }
+}
+
+/// The current git commit hash, `"unknown"` outside a checkout.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Seconds since the UNIX epoch, for the `epoch_secs` stamp in the
+/// `BENCH_*.json` emitters.
+pub fn epoch_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
 /// Directory where experiment outputs (CSV/JSON) are written.
 pub fn experiments_dir() -> PathBuf {
     let dir = PathBuf::from("target/experiments");
@@ -346,6 +382,14 @@ mod tests {
         std::env::remove_var("HETEROSPEC_SCENE");
         let c = scene_config();
         assert_eq!((c.lines, c.samples), (1024, 256));
+    }
+
+    #[test]
+    fn gate_status_tristate() {
+        assert_eq!(gate_status(false, true), "skipped");
+        assert_eq!(gate_status(false, false), "skipped");
+        assert_eq!(gate_status(true, true), "passed");
+        assert_eq!(gate_status(true, false), "failed");
     }
 
     #[test]

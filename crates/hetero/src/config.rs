@@ -113,6 +113,14 @@ pub struct RunOptions {
     /// UFCLS Gram rebuild) instead of all of it afterwards. Outputs are
     /// bit-identical; virtual time never increases. Default `false`.
     pub bcast_overlap: bool,
+    /// When ranks offload their pixel-parallel kernels to an attached
+    /// accelerator (see [`crate::offload`] and `simnet::accel`).
+    /// Default [`crate::offload::OffloadPolicy::Never`] — existing runs
+    /// are unchanged. `Auto` decides per kernel from the analytic cost
+    /// model; WEA partitioning then reads *effective* (host + device)
+    /// node speeds. Kernel outputs are bit-identical under every
+    /// policy — only time accounting and partition sizing change.
+    pub offload: crate::offload::OffloadPolicy,
 }
 
 impl Default for RunOptions {
@@ -123,6 +131,7 @@ impl Default for RunOptions {
             morph_overlap: OverlapPolicy::default(),
             collectives: CollectiveConfig::linear(),
             bcast_overlap: false,
+            offload: crate::offload::OffloadPolicy::Never,
         }
     }
 }
@@ -153,6 +162,13 @@ impl RunOptions {
         self.bcast_overlap = overlap;
         self
     }
+
+    /// Replaces the offload policy, builder-style (see
+    /// [`RunOptions::offload`]).
+    pub fn with_offload(mut self, offload: crate::offload::OffloadPolicy) -> Self {
+        self.offload = offload;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +194,15 @@ mod tests {
         assert_eq!(RunOptions::default().scatter_mode, ScatterMode::Free);
         assert!(!RunOptions::default().bcast_overlap);
         assert!(RunOptions::hetero().with_bcast_overlap(true).bcast_overlap);
+        assert_eq!(
+            RunOptions::default().offload,
+            crate::offload::OffloadPolicy::Never
+        );
+        assert_eq!(
+            RunOptions::hetero()
+                .with_offload(crate::offload::OffloadPolicy::Auto)
+                .offload,
+            crate::offload::OffloadPolicy::Auto
+        );
     }
 }

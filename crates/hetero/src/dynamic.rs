@@ -362,6 +362,80 @@ mod tests {
         );
     }
 
+    /// Chunk assignment is a pure function of (platform, load, policy):
+    /// two runs agree on every per-worker chunk count, the busy ledger,
+    /// completion time, and every label — for both policies.
+    #[test]
+    fn chunk_assignment_is_deterministic() {
+        let s = scene();
+        let p = params();
+        let platform = presets::fully_heterogeneous();
+        let mut true_cycle: Vec<f64> = platform.procs().iter().map(|q| q.cycle_time).collect();
+        true_cycle[5] *= 3.0; // a hidden slowdown must not break replay
+        for policy in [ChunkPolicy::Fixed(5), ChunkPolicy::Guided { min: 2 }] {
+            let run =
+                || self_schedule_morph_policy(&platform, &true_cycle, &s.cube, &p, policy, 0.01);
+            let a = run();
+            let b = run();
+            assert_eq!(a.chunks, b.chunks, "{policy:?}: chunk assignment differs");
+            assert_eq!(a.busy, b.busy, "{policy:?}: busy ledger differs");
+            assert_eq!(a.total_time, b.total_time, "{policy:?}: time differs");
+            assert_eq!(
+                a.labels.as_slice(),
+                b.labels.as_slice(),
+                "{policy:?}: labels differ"
+            );
+        }
+    }
+
+    /// Policy-vs-static on the heterogeneous presets: under a surprise
+    /// load both self-scheduling policies finish no later than the
+    /// nominal-speed static WEA plan (modulo one chunk of quantisation),
+    /// and Guided does it with fewer dispatches than 1-line Fixed.
+    #[test]
+    fn policies_vs_static_on_heterogeneous_presets() {
+        let s = scene();
+        let p = params();
+        for platform in [
+            presets::fully_heterogeneous(),
+            presets::partially_homogeneous(),
+        ] {
+            let mut true_cycle: Vec<f64> = platform.procs().iter().map(|q| q.cycle_time).collect();
+            true_cycle[2] *= 6.0; // the nominally fastest node is loaded
+            let stat = static_wea_morph(&platform, &true_cycle, &s.cube, &p);
+            let fixed = self_schedule_morph_policy(
+                &platform,
+                &true_cycle,
+                &s.cube,
+                &p,
+                ChunkPolicy::Fixed(1),
+                0.0,
+            );
+            let guided = self_schedule_morph_policy(
+                &platform,
+                &true_cycle,
+                &s.cube,
+                &p,
+                ChunkPolicy::Guided { min: 1 },
+                0.0,
+            );
+            for (name, out) in [("fixed", &fixed), ("guided", &guided)] {
+                assert!(
+                    out.total_time < stat.total_time,
+                    "{name} on {}: {:.2} !< static {:.2}",
+                    platform.name(),
+                    out.total_time,
+                    stat.total_time
+                );
+            }
+            assert!(
+                guided.chunks.iter().sum::<usize>() < fixed.chunks.iter().sum::<usize>(),
+                "{}: guided should dispatch fewer chunks",
+                platform.name()
+            );
+        }
+    }
+
     /// Every chunk is processed exactly once: chunk counts sum to the
     /// number of chunks, and the busy ledger is consistent.
     #[test]

@@ -65,8 +65,25 @@ pub fn plan_assignments(
     if options.scatter_mode == ScatterMode::Free {
         cost.mbits_per_row = 0.0;
     }
-    let fractions = plan_fractions(platform, options.strategy, cost);
     let row_bytes = cube.samples() * cube.bands() * 4;
+    // With offloading enabled, partition against *effective* node
+    // speeds: a device-bearing node that would offload an even-split
+    // partition reads proportionally faster, so the WEA hands it more
+    // rows. The engine still runs on the real platform — only fraction
+    // computation sees the folded speeds (memory bounds are unchanged).
+    let effective;
+    let platform = if options.offload == crate::offload::OffloadPolicy::Never {
+        platform
+    } else {
+        let rep_lines = cube.lines().div_ceil(platform.num_procs().max(1)).max(1);
+        let rep = crate::offload::ChunkCost::new(
+            cost.mflops_per_row * rep_lines as f64 + cost.fixed_mflops,
+            ((rep_lines * row_bytes) as u64, 0),
+        );
+        effective = crate::offload::effective_platform(platform, options.offload, &rep);
+        &effective
+    };
+    let fractions = plan_fractions(platform, options.strategy, cost);
     let cfg = match options.strategy {
         PartitionStrategy::Heterogeneous(cfg) => cfg,
         PartitionStrategy::Homogeneous => wea::WeaConfig {
@@ -179,6 +196,8 @@ pub fn run_rooted<T: Send>(
         collectives,
         epochs,
         copies,
+        offloads,
+        ranks,
     } = report;
     let result = results
         .get_mut(0)
@@ -196,6 +215,8 @@ pub fn run_rooted<T: Send>(
             collectives,
             epochs,
             copies,
+            offloads,
+            ranks,
         },
     }
 }

@@ -58,6 +58,7 @@
 //! produce bit-identical [`RunReport`]s and outputs (asserted by the
 //! `fault_injection` integration suite).
 
+use crate::offload::{self, ChunkCost, OffloadPolicy};
 use crate::sched::ChunkedAlgo;
 use crate::wea::apportion_rows;
 use simnet::coll::{self, CollAlgorithm, CollOp, CollectiveConfig, Membership, Stamped};
@@ -87,6 +88,10 @@ pub struct FtOptions {
     /// anything else enables the epoch-stamped survivor-tree mode (see
     /// the module docs).
     pub collectives: CollectiveConfig,
+    /// When workers offload chunks to their node's accelerator (see
+    /// [`crate::offload`]). Affects time accounting and batch sizing
+    /// only — chunk outputs are bit-identical under every policy.
+    pub offload: OffloadPolicy,
 }
 
 impl Default for FtOptions {
@@ -97,6 +102,7 @@ impl Default for FtOptions {
             margin_s: 0.05,
             poll_interval_s: 0.02,
             collectives: CollectiveConfig::linear(),
+            offload: OffloadPolicy::Never,
         }
     }
 }
@@ -371,10 +377,10 @@ where
             };
             Some(out)
         } else if tree_mode(opts) {
-            worker_loop_tree(ctx, algo);
+            worker_loop_tree(ctx, algo, opts.offload);
             None
         } else {
-            worker_loop(ctx, algo);
+            worker_loop(ctx, algo, opts.offload);
             None
         }
     });
@@ -387,6 +393,8 @@ where
         collectives,
         epochs,
         copies,
+        offloads,
+        ranks,
     } = report;
     let (output, recoveries) = results
         .get_mut(0)
@@ -405,6 +413,8 @@ where
             collectives,
             epochs,
             copies,
+            offloads,
+            ranks,
         },
     })
 }
@@ -416,8 +426,14 @@ fn tree_mode(opts: &FtOptions) -> bool {
 }
 
 /// Worker side of both modes: obey `Round`/`Assign` orders from the
-/// master until `Finish`.
-fn worker_loop<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, algo: &A) {
+/// master until `Finish`. Chunk time is charged through the offload
+/// `policy` — host or device per [`offload::decide`] — while the chunk
+/// itself always runs the host kernel (bit-identical outputs).
+fn worker_loop<A: ChunkedAlgo>(
+    ctx: &mut Ctx<FtMsg<A::State, A::Partial>>,
+    algo: &A,
+    policy: OffloadPolicy,
+) {
     let mut state: Option<Arc<A::State>> = None;
     // Round-constant scratch, rebuilt lazily on the first Assign of a
     // round and reused for every later chunk of that round.
@@ -435,7 +451,8 @@ fn worker_loop<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, algo:
                 n,
             } => {
                 let st = state.as_deref().expect("ft: Assign before any Round");
-                ctx.compute_par(algo.chunk_mflops(round, n));
+                let cost = ChunkCost::new(algo.chunk_mflops(round, n), algo.chunk_bytes(round, n));
+                offload::charge_chunk(ctx, policy, &cost);
                 if scratch.as_ref().map(|&(r, _)| r) != Some(round) {
                     scratch = Some((round, algo.prepare(round, st)));
                 }
@@ -469,7 +486,11 @@ fn worker_loop<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, algo:
 /// parent sends the state or its failure marker, and the master (which
 /// cannot crash — such plans are rejected at startup) answers rescues
 /// during its ack sweep before sending anything else.
-fn worker_loop_tree<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, algo: &A) {
+fn worker_loop_tree<A: ChunkedAlgo>(
+    ctx: &mut Ctx<FtMsg<A::State, A::Partial>>,
+    algo: &A,
+    policy: OffloadPolicy,
+) {
     let me = ctx.rank();
     let p = ctx.num_ranks();
     let mut scratch: Option<(usize, A::Scratch)> = None;
@@ -563,7 +584,9 @@ fn worker_loop_tree<A: ChunkedAlgo>(ctx: &mut Ctx<FtMsg<A::State, A::Partial>>, 
                     n,
                 } => {
                     debug_assert_eq!(r, round);
-                    ctx.compute_par(algo.chunk_mflops(round, n));
+                    let cost =
+                        ChunkCost::new(algo.chunk_mflops(round, n), algo.chunk_bytes(round, n));
+                    offload::charge_chunk(ctx, policy, &cost);
                     if scratch.as_ref().map(|&(r, _)| r) != Some(round) {
                         scratch = Some((round, algo.prepare(round, &state)));
                     }
@@ -791,7 +814,6 @@ fn master_replan<A: ChunkedAlgo>(
 ) -> (A::Output, Vec<Recovery>) {
     let p = ctx.num_ranks();
     let tree = tree_mode(opts);
-    let speeds: Vec<f64> = (0..p).map(|i| ctx.platform().proc(i).speed()).collect();
     let mut alive = vec![true; p];
     let mut view = Membership::new(p);
     let mut recoveries: Vec<Recovery> = Vec::new();
@@ -818,6 +840,18 @@ fn master_replan<A: ChunkedAlgo>(
             broadcast_state(ctx, &alive, &state, state_bits);
         }
 
+        // Per-round *effective* speeds: with offloading enabled a
+        // device-bearing node is proportionally faster for this round's
+        // kernel (launch + transfers amortized over an even-split
+        // batch), so the WEA apportionment hands it more lines. With
+        // `Never` these are exactly `proc.speed()` — historic batches.
+        let rep_lines = algo.lines().div_ceil((p - 1).max(1)).max(1);
+        let rep = ChunkCost::new(
+            algo.chunk_mflops(round, rep_lines),
+            algo.chunk_bytes(round, rep_lines),
+        );
+        let speeds = offload::effective_speeds(ctx.platform(), opts.offload, &rep);
+
         // One speed-proportional batch per surviving worker (the WEA
         // apportionment), each with an analytic completion deadline.
         let mut ready_at = vec![0.0f64; p];
@@ -839,7 +873,12 @@ fn master_replan<A: ChunkedAlgo>(
                     n,
                 },
             );
-            let est = algo.chunk_mflops(round, n) / speeds[w];
+            // The batch's analytic completion time — the exact seconds
+            // the worker's `charge_chunk` will charge (host or device
+            // per the shared `decide`), so κ-padded deadlines stay
+            // meaningful under every offload policy.
+            let cost = ChunkCost::new(algo.chunk_mflops(round, n), algo.chunk_bytes(round, n));
+            let est = offload::chunk_secs(ctx.platform().proc(w), opts.offload, &cost);
             let start = ready_at[w].max(ctx.elapsed());
             ready_at[w] = start + est * opts.failure_threshold;
             let cap = ctx

@@ -35,6 +35,13 @@
 //! provides fault-tolerant master/worker drivers — static WEA partitions
 //! with re-planning on worker loss, and chunked self-scheduling with
 //! chunk re-queueing — over `simnet`'s deterministic fault plans.
+//!
+//! Accelerator offload (the paper's "specialized hardware" outlook)
+//! lives in [`offload`]: per-chunk host-vs-device decisions
+//! ([`offload::OffloadPolicy`] on [`config::RunOptions`] /
+//! [`ft::FtOptions`]) driven by the analytic cost model over
+//! `simnet::accel` device specs, with WEA partitioning by *effective*
+//! node speed — outputs stay bit-identical across policies.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -49,6 +56,7 @@ pub mod framework;
 pub mod ft;
 pub mod kernels;
 pub mod msg;
+pub mod offload;
 pub mod optimality;
 pub mod par;
 pub mod sched;
@@ -59,4 +67,5 @@ pub mod wea;
 pub use config::{AlgoParams, PartitionStrategy, RunOptions};
 pub use framework::ParallelRun;
 pub use ft::{FtError, FtOptions, FtRun, Recovery};
+pub use offload::{ChunkCost, ChunkTarget, OffloadPolicy};
 pub use sched::{ChunkPolicy, ChunkedAlgo};

@@ -58,6 +58,9 @@ pub fn run(
         let n = block.cube.bands();
         let mut basis = OrthoBasis::new(n);
         let mut targets: Vec<DetectedTarget> = Vec::new();
+        // Bytes a device stages to score this rank's partition: the
+        // owned pixel block in, one candidate out.
+        let block_bytes = (block.n_lines * block.cube.samples() * n * 4) as u64;
         // Rank-uniform size hints for `Auto` selection (see docs/COMMS.md):
         // a Candidate is 128 header bits + an n-band f32 spectrum; a
         // broadcast row of `U` is one n-band f32 spectrum.
@@ -71,7 +74,11 @@ pub fn run(
             } else {
                 kernels::max_projection(&block.cube, &basis, block.own_range())
             };
-            ctx.compute_par(mflops);
+            let cost = crate::offload::ChunkCost::new(
+                mflops,
+                (block_bytes + (k * n * 4) as u64, (n * 4 + 16) as u64),
+            );
+            crate::offload::charge_chunk(ctx, options.offload, &cost);
             let candidate = match cand {
                 Some(p) => p.to_candidate(&block.cube, block.first_line, block.pre),
                 None => empty_candidate(n),

@@ -79,7 +79,21 @@ pub fn run(
             params.num_classes,
             params.sad_threshold,
         );
-        ctx.compute_par(mflops);
+        // A device stages the full halo-padded block for the MEI step
+        // and at most `c` scored candidates back.
+        let nb = block.cube.bands();
+        let padded_bytes = (block.cube.lines() * block.cube.samples() * nb * 4) as u64;
+        crate::offload::charge_chunk(
+            ctx,
+            options.offload,
+            &crate::offload::ChunkCost::new(
+                mflops,
+                (
+                    padded_bytes,
+                    params.num_classes as u64 * (nb as u64 * 4 + 8),
+                ),
+            ),
+        );
         let cands: Vec<crate::msg::Candidate> = top
             .iter()
             .map(|p| p.to_candidate(&block.cube, block.first_line, block.pre))
@@ -117,7 +131,18 @@ pub fn run(
 
         // Step 4: SAD labelling of the owned lines.
         let (labels, mflops) = kernels::sad_label(&block.cube, block.own_range(), &reps);
-        ctx.compute_par(mflops);
+        crate::offload::charge_chunk(
+            ctx,
+            options.offload,
+            &crate::offload::ChunkCost::new(
+                mflops,
+                (
+                    (block.n_lines * block.cube.samples() * n * 4) as u64
+                        + (reps.len() * n * 4) as u64,
+                    (block.n_lines * block.cube.samples() * 2) as u64,
+                ),
+            ),
+        );
 
         // Step 5: assemble at the master.
         let image = gather_labels(ctx, &options.collectives, &block, labels, lines, samples);

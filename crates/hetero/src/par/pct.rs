@@ -66,11 +66,19 @@ pub fn run(
         let n = block.cube.bands();
         let c = params.num_classes;
         let cap = 4 * c;
+        // Bytes a device stages for this rank's pixel-parallel steps:
+        // the owned pixel block in each time, the step's partial out.
+        let block_bytes = (block.n_lines * block.cube.samples() * n * 4) as u64;
+        let own_pixels = (block.n_lines * block.cube.samples()) as u64;
 
         // Steps 2-3: local unique sets -> master merge.
         let (set, mflops) =
             kernels::unique_set(&block.cube, block.own_range(), params.sad_threshold, cap);
-        ctx.compute_par(mflops);
+        crate::offload::charge_chunk(
+            ctx,
+            options.offload,
+            &crate::offload::ChunkCost::new(mflops, (block_bytes, cap as u64 * (n as u64 * 4 + 8))),
+        );
         let local_cands: Vec<crate::msg::Candidate> = set
             .iter()
             .map(|p| p.to_candidate(&block.cube, block.first_line, block.pre))
@@ -79,7 +87,14 @@ pub fn run(
         // Steps 4-5: local covariance partials (computed before the
         // gather so worker compute overlaps the master's merge).
         let (acc, mflops) = kernels::covariance_partial(&block.cube, block.own_range());
-        ctx.compute_par(mflops);
+        crate::offload::charge_chunk(
+            ctx,
+            options.offload,
+            &crate::offload::ChunkCost::new(
+                mflops,
+                (block_bytes, (n as u64 * (n as u64 + 3) / 2 + 1) * 8),
+            ),
+        );
 
         // Rank-uniform size hints for `Auto` selection: at most `cap`
         // candidates of (128 + 32n) bits each; a flat accumulator is a
@@ -169,7 +184,17 @@ pub fn run(
             &model.mean,
             &model.class_reps,
         );
-        ctx.compute_par(mflops);
+        crate::offload::charge_chunk(
+            ctx,
+            options.offload,
+            &crate::offload::ChunkCost::new(
+                mflops,
+                (
+                    block_bytes + ((c.min(n) * n + n + c * c.min(n)) * 8) as u64,
+                    own_pixels * 2,
+                ),
+            ),
+        );
         let image = gather_labels(ctx, &options.collectives, &block, labels, lines, samples);
         image.map(|img| (img, model))
     })

@@ -64,6 +64,9 @@ pub fn run(
         // Rank-uniform size hints for `Auto` selection.
         let cand_bits = 128 + 32 * n as u64;
         let u_row_bits = 32 * n as u64;
+        // Bytes a device stages to unmix this rank's partition: the
+        // owned pixel block in, one candidate out.
+        let block_bytes = (block.n_lines * block.cube.samples() * n * 4) as u64;
 
         for k in 0..params.num_targets {
             let (cand, mflops) = if k == 0 {
@@ -77,7 +80,11 @@ pub fn run(
                 let problem = FclsProblem::new(u).expect("ufcls: singular endmembers");
                 kernels::max_fcls_error(&block.cube, &problem, block.own_range())
             };
-            ctx.compute_par(mflops);
+            let cost = crate::offload::ChunkCost::new(
+                mflops,
+                (block_bytes + (k * n * 4) as u64, (n * 4 + 16) as u64),
+            );
+            crate::offload::charge_chunk(ctx, options.offload, &cost);
             let candidate = match cand {
                 Some(p) => p.to_candidate(&block.cube, block.first_line, block.pre),
                 None => empty_candidate(n),

@@ -113,6 +113,14 @@ pub trait ChunkedAlgo {
     /// completion estimates. A pure function of `(round, n)` so every
     /// scheduler prices identical work identically.
     fn chunk_mflops(&self, round: usize, n: usize) -> f64;
+    /// Bytes an accelerator would stage `(host → device, device → host)`
+    /// to run an `n`-line chunk of `round`: the chunk's pixel block plus
+    /// the round state in, the partial result out. Like
+    /// [`ChunkedAlgo::chunk_mflops`] this is **analytic** — a pure
+    /// function of `(round, n)`, never of the data — so offload
+    /// decisions and deadline predictions ([`crate::offload`]) are
+    /// identical on every rank and every rerun.
+    fn chunk_bytes(&self, round: usize, n: usize) -> (u64, u64);
     /// Wire size (bits) of a state broadcast.
     fn state_bits(&self, state: &Self::State) -> u64;
     /// Wire size (bits) of a partial result.
@@ -212,6 +220,14 @@ impl ChunkedAlgo for AtdcaChunks<'_> {
         // equivalent of the per-round basis_push of `par::atdca`.
         let rebuild: f64 = (0..round).map(|k| flops::basis_push(bands, k)).sum();
         flops::mflop(per_pixel * pixels + rebuild)
+    }
+
+    fn chunk_bytes(&self, round: usize, n: usize) -> (u64, u64) {
+        let bands = self.cube.bands() as u64;
+        // In: the chunk's f32 pixel block plus the `round` target spectra
+        // the projection basis is rebuilt from. Out: one candidate.
+        let h2d = (n * self.cube.samples()) as u64 * bands * 4 + round as u64 * bands * 4;
+        (h2d, bands * 4 + 16)
     }
 
     fn state_bits(&self, state: &Self::State) -> u64 {
@@ -330,6 +346,14 @@ impl ChunkedAlgo for UfclsChunks<'_> {
             // pixels.
             flops::mflop(flops::fcls(bands, round) * pixels + flops::gram(bands, round))
         }
+    }
+
+    fn chunk_bytes(&self, round: usize, n: usize) -> (u64, u64) {
+        let bands = self.cube.bands() as u64;
+        // In: the chunk's f32 pixel block plus the `round` endmember
+        // spectra of the unmixing system. Out: one candidate.
+        let h2d = (n * self.cube.samples()) as u64 * bands * 4 + round as u64 * bands * 4;
+        (h2d, bands * 4 + 16)
     }
 
     fn state_bits(&self, state: &Self::State) -> u64 {
@@ -493,6 +517,22 @@ impl ChunkedAlgo for PctChunks<'_> {
             _ => flops::mflop(
                 (flops::pct_transform(bands, c) + flops::pct_classify(c, c)) * pixels as f64,
             ),
+        }
+    }
+
+    fn chunk_bytes(&self, round: usize, n: usize) -> (u64, u64) {
+        let bands = self.cube.bands() as u64;
+        let c = self.params.num_classes as u64;
+        let pixels = (n * self.cube.samples()) as u64;
+        let chunk = pixels * bands * 4;
+        match round {
+            // Unique-set: chunk in, up to 4c scored spectra out.
+            0 => (chunk, 4 * c * (bands * 4 + 8)),
+            // Covariance: chunk in, one flat accumulator shard out.
+            1 => (chunk, (bands * (bands + 3) / 2 + 1) * 8),
+            // Labelling: chunk + f64 model (transform, mean, transformed
+            // class reps) in, u16 labels out.
+            _ => (chunk + (c * bands + bands + c * c) * 8, pixels * 2),
         }
     }
 
@@ -816,6 +856,24 @@ impl ChunkedAlgo for MorphChunks<'_> {
         }
     }
 
+    fn chunk_bytes(&self, round: usize, n: usize) -> (u64, u64) {
+        let bands = self.cube.bands() as u64;
+        let samples = self.cube.samples() as u64;
+        let c = self.params.num_classes as u64;
+        match round {
+            // MEI: the halo-padded chunk in, up to c scored spectra out.
+            0 => (
+                (n as u64 + 2 * self.halo as u64) * samples * bands * 4,
+                c * (bands * 4 + 8),
+            ),
+            // Labelling: chunk + class representatives in, labels out.
+            _ => (
+                n as u64 * samples * bands * 4 + c * bands * 4,
+                n as u64 * samples * 2,
+            ),
+        }
+    }
+
     fn state_bits(&self, state: &Self::State) -> u64 {
         match state {
             MorphState::Fresh => 0,
@@ -1031,6 +1089,29 @@ mod tests {
         assert!(morph.chunk_mflops(0, 8) > 0.0 && morph.chunk_mflops(1, 8) > 0.0);
         assert_eq!(atdca.name(), "ATDCA");
         assert_eq!(morph.rounds(), 2);
+    }
+
+    #[test]
+    fn chunk_bytes_are_positive_and_monotone_in_lines() {
+        let s = scene();
+        let p = AlgoParams::default();
+        let atdca = AtdcaChunks::new(&s.cube, &p);
+        let ufcls = UfclsChunks::new(&s.cube, &p);
+        let pct = PctChunks::new(&s.cube, &p);
+        let morph = MorphChunks::new(&s.cube, &p);
+        for round in 0..3 {
+            let (h8, d8) = pct.chunk_bytes(round, 8);
+            let (h16, _) = pct.chunk_bytes(round, 16);
+            assert!(h8 > 0 && d8 > 0, "pct round {round}");
+            assert!(h16 > h8, "pct round {round} not monotone");
+        }
+        // Later argmax rounds ship more state (the growing target set).
+        assert!(atdca.chunk_bytes(3, 8).0 > atdca.chunk_bytes(0, 8).0);
+        assert!(ufcls.chunk_bytes(3, 8).0 > ufcls.chunk_bytes(0, 8).0);
+        // The MEI round stages the halo-padded block; labelling does not.
+        assert!(morph.chunk_bytes(0, 8).0 > morph.chunk_bytes(1, 8).0);
+        // Pure in (round, n): two queries agree exactly.
+        assert_eq!(morph.chunk_bytes(1, 13), morph.chunk_bytes(1, 13));
     }
 
     #[test]

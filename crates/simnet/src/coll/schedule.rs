@@ -300,6 +300,7 @@ mod tests {
             memory_mb: 64,
             cache_kb: 0,
             segment: seg,
+            device: None,
         }
     }
 

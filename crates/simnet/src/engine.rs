@@ -230,6 +230,11 @@ pub struct Ctx<M: Wire> {
     /// Host-side copy telemetry for this rank's collective fan-outs;
     /// summed over ranks into [`RunReport::copies`].
     copies: crate::report::CopyStats,
+    /// Accelerator attached to this rank's processor, if any.
+    device: Option<crate::accel::DeviceSpec>,
+    /// Deterministic offload telemetry for this rank; lands per rank in
+    /// [`RunReport::offloads`].
+    offload_stats: crate::accel::OffloadStats,
     trace: TraceSink,
 }
 
@@ -265,9 +270,16 @@ impl<M: Wire> Ctx<M> {
     }
 
     fn advance_compute(&mut self, mflops: f64, phase: Phase, kind: TraceKind) {
+        let secs = mflops * self.platform.proc(self.rank).cycle_time;
+        self.advance_secs(secs, phase, kind);
+    }
+
+    /// Charges `secs` of nominal busy time (host or device execution),
+    /// dilated by the fault plan and truncated at this rank's crash
+    /// instant. Returns the actual elapsed virtual span.
+    fn advance_secs(&mut self, secs: f64, phase: Phase, kind: TraceKind) -> f64 {
         self.check_crashed();
         let start = self.ledger.now;
-        let secs = mflops * self.platform.proc(self.rank).cycle_time;
         let end = self.faults.dilate(self.rank, start, secs);
         if end >= self.crash_at {
             // The crash lands mid-computation: charge the truncated span
@@ -278,6 +290,7 @@ impl<M: Wire> Ctx<M> {
         }
         self.ledger.compute(end - start, phase);
         self.record(start, kind);
+        end - start
     }
 
     /// Resolves a raw packet's arrival time. The root resolves link
@@ -633,6 +646,53 @@ impl<M: Wire> Ctx<M> {
         self.copies
     }
 
+    /// The accelerator attached to this rank's processor, if any
+    /// (mirrors `platform.proc(rank).device`).
+    pub fn device(&self) -> Option<&crate::accel::DeviceSpec> {
+        self.device.as_ref()
+    }
+
+    /// This rank's offload telemetry so far (see
+    /// [`crate::accel::OffloadStats`]).
+    pub fn offload_stats(&self) -> &crate::accel::OffloadStats {
+        &self.offload_stats
+    }
+
+    /// Executes one offload-eligible kernel chunk on this rank's
+    /// accelerator, charging [`crate::accel::DeviceSpec::offload_secs`]
+    /// (launch latency + H2D transfer + device compute + D2H transfer)
+    /// of parallel-phase virtual time. Fault-plan slowdowns dilate the
+    /// charge and a crash truncates it, exactly as for host compute.
+    ///
+    /// The *result* of the kernel is whatever the caller computed on the
+    /// host threads — device execution is bit-identical by construction;
+    /// only the time accounting differs.
+    ///
+    /// Falls back to [`Ctx::compute_par_tracked`] (host charging) when
+    /// no device is attached, so callers need not branch.
+    pub fn offload(&mut self, mflops: f64, bytes_h2d: u64, bytes_d2h: u64) {
+        match self.device {
+            Some(spec) => {
+                let secs = spec.offload_secs(mflops, bytes_h2d, bytes_d2h);
+                let elapsed = self.advance_secs(secs, Phase::Par, TraceKind::Offload);
+                self.offload_stats.launches += 1;
+                self.offload_stats.bytes_h2d += bytes_h2d;
+                self.offload_stats.bytes_d2h += bytes_d2h;
+                self.offload_stats.device_ms += elapsed * 1.0e3;
+            }
+            None => self.compute_par_tracked(mflops),
+        }
+    }
+
+    /// Charges an offload-eligible chunk on the host CPU (same cost as
+    /// [`Ctx::compute_par`]) and records it in the `host_ms` telemetry,
+    /// so policy comparisons can see the road not taken.
+    pub fn compute_par_tracked(&mut self, mflops: f64) {
+        let secs = mflops * self.platform.proc(self.rank).cycle_time;
+        let elapsed = self.advance_secs(secs, Phase::Par, TraceKind::ComputePar);
+        self.offload_stats.host_ms += elapsed * 1.0e3;
+    }
+
     /// Clones `payload` on a collective hot path, charging its
     /// [`Wire::deep_copy_bits`] to the telemetry counters. All fan-out
     /// clones in [`crate::coll`] go through here, which is what makes
@@ -799,6 +859,7 @@ impl Engine {
             Vec<crate::coll::CollectiveChoice>,
             Vec<crate::report::EpochTransition>,
             crate::report::CopyStats,
+            crate::accel::OffloadStats,
             Option<R>,
             Option<RankFailure>,
         );
@@ -823,6 +884,7 @@ impl Engine {
                         .build()
                         .expect("engine: kernel pool");
                     let crash_at = faults.crash_time(rank).unwrap_or(f64::INFINITY);
+                    let device = platform.proc(rank).device;
                     let mut ctx = Ctx {
                         rank,
                         platform,
@@ -837,6 +899,8 @@ impl Engine {
                         coll_log: Vec::new(),
                         epoch_log: Vec::new(),
                         copies: crate::report::CopyStats::default(),
+                        device,
+                        offload_stats: crate::accel::OffloadStats::default(),
                         trace,
                     };
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -882,6 +946,7 @@ impl Engine {
                         std::mem::take(&mut ctx.coll_log),
                         std::mem::take(&mut ctx.epoch_log),
                         ctx.copies,
+                        std::mem::take(&mut ctx.offload_stats),
                         result,
                         failure,
                     )
@@ -903,12 +968,14 @@ impl Engine {
         let mut collectives = Vec::new();
         let mut epochs = Vec::new();
         let mut copies = crate::report::CopyStats::default();
+        let mut offloads = Vec::with_capacity(p);
         for (rank, o) in outcomes.into_iter().enumerate() {
-            let (ledger, coll_log, epoch_log, rank_copies, result, failure) =
+            let (ledger, coll_log, epoch_log, rank_copies, rank_offloads, result, failure) =
                 o.expect("engine: missing rank outcome");
             ledgers.push(ledger);
             results.push(result);
             copies.merge(rank_copies);
+            offloads.push(rank_offloads);
             if rank == 0 {
                 // Collective choices are resolved identically on every
                 // rank; the root's log is the canonical record. Same for
@@ -926,6 +993,8 @@ impl Engine {
         report.collectives = collectives;
         report.epochs = epochs;
         report.copies = copies;
+        report.offloads = offloads;
+        report.ranks = self.platform.rank_summaries();
         report
     }
 }
@@ -1034,6 +1103,7 @@ mod tests {
                 memory_mb: 1024,
                 cache_kb: 0,
                 segment: 0,
+                device: None,
             },
             crate::platform::ProcessorSpec {
                 name: "w1".into(),
@@ -1042,6 +1112,7 @@ mod tests {
                 memory_mb: 1024,
                 cache_kb: 0,
                 segment: 1,
+                device: None,
             },
             crate::platform::ProcessorSpec {
                 name: "w2".into(),
@@ -1050,6 +1121,7 @@ mod tests {
                 memory_mb: 1024,
                 cache_kb: 0,
                 segment: 1,
+                device: None,
             },
         ];
         let links = vec![
@@ -1321,6 +1393,7 @@ mod tests {
                 memory_mb: 1024,
                 cache_kb: 0,
                 segment: 0,
+                device: None,
             },
             crate::platform::ProcessorSpec {
                 name: "w".into(),
@@ -1329,6 +1402,7 @@ mod tests {
                 memory_mb: 1024,
                 cache_kb: 0,
                 segment: 1,
+                device: None,
             },
         ];
         let links = vec![vec![0.0, 10.0], vec![10.0, 0.0]];

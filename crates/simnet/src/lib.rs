@@ -34,6 +34,8 @@
 //!   driven `Auto` selection.
 //! * [`faults`] — deterministic virtual-time fault plans: rank crashes,
 //!   slowdown windows, link outage/degradation; structured failures.
+//! * [`accel`] — the accelerator device model (GPU/FPGA specs, offload
+//!   cost prediction, per-rank offload telemetry).
 //! * [`report`] — COM/SEQ/PAR decomposition, imbalance, speedup,
 //!   per-rank failure records.
 //!
@@ -66,6 +68,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![cfg_attr(not(test), deny(clippy::redundant_clone))]
 
+pub mod accel;
 pub mod clock;
 pub mod coll;
 pub mod comm;
@@ -78,6 +81,7 @@ pub mod presets;
 pub mod report;
 pub mod trace;
 
+pub use accel::{DeviceKind, DeviceSim, DeviceSpec, OffloadStats};
 pub use coll::{
     CollAlgorithm, CollError, CollOp, CollectiveChoice, CollectiveConfig, GatherEntry, Membership,
     ScatterMode, Stamped, Tree,
@@ -85,4 +89,4 @@ pub use coll::{
 pub use engine::{Ctx, Engine, Wire};
 pub use faults::{FailureCause, FaultPlan, FaultPlanError, RankFailure, RecvError};
 pub use platform::{Platform, ProcessorSpec};
-pub use report::{CopyStats, EpochTransition, RunReport};
+pub use report::{CopyStats, EpochTransition, RankSummary, RunReport};

@@ -9,12 +9,15 @@
 //! (switched network), while transfers between segments share a serial
 //! inter-segment link (modeled by [`crate::contention`]).
 
+use crate::accel::DeviceSpec;
+
 /// One computing node of the platform.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorSpec {
     /// Display name, e.g. `"p3"`.
     pub name: String,
-    /// Architecture string (documentation only).
+    /// Architecture string; surfaces in `RunReport` per-rank summaries
+    /// and keys device attachment in the accel presets.
     pub arch: &'static str,
     /// Cycle-time in seconds per megaflop (the paper's `wᵢ`); smaller is
     /// faster.
@@ -22,17 +25,35 @@ pub struct ProcessorSpec {
     /// Main memory in MB; bounds how many pixel vectors the node can hold
     /// (WEA's upper bound).
     pub memory_mb: u64,
-    /// Cache size in KB (documentation only).
+    /// Cache size in KB; documents the node class alongside `arch` (the
+    /// kernel cost model is analytic and does not read it).
     pub cache_kb: u64,
     /// Communication segment this node is attached to.
     pub segment: usize,
+    /// Optional accelerator attached to this node. `None` models a
+    /// plain CPU host; `Some` makes the node's effective speed a
+    /// host + device pair (see [`crate::accel`]).
+    pub device: Option<DeviceSpec>,
 }
 
 impl ProcessorSpec {
-    /// Relative speed `1/wᵢ` in megaflops per second.
+    /// Relative speed `1/wᵢ` in megaflops per second (host CPU only;
+    /// device throughput is accounted per offloaded kernel).
     #[inline]
     pub fn speed(&self) -> f64 {
         1.0 / self.cycle_time
+    }
+
+    /// Attaches a device (builder style).
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Replaces the architecture label (builder style).
+    pub fn with_arch(mut self, arch: &'static str) -> Self {
+        self.arch = arch;
+        self
     }
 }
 
@@ -75,6 +96,9 @@ impl Platform {
         }
         for proc in &procs {
             assert!(proc.cycle_time > 0.0, "cycle_time must be positive");
+            if let Some(device) = &proc.device {
+                device.validate();
+            }
         }
         Platform {
             name: name.into(),
@@ -123,6 +147,7 @@ impl Platform {
                 memory_mb,
                 cache_kb: 1024,
                 segment: 0,
+                device: None,
             })
             .collect();
         let links = (0..p)
@@ -155,6 +180,19 @@ impl Platform {
     /// All processors.
     pub fn procs(&self) -> &[ProcessorSpec] {
         &self.procs
+    }
+
+    /// Per-rank hardware summaries (name, arch, attached-device label)
+    /// for [`crate::report::RunReport::ranks`].
+    pub fn rank_summaries(&self) -> Vec<crate::report::RankSummary> {
+        self.procs
+            .iter()
+            .map(|p| crate::report::RankSummary {
+                name: p.name.clone(),
+                arch: p.arch,
+                device: p.device.map(|d| d.kind.label()),
+            })
+            .collect()
     }
 
     /// Link capacity `c_ij` in ms per megabit.
@@ -264,6 +302,7 @@ mod tests {
                     memory_mb: 1024,
                     cache_kb: 512,
                     segment: 0,
+                    device: None,
                 },
                 ProcessorSpec {
                     name: "b".into(),
@@ -272,6 +311,7 @@ mod tests {
                     memory_mb: 512,
                     cache_kb: 512,
                     segment: 1,
+                    device: None,
                 },
             ],
             vec![vec![0.0, 10.0], vec![10.0, 0.0]],
@@ -340,6 +380,31 @@ mod tests {
             Platform::uniform("t", 2, 0.01, 1, 1.0).procs().to_vec(),
             vec![vec![1.0, 1.0], vec![1.0, 0.0]],
         );
+    }
+
+    #[test]
+    fn device_attachment_builder_and_validation() {
+        let spec = crate::accel::DeviceSpec::commodity_gpu();
+        let procs: Vec<ProcessorSpec> = Platform::uniform("t", 2, 0.01, 1024, 1.0)
+            .procs()
+            .iter()
+            .cloned()
+            .map(|p| p.with_device(spec).with_arch("gpu host"))
+            .collect();
+        let plat = Platform::new("gpu", procs, vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_eq!(plat.proc(0).device, Some(spec));
+        assert_eq!(plat.proc(1).arch, "gpu host");
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput")]
+    fn invalid_device_rejected_by_platform() {
+        let mut procs = Platform::uniform("t", 2, 0.01, 1024, 1.0).procs().to_vec();
+        procs[0].device = Some(crate::accel::DeviceSpec {
+            throughput_mflops: f64::NAN,
+            ..crate::accel::DeviceSpec::commodity_gpu()
+        });
+        Platform::new("bad", procs, vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
     }
 
     #[test]

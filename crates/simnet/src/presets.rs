@@ -6,6 +6,7 @@
 //! *approximately equivalent* under Lastovetsky & Reddy's framework — see
 //! [`crate::equivalent`] for the checker.
 
+use crate::accel::DeviceSpec;
 use crate::platform::{Platform, ProcessorSpec};
 
 /// Homogeneous-network link capacity in ms per megabit (paper §3.1).
@@ -62,6 +63,7 @@ fn table1_procs() -> Vec<ProcessorSpec> {
             memory_mb: mem,
             cache_kb: cache,
             segment: seg,
+            device: None,
         })
         .collect()
 }
@@ -150,6 +152,7 @@ pub fn partially_homogeneous() -> Platform {
             memory_mb: 2048,
             cache_kb: 1024,
             segment: seg,
+            device: None,
         })
         .collect();
     Platform::new("partially-homogeneous", procs, table2_links(&segments))
@@ -216,6 +219,7 @@ pub fn random_heterogeneous(
             memory_mb: 512 + (next() * 3584.0) as u64,
             cache_kb: 512,
             segment: i % segments,
+            device: None,
         })
         .collect();
     let intra: Vec<f64> = (0..segments).map(|_| 10.0 + 15.0 * next()).collect();
@@ -244,6 +248,42 @@ pub fn random_heterogeneous(
         })
         .collect();
     Platform::new(format!("random-het-{seed}"), procs, links)
+}
+
+/// The fully heterogeneous network with accelerators on half the nodes:
+/// a commodity GPU on every `"Linux AMD Athlon"` workstation (p3 and
+/// p11–p16 — 7 of 16 nodes) and an onboard FPGA on the
+/// `"FreeBSD i386 Intel Pentium 4"` front-end (p1). Attachment is keyed
+/// off the [`ProcessorSpec::arch`] label, the paper's "specialized
+/// hardware on some nodes" scenario: identical CPUs and links to
+/// [`fully_heterogeneous`], so any time difference is attributable to
+/// offloading alone.
+pub fn accel_heterogeneous() -> Platform {
+    let procs: Vec<ProcessorSpec> = table1_procs()
+        .into_iter()
+        .map(|p| match p.arch {
+            "Linux AMD Athlon" => p.with_device(DeviceSpec::commodity_gpu()),
+            "FreeBSD i386 Intel Pentium 4" => p.with_device(DeviceSpec::edge_fpga()),
+            _ => p,
+        })
+        .collect();
+    let segments: Vec<usize> = procs.iter().map(|p| p.segment).collect();
+    Platform::new("accel-heterogeneous", procs, table2_links(&segments))
+}
+
+/// A GPU-heavy cluster: `p` Thunderhead-class nodes, every one carrying
+/// a commodity GPU. The kernel-offload best case — host CPUs only stage
+/// data and run the unoffloadable phases — used by `BENCH_accel.json`'s
+/// ≥ 2× kernel-time gate.
+pub fn accel_thunderhead(p: usize) -> Platform {
+    let base = thunderhead(p);
+    let procs: Vec<ProcessorSpec> = base
+        .procs()
+        .iter()
+        .map(|pr| pr.clone().with_device(DeviceSpec::commodity_gpu()))
+        .collect();
+    let links = links_of(&base);
+    Platform::new("accel-thunderhead", procs, links).with_msg_latency(base.msg_latency_s())
 }
 
 #[cfg(test)]
@@ -321,6 +361,53 @@ mod tests {
         assert_eq!(t.proc(0).memory_mb, 1024);
         // Myrinet is much faster than the workstation LANs.
         assert!(t.link_ms_per_mbit(0, 1) < HOMOGENEOUS_LINK_MS / 10.0);
+    }
+
+    #[test]
+    fn accel_preset_attaches_devices_by_arch() {
+        use crate::accel::DeviceKind;
+        let p = accel_heterogeneous();
+        assert_eq!(p.num_procs(), 16);
+        let mut gpus = 0;
+        let mut fpgas = 0;
+        for (i, proc) in p.procs().iter().enumerate() {
+            match proc.arch {
+                "Linux AMD Athlon" => {
+                    let d = proc.device.expect("Athlon nodes carry a GPU");
+                    assert_eq!(d.kind, DeviceKind::Gpu);
+                    gpus += 1;
+                    let _ = i;
+                }
+                "FreeBSD i386 Intel Pentium 4" => {
+                    let d = proc.device.expect("the Pentium front-end carries an FPGA");
+                    assert_eq!(d.kind, DeviceKind::Fpga);
+                    fpgas += 1;
+                }
+                _ => assert!(proc.device.is_none(), "only keyed archs get devices"),
+            }
+        }
+        assert_eq!((gpus, fpgas), (7, 1));
+        // CPUs and links are identical to the device-free network.
+        let base = fully_heterogeneous();
+        for i in 0..16 {
+            assert_eq!(p.proc(i).cycle_time, base.proc(i).cycle_time);
+            for j in 0..16 {
+                assert_eq!(p.link_ms_per_mbit(i, j), base.link_ms_per_mbit(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn accel_thunderhead_is_gpu_everywhere() {
+        use crate::accel::DeviceKind;
+        let p = accel_thunderhead(16);
+        assert_eq!(p.num_procs(), 16);
+        for proc in p.procs() {
+            assert_eq!(proc.device.map(|d| d.kind), Some(DeviceKind::Gpu));
+        }
+        let base = thunderhead(16);
+        assert_eq!(p.msg_latency_s(), base.msg_latency_s());
+        assert_eq!(p.link_ms_per_mbit(0, 1), base.link_ms_per_mbit(0, 1));
     }
 
     #[test]

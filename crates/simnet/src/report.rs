@@ -8,9 +8,25 @@
 //! * structured rank failures (`None` results + [`RankFailure`] records)
 //!   when a run executes under a fault plan or a rank panics.
 
+use crate::accel::OffloadStats;
 use crate::clock::TimeLedger;
 use crate::coll::CollectiveChoice;
 use crate::faults::RankFailure;
+
+/// Per-rank hardware summary recorded in [`RunReport::ranks`]: the
+/// processor architecture string (promoted from "documentation only")
+/// and the attached accelerator, if any. Derived from the platform
+/// alone, so it is deterministic across reruns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankSummary {
+    /// Processor name (e.g. `"p3"`).
+    pub name: String,
+    /// Architecture label from [`crate::platform::ProcessorSpec::arch`].
+    pub arch: &'static str,
+    /// Attached accelerator label (`"GPU"` / `"FPGA"`), `None` for a
+    /// plain CPU host.
+    pub device: Option<&'static str>,
+}
 
 /// Host-side copy telemetry for one run, summed over all ranks.
 ///
@@ -70,7 +86,9 @@ pub struct EpochTransition {
 /// two runs under identical fault plans are *bit-identical*. The
 /// [`RunReport::copies`] host telemetry is deliberately excluded: a
 /// shared-payload run must compare equal to an owned-payload run that
-/// produced the same simulation.
+/// produced the same simulation. [`RunReport::offloads`] *is* compared —
+/// offload decisions are simulation state, so two runs that scheduled
+/// kernels differently must not compare equal.
 #[derive(Debug, Clone)]
 pub struct RunReport<R> {
     /// Name of the platform the run executed on.
@@ -96,6 +114,16 @@ pub struct RunReport<R> {
     /// Copy telemetry summed over all ranks (host observability only;
     /// not part of the `PartialEq` identity contract).
     pub copies: CopyStats,
+    /// Per-rank offload telemetry (one entry per rank, crashed ranks
+    /// included up to their crash instant). Unlike [`RunReport::copies`]
+    /// these counters are *simulation state* — a function of the
+    /// platform model and the offload policy only — so they participate
+    /// in the bit-identity `PartialEq` contract.
+    pub offloads: Vec<OffloadStats>,
+    /// Per-rank hardware summaries (arch + attached device), derived
+    /// from the platform. Empty for reports assembled outside the
+    /// engine (e.g. directly via [`RunReport::new`]).
+    pub ranks: Vec<RankSummary>,
 }
 
 impl<R: PartialEq> PartialEq for RunReport<R> {
@@ -107,6 +135,7 @@ impl<R: PartialEq> PartialEq for RunReport<R> {
             && self.total_time == other.total_time
             && self.collectives == other.collectives
             && self.epochs == other.epochs
+            && self.offloads == other.offloads
     }
 }
 
@@ -139,6 +168,8 @@ impl<R> RunReport<R> {
             collectives: Vec::new(),
             epochs: Vec::new(),
             copies: CopyStats::default(),
+            offloads: Vec::new(),
+            ranks: Vec::new(),
         }
     }
 

@@ -15,6 +15,9 @@ use std::fmt::Write as _;
 pub enum TraceKind {
     /// Parallel-phase computation.
     ComputePar,
+    /// Offloaded kernel execution on the rank's attached accelerator
+    /// (launch latency + host↔device transfers + device compute).
+    Offload,
     /// Sequential-phase computation (root-only work).
     ComputeSeq,
     /// Sender-side message injection overhead.
@@ -83,15 +86,15 @@ impl Trace {
     }
 
     /// Renders a text Gantt chart, one row per rank, `width` columns
-    /// wide. Legend: `#` parallel compute, `S` sequential compute,
-    /// `s` send overhead, `r` receive wait, `X` crash, `R` recovery,
-    /// `E` epoch bump, `.` idle.
+    /// wide. Legend: `#` parallel compute, `D` device offload,
+    /// `S` sequential compute, `s` send overhead, `r` receive wait,
+    /// `X` crash, `R` recovery, `E` epoch bump, `.` idle.
     pub fn gantt(&self, num_ranks: usize, width: usize) -> String {
         let horizon = self.horizon().max(f64::MIN_POSITIVE);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "virtual time 0 .. {horizon:.3} s  (# par, S seq, s send, r recv, X crash, R recovery, E epoch, . idle)"
+            "virtual time 0 .. {horizon:.3} s  (# par, D offload, S seq, s send, r recv, X crash, R recovery, E epoch, . idle)"
         );
         for rank in 0..num_ranks {
             let mut row = vec!['.'; width];
@@ -105,6 +108,7 @@ impl Trace {
                 }
                 let ch = match e.kind {
                     TraceKind::ComputePar => '#',
+                    TraceKind::Offload => 'D',
                     TraceKind::ComputeSeq => 'S',
                     TraceKind::Send { .. } => 's',
                     TraceKind::Recv { .. } => 'r',
@@ -113,9 +117,15 @@ impl Trace {
                     TraceKind::EpochBump { .. } => 'E',
                 };
                 for c in row.iter_mut().take(b).skip(a.min(width)) {
-                    // Compute paints over comm; fault markers paint over
-                    // everything (they're the rarest and most important).
-                    if *c == '.' || (*c != '#' && ch == '#') || ch == 'X' || ch == 'R' || ch == 'E'
+                    // Compute (host or device) paints over comm; fault
+                    // markers paint over everything (they're the rarest
+                    // and most important).
+                    let is_compute = ch == '#' || ch == 'D';
+                    if *c == '.'
+                        || (*c != '#' && *c != 'D' && is_compute)
+                        || ch == 'X'
+                        || ch == 'R'
+                        || ch == 'E'
                     {
                         *c = ch;
                     }

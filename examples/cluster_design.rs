@@ -35,6 +35,7 @@ fn main() {
         memory_mb: mem,
         cache_kb: 1024,
         segment: seg,
+        device: None,
     })
     .collect();
     let n = procs.len();

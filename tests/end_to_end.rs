@@ -312,6 +312,7 @@ fn memory_bounded_partitioning() {
                 memory_mb: mb,
                 cache_kb: 0,
                 segment: 0,
+                device: None,
             })
             .collect();
         let links = (0..4)
