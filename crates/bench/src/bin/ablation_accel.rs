@@ -187,6 +187,21 @@ fn main() {
         cells.append(&mut c);
     }
 
+    // Surface each platform's dominant critical-path contributor under
+    // `Auto` (observability only — never gated here).
+    let atdca = AtdcaChunks::new(&scene.cube, &params);
+    for platform in &platforms {
+        let engine = Engine::new(platform.clone()).with_profiling(true);
+        let opts = FtOptions {
+            offload: OffloadPolicy::Auto,
+            ..FtOptions::default()
+        };
+        let profiled = run_self_sched(&engine, &atdca, &opts);
+        if let Some(p) = &profiled.report.profile {
+            eprintln!("# {} ATDCA/auto {}", platform.name(), p.bottleneck_line());
+        }
+    }
+
     // --- Gate 1: Auto undominated in every cell. ---------------------
     let find = |platform: &str, algorithm: &str, policy: &str| -> &Cell {
         cells

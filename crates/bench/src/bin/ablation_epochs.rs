@@ -85,6 +85,16 @@ fn main() {
         base_lin_rp.report.total_time,
     );
 
+    // Surface the dominant critical-path contributor of the fault-free
+    // tree run (observability only — never gated here).
+    {
+        let engine = Engine::new(simnet::presets::fully_heterogeneous()).with_profiling(true);
+        let profiled = run_self_sched(&engine, &algo, &tree_opts());
+        if let Some(p) = &profiled.report.profile {
+            eprintln!("# tree self-sched {}", p.bottleneck_line());
+        }
+    }
+
     // --- Gate 1: survivor contributions survive every crash plan. ----
     // Ranks 4, 8 and 10 lead segments of `fully_heterogeneous` (interior
     // relays of the segment-hierarchical tree); 13 is a leaf. Times are

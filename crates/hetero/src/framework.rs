@@ -198,6 +198,7 @@ pub fn run_rooted<T: Send>(
         copies,
         offloads,
         ranks,
+        profile,
     } = report;
     let result = results
         .get_mut(0)
@@ -217,6 +218,7 @@ pub fn run_rooted<T: Send>(
             copies,
             offloads,
             ranks,
+            profile,
         },
     }
 }

@@ -395,6 +395,7 @@ where
         copies,
         offloads,
         ranks,
+        profile,
     } = report;
     let (output, recoveries) = results
         .get_mut(0)
@@ -415,6 +416,7 @@ where
             copies,
             offloads,
             ranks,
+            profile,
         },
     })
 }
@@ -780,7 +782,9 @@ fn start_round_tree<S, P>(
                         lines: 0,
                         round,
                     });
-                    ctx.mark_recovery(detected_at, w);
+                    // The recovery span covers crash → detection: the
+                    // window the master spent waiting on a dead rank.
+                    ctx.mark_recovery(f.at, w);
                     break;
                 }
                 Err(RecvError::Timeout { .. }) => {
@@ -958,7 +962,9 @@ fn master_replan<A: ChunkedAlgo>(
                         lines: lost_lines,
                         round,
                     });
-                    ctx.mark_recovery(detected_at, w);
+                    // Span from the crash instant: the wait on the dead
+                    // rank is the recovery cost the profiler attributes.
+                    ctx.mark_recovery(f.at, w);
                     for (of, on) in orphans {
                         for (nf, nn, nw) in split_lines(of, on, &alive, &speeds) {
                             dispatch(ctx, &mut batches, &mut ready_at, nf, nn, nw);
@@ -1103,7 +1109,8 @@ fn master_self_sched<A: ChunkedAlgo>(
                             lines: lost,
                             round,
                         });
-                        ctx.mark_recovery(detected_at, w);
+                        // Span from the crash instant (see above).
+                        ctx.mark_recovery(f.at, w);
                         productive = true;
                     }
                 }

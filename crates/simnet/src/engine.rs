@@ -148,6 +148,10 @@ struct Envelope<M> {
     /// Set when the sender (the root) already reserved the link.
     arrives_at: Option<f64>,
     transfer_secs: f64,
+    /// Seconds the transfer queued behind earlier link reservations
+    /// (known at send time only on the root-resolved path; worker
+    /// senders leave `0.0` and the receiver fills it in on resolve).
+    queued: f64,
     payload: M,
 }
 
@@ -170,6 +174,10 @@ enum Stashed<M> {
     Msg {
         arrival: f64,
         transfer_secs: f64,
+        /// Sender's virtual clock at injection (profiling provenance).
+        sent_at: f64,
+        /// Link-queueing delay the transfer paid (profiling provenance).
+        queued: f64,
         payload: M,
     },
     Gone {
@@ -300,8 +308,8 @@ impl<M: Wire> Ctx<M> {
         match pkt {
             Packet::Gone { at, failure } => Stashed::Gone { at, failure },
             Packet::Msg(env) => {
-                let (arrival, transfer_secs) = match env.arrives_at {
-                    Some(a) => (a, env.transfer_secs),
+                let (arrival, transfer_secs, queued) = match env.arrives_at {
+                    Some(a) => (a, env.transfer_secs, env.queued),
                     None => {
                         let (seg_src, seg_dst) = (
                             self.platform.segment_of(src),
@@ -315,18 +323,20 @@ impl<M: Wire> Ctx<M> {
                         );
                         if self.rank == 0 {
                             let start = self.links.reserve(seg_src, seg_dst, earliest, dur);
-                            (start + dur, dur)
+                            (start + dur, dur, start - earliest)
                         } else {
                             // Worker↔worker: raw transfer, no queueing
                             // (documented approximation; only the halo
                             // ablation uses this).
-                            (earliest + dur, dur)
+                            (earliest + dur, dur, 0.0)
                         }
                     }
                 };
                 Stashed::Msg {
                     arrival,
                     transfer_secs,
+                    sent_at: env.sent_at,
+                    queued,
                     payload: env.payload,
                 }
             }
@@ -443,7 +453,7 @@ impl<M: Wire> Ctx<M> {
         let sent_at = self.ledger.now;
         // Root-side link reservation keeps virtual timestamps
         // deterministic (root program order); see crate::contention.
-        let (arrives_at, transfer_secs) = if self.rank == 0 {
+        let (arrives_at, transfer_secs, queued) = if self.rank == 0 {
             let (earliest, dur) = self.faults.adjust_transfer(
                 self.platform.segment_of(self.rank),
                 self.platform.segment_of(dst),
@@ -456,14 +466,15 @@ impl<M: Wire> Ctx<M> {
                 earliest,
                 dur,
             );
-            (Some(start + dur), dur)
+            (Some(start + dur), dur, start - earliest)
         } else {
-            (None, transfer_secs)
+            (None, transfer_secs, 0.0)
         };
         let env = Envelope {
             sent_at,
             arrives_at,
             transfer_secs,
+            queued,
             payload,
         };
         // A disconnected receiver means the peer already left the run;
@@ -488,6 +499,8 @@ impl<M: Wire> Ctx<M> {
             Stashed::Msg {
                 arrival,
                 transfer_secs,
+                sent_at,
+                queued,
                 payload,
             } => {
                 if arrival >= self.crash_at {
@@ -495,13 +508,24 @@ impl<M: Wire> Ctx<M> {
                     self.pending[src] = Some(Stashed::Msg {
                         arrival,
                         transfer_secs,
+                        sent_at,
+                        queued,
                         payload,
                     });
                     self.die();
                 }
                 let trace_start = self.ledger.now;
                 self.ledger.receive(arrival, transfer_secs);
-                self.record(trace_start, TraceKind::Recv { src });
+                self.record(
+                    trace_start,
+                    TraceKind::Recv {
+                        src,
+                        delivered: true,
+                        sent_at,
+                        transfer: transfer_secs,
+                        queued,
+                    },
+                );
                 payload
             }
             Stashed::Gone { at, failure } => {
@@ -537,21 +561,41 @@ impl<M: Wire> Ctx<M> {
         assert!(src < self.num_ranks(), "recv: rank {src} out of range");
         assert_ne!(src, self.rank, "recv: self-receive not supported");
         self.check_crashed();
+        let undelivered = |src: usize| TraceKind::Recv {
+            src,
+            delivered: false,
+            sent_at: 0.0,
+            transfer: 0.0,
+            queued: 0.0,
+        };
         match self.next_packet(src) {
             Stashed::Msg {
                 arrival,
                 transfer_secs,
+                sent_at,
+                queued,
                 payload,
             } => {
                 if arrival <= deadline && arrival < self.crash_at {
                     let trace_start = self.ledger.now;
                     self.ledger.receive(arrival, transfer_secs);
-                    self.record(trace_start, TraceKind::Recv { src });
+                    self.record(
+                        trace_start,
+                        TraceKind::Recv {
+                            src,
+                            delivered: true,
+                            sent_at,
+                            transfer: transfer_secs,
+                            queued,
+                        },
+                    );
                     return Ok(payload);
                 }
                 self.pending[src] = Some(Stashed::Msg {
                     arrival,
                     transfer_secs,
+                    sent_at,
+                    queued,
                     payload,
                 });
                 if deadline >= self.crash_at {
@@ -559,7 +603,7 @@ impl<M: Wire> Ctx<M> {
                 }
                 let trace_start = self.ledger.now;
                 self.ledger.receive(deadline, 0.0);
-                self.record(trace_start, TraceKind::Recv { src });
+                self.record(trace_start, undelivered(src));
                 Err(RecvError::Timeout { deadline })
             }
             Stashed::Gone { at, failure } => {
@@ -574,7 +618,7 @@ impl<M: Wire> Ctx<M> {
                         }
                         let trace_start = self.ledger.now;
                         self.ledger.receive(at, 0.0);
-                        self.record(trace_start, TraceKind::Recv { src });
+                        self.record(trace_start, undelivered(src));
                         Err(RecvError::Failed(RankFailure {
                             rank: src,
                             at,
@@ -589,7 +633,7 @@ impl<M: Wire> Ctx<M> {
                         }
                         let trace_start = self.ledger.now;
                         self.ledger.receive(deadline, 0.0);
-                        self.record(trace_start, TraceKind::Recv { src });
+                        self.record(trace_start, undelivered(src));
                         Err(RecvError::Timeout { deadline })
                     }
                 }
@@ -674,7 +718,15 @@ impl<M: Wire> Ctx<M> {
         match self.device {
             Some(spec) => {
                 let secs = spec.offload_secs(mflops, bytes_h2d, bytes_d2h);
-                let elapsed = self.advance_secs(secs, Phase::Par, TraceKind::Offload);
+                // Nominal sub-phase split for the profiler; the charged
+                // total stays the single closed form `offload_secs`.
+                let kind = TraceKind::Offload {
+                    launch: spec.launch_latency_s,
+                    h2d: bytes_h2d as f64 / (spec.h2d_gb_per_s * 1.0e9),
+                    compute: mflops / spec.throughput_mflops,
+                    d2h: bytes_d2h as f64 / (spec.d2h_gb_per_s * 1.0e9),
+                };
+                let elapsed = self.advance_secs(secs, Phase::Par, kind);
                 self.offload_stats.launches += 1;
                 self.offload_stats.bytes_h2d += bytes_h2d;
                 self.offload_stats.bytes_d2h += bytes_d2h;
@@ -728,6 +780,9 @@ pub struct Engine {
     /// Explicit data-parallel width per rank thread; `None` = automatic
     /// (`host cores / ranks`, clamped to at least 1).
     threads_per_rank: Option<usize>,
+    /// When set, [`Engine::run`] records a trace and attaches a
+    /// [`crate::prof::RunProfile`] to the report.
+    profiling: bool,
 }
 
 impl Engine {
@@ -742,6 +797,7 @@ impl Engine {
             config,
             faults: Arc::new(FaultPlan::new()),
             threads_per_rank: None,
+            profiling: false,
         }
     }
 
@@ -752,6 +808,7 @@ impl Engine {
             config,
             faults: Arc::new(FaultPlan::new()),
             threads_per_rank: None,
+            profiling: false,
         }
     }
 
@@ -759,6 +816,21 @@ impl Engine {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Arc::new(plan);
         self
+    }
+
+    /// Enables (or disables) post-run profiling: every subsequent
+    /// [`Engine::run`] records a trace and attaches a
+    /// [`crate::prof::RunProfile`] to [`RunReport::profile`]. Profiling
+    /// is pure observability — virtual clocks, results and every other
+    /// report field are bit-identical to an unprofiled run.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
+    /// Whether profiling is enabled on this engine.
+    pub fn profiling(&self) -> bool {
+        self.profiling
     }
 
     /// The fault plan attached to this engine (empty by default).
@@ -810,11 +882,17 @@ impl Engine {
         R: Send,
         F: Fn(&mut Ctx<M>) -> R + Sync,
     {
-        self.run_inner(program, None)
+        if self.profiling {
+            self.run_traced(program).0
+        } else {
+            self.run_inner(program, None)
+        }
     }
 
     /// Runs `program` while recording a per-rank execution [`Trace`]
-    /// (see [`crate::trace`]).
+    /// (see [`crate::trace`]). The returned report always carries a
+    /// [`crate::prof::RunProfile`] in [`RunReport::profile`], derived
+    /// post-run from the trace and the per-rank clocks.
     pub fn run_traced<M, R, F>(&self, program: F) -> (RunReport<R>, Trace)
     where
         M: Wire,
@@ -822,11 +900,16 @@ impl Engine {
         F: Fn(&mut Ctx<M>) -> R + Sync,
     {
         let sink = Arc::new(Mutex::new(Vec::new()));
-        let report = self.run_inner(program, Some(Arc::clone(&sink)));
+        let mut report = self.run_inner(program, Some(Arc::clone(&sink)));
         let mut trace = Trace {
             events: std::mem::take(&mut *sink.lock()),
         };
         trace.finalize();
+        report.profile = Some(crate::prof::RunProfile::from_run(
+            &self.platform,
+            &report.ledgers,
+            &trace,
+        ));
         (report, trace)
     }
 

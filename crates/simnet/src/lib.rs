@@ -38,6 +38,9 @@
 //!   cost prediction, per-rank offload telemetry).
 //! * [`report`] — COM/SEQ/PAR decomposition, imbalance, speedup,
 //!   per-rank failure records.
+//! * [`prof`] — post-run profiler: exact per-rank phase accounting,
+//!   critical-path extraction with bottleneck attribution, Chrome-trace
+//!   export.
 //!
 //! ## Example
 //!
@@ -78,6 +81,7 @@ pub mod equivalent;
 pub mod faults;
 pub mod platform;
 pub mod presets;
+pub mod prof;
 pub mod report;
 pub mod trace;
 
@@ -89,4 +93,8 @@ pub use coll::{
 pub use engine::{Ctx, Engine, Wire};
 pub use faults::{FailureCause, FaultPlan, FaultPlanError, RankFailure, RecvError};
 pub use platform::{Platform, ProcessorSpec};
+pub use prof::{
+    chrome_trace, Bottleneck, CriticalPath, PathElement, PathOwner, PhaseBreakdown, PhaseKind,
+    RankProfile, RunProfile,
+};
 pub use report::{CopyStats, EpochTransition, RankSummary, RunReport};

@@ -124,6 +124,15 @@ pub struct RunReport<R> {
     /// from the platform. Empty for reports assembled outside the
     /// engine (e.g. directly via [`RunReport::new`]).
     pub ranks: Vec<RankSummary>,
+    /// Post-run profile: per-rank phase breakdowns and the critical
+    /// path (see [`crate::prof`]). `Some` for profiled runs
+    /// ([`crate::Engine::with_profiling`] / `run_traced`), `None`
+    /// otherwise. The profile is a pure function of the trace and the
+    /// ledgers, so it is deterministic and **participates in the
+    /// `PartialEq` bit-identity contract** — two profiled runs must
+    /// agree on the profile, and a profiled run never compares equal to
+    /// an unprofiled one (clear the field to compare across the two).
+    pub profile: Option<crate::prof::RunProfile>,
 }
 
 impl<R: PartialEq> PartialEq for RunReport<R> {
@@ -136,6 +145,7 @@ impl<R: PartialEq> PartialEq for RunReport<R> {
             && self.collectives == other.collectives
             && self.epochs == other.epochs
             && self.offloads == other.offloads
+            && self.profile == other.profile
     }
 }
 
@@ -170,6 +180,7 @@ impl<R> RunReport<R> {
             copies: CopyStats::default(),
             offloads: Vec::new(),
             ranks: Vec::new(),
+            profile: None,
         }
     }
 

@@ -11,13 +11,31 @@
 use std::fmt::Write as _;
 
 /// What a rank was doing during a traced interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Recv` and `Offload` carry the extra timing facts the post-run
+/// profiler ([`crate::prof`]) needs: message provenance for
+/// critical-path extraction and the nominal offload sub-phase split.
+/// The fields are `f64`, so the enum is `PartialEq` but (deliberately)
+/// not `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceKind {
     /// Parallel-phase computation.
     ComputePar,
-    /// Offloaded kernel execution on the rank's attached accelerator
-    /// (launch latency + host↔device transfers + device compute).
-    Offload,
+    /// Offloaded kernel execution on the rank's attached accelerator.
+    /// The four fields are the *nominal* (pre-fault-dilation) seconds of
+    /// the closed form [`crate::accel::DeviceSpec::offload_secs`]
+    /// charges: launch latency, host→device staging, device compute,
+    /// device→host staging.
+    Offload {
+        /// Fixed per-launch dispatch latency (nominal seconds).
+        launch: f64,
+        /// Host→device transfer (nominal seconds).
+        h2d: f64,
+        /// Device kernel execution (nominal seconds).
+        compute: f64,
+        /// Device→host transfer (nominal seconds).
+        d2h: f64,
+    },
     /// Sequential-phase computation (root-only work).
     ComputeSeq,
     /// Sender-side message injection overhead.
@@ -25,10 +43,24 @@ pub enum TraceKind {
         /// Destination rank.
         dst: usize,
     },
-    /// Waiting for (and receiving) a message.
+    /// Waiting for a message: a delivered receive, a deadline timeout,
+    /// or a failure observation (see `delivered`).
     Recv {
         /// Source rank.
         src: usize,
+        /// `true` when a message was actually delivered; `false` for a
+        /// [`crate::Ctx::recv_deadline`] timeout or a failure
+        /// observation (both pure waits — no message dependency).
+        delivered: bool,
+        /// The sender's virtual clock when it injected the message
+        /// (after its send overhead). Meaningful only when `delivered`.
+        sent_at: f64,
+        /// Link-occupancy seconds of the delivered transfer.
+        transfer: f64,
+        /// Seconds the transfer queued behind earlier reservations on
+        /// the serial inter-segment link (`0` for intra-segment and
+        /// worker↔worker traffic).
+        queued: f64,
     },
     /// The rank failed at this instant (zero-length marker).
     Crash,
@@ -108,7 +140,7 @@ impl Trace {
                 }
                 let ch = match e.kind {
                     TraceKind::ComputePar => '#',
-                    TraceKind::Offload => 'D',
+                    TraceKind::Offload { .. } => 'D',
                     TraceKind::ComputeSeq => 'S',
                     TraceKind::Send { .. } => 's',
                     TraceKind::Recv { .. } => 'r',

@@ -4,7 +4,9 @@
 //! Runs Hetero-ATDCA and Homo-ATDCA on the paper's fully heterogeneous
 //! network with tracing enabled and prints Gantt charts: the homo run
 //! shows every fast node idling (`r`) while the UltraSparc (rank 9)
-//! grinds through its oversized equal share.
+//! grinds through its oversized equal share. Each run also prints the
+//! profiler's exact phase accounting and critical-path bottleneck
+//! (see `docs/PROF.md`).
 //!
 //! ```text
 //! cargo run --release --example trace_gantt
@@ -70,6 +72,11 @@ fn main() {
             report.total_time
         );
         println!("{}", trace.gantt(platform.num_procs(), 72));
+        // `run_traced` always attaches the profile: print the exact
+        // phase accounting and where the makespan actually went.
+        if let Some(profile) = &report.profile {
+            println!("{}", profile.summary());
+        }
     }
     println!("legend: rank 2 = p3 (fastest Athlon), rank 9 = p10 (UltraSparc-5)");
 }

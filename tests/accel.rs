@@ -16,9 +16,8 @@
 //! 5. a mid-run crash of a device-bearing rank degrades structurally
 //!    under both fault-tolerant drivers.
 
-use heterospec::cube::synth::{wtc_scene, WtcConfig};
 use heterospec::hetero::config::{AlgoParams, RunOptions};
-use heterospec::hetero::ft::{run_replan, run_self_sched, FtOptions};
+use heterospec::hetero::ft::{run_replan, run_self_sched};
 use heterospec::hetero::msg::Msg;
 use heterospec::hetero::par::{atdca, morph, pct, ufcls};
 use heterospec::hetero::sched::{AtdcaChunks, MorphChunks, PctChunks, UfclsChunks};
@@ -27,33 +26,10 @@ use heterospec::simnet::accel;
 use heterospec::simnet::engine::Engine;
 use heterospec::simnet::{presets, Ctx, FailureCause, FaultPlan};
 
-fn scene() -> heterospec::cube::synth::SyntheticScene {
-    wtc_scene(WtcConfig::tiny())
-}
+use testutil::{coords, ft_opts, tiny_scene as scene, POLICIES};
 
 fn params() -> AlgoParams {
-    AlgoParams {
-        num_targets: 5,
-        morph_iterations: 2,
-        ..Default::default()
-    }
-}
-
-fn coords(targets: &[seq::DetectedTarget]) -> Vec<(usize, usize)> {
-    targets.iter().map(|t| (t.line, t.sample)).collect()
-}
-
-const POLICIES: [OffloadPolicy; 3] = [
-    OffloadPolicy::Never,
-    OffloadPolicy::Always,
-    OffloadPolicy::Auto,
-];
-
-fn ft_opts(offload: OffloadPolicy) -> FtOptions {
-    FtOptions {
-        offload,
-        ..FtOptions::default()
-    }
+    testutil::params(5, 2)
 }
 
 /// The replay-equals-measured contract, extended to devices: the

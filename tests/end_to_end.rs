@@ -2,27 +2,17 @@
 //! through parallel execution to evaluation, asserting the invariants
 //! that tie the workspace together.
 
-use heterospec::cube::synth::{wtc_scene, WtcConfig};
 use heterospec::hetero::config::{AlgoParams, OverlapPolicy, RunOptions};
 use heterospec::hetero::eval::{debris_accuracy, target_table};
 use heterospec::simnet::engine::Engine;
 use heterospec::simnet::presets;
 
 fn scene() -> heterospec::cube::synth::SyntheticScene {
-    wtc_scene(WtcConfig {
-        lines: 96,
-        samples: 64,
-        bands: 96,
-        ..Default::default()
-    })
+    testutil::scene(96, 64, 96)
 }
 
 fn params() -> AlgoParams {
-    AlgoParams {
-        num_targets: 10,
-        morph_iterations: 3,
-        ..Default::default()
-    }
+    testutil::params(10, 3)
 }
 
 /// Target detection must be invariant to the platform: the same pixels
@@ -170,17 +160,24 @@ fn parallel_runs_are_deterministic() {
     let run = || {
         let engine = Engine::new(presets::fully_heterogeneous());
         let r = heterospec::hetero::par::morph::run(&engine, &s.cube, &p, &RunOptions::hetero());
-        (
-            r.result.0.as_slice().to_vec(),
-            r.report.total_time,
-            r.report.decomposition().com,
-        )
+        (r.result.0, r.report)
     };
-    let a = run();
-    let b = run();
-    assert_eq!(a.0, b.0, "labels differ between runs");
-    assert_eq!(a.1, b.1, "total time differs between runs");
-    assert_eq!(a.2, b.2, "COM differs between runs");
+    let (labels_a, report_a) = run();
+    let (labels_b, report_b) = run();
+    assert_eq!(
+        labels_a.as_slice(),
+        labels_b.as_slice(),
+        "labels differ between runs"
+    );
+    assert_eq!(
+        report_a.total_time, report_b.total_time,
+        "total time differs between runs"
+    );
+    assert_eq!(
+        report_a.decomposition().com,
+        report_b.decomposition().com,
+        "COM differs between runs"
+    );
 }
 
 /// Exact-overlap MORPH on any processor count reproduces the sequential
@@ -212,12 +209,7 @@ fn morph_labels_well_formed_across_platforms() {
 /// terminate with correct results.
 #[test]
 fn more_processors_than_lines() {
-    let s = wtc_scene(WtcConfig {
-        lines: 5,
-        samples: 24,
-        bands: 32,
-        ..Default::default()
-    });
+    let s = testutil::scene(5, 24, 32);
     let p = AlgoParams {
         num_targets: 4,
         num_classes: 4,
@@ -243,12 +235,7 @@ fn more_processors_than_lines() {
 #[test]
 fn water_band_removal_preserves_detection() {
     use heterospec::cube::synth::bands::good_bands;
-    let s = wtc_scene(WtcConfig {
-        lines: 64,
-        samples: 48,
-        bands: 128,
-        ..Default::default()
-    });
+    let s = testutil::scene(64, 48, 128);
     let p = AlgoParams {
         num_targets: 14,
         ..Default::default()

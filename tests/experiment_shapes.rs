@@ -2,19 +2,13 @@
 //! findings — the qualitative relationships that the benchmark binaries
 //! regenerate at full scale (see EXPERIMENTS.md).
 
-use heterospec::cube::synth::{wtc_scene, WtcConfig};
 use heterospec::hetero::config::{AlgoParams, RunOptions};
 use heterospec::simnet::engine::Engine;
 use heterospec::simnet::presets;
 use heterospec::simnet::report::speedup;
 
 fn scene() -> heterospec::cube::synth::SyntheticScene {
-    wtc_scene(WtcConfig {
-        lines: 256,
-        samples: 64,
-        bands: 128,
-        ..Default::default()
-    })
+    testutil::scene(256, 64, 128)
 }
 
 fn total(
@@ -79,10 +73,14 @@ fn table5_shape_adaptation() {
 /// PCT has the largest sequential share of the four algorithms.
 #[test]
 fn table6_shape_decomposition() {
+    struct SeqShare {
+        algo: &'static str,
+        share: f64,
+    }
     let s = scene();
     let p = AlgoParams::default();
     let engine = Engine::new(presets::fully_heterogeneous());
-    let mut seq_shares = Vec::new();
+    let mut seq_shares: Vec<SeqShare> = Vec::new();
     for algo in ["ATDCA", "UFCLS", "PCT", "MORPH"] {
         let run = match algo {
             "ATDCA" => {
@@ -109,10 +107,20 @@ fn table6_shape_decomposition() {
             d.com,
             d.total
         );
-        seq_shares.push((algo, d.seq / d.total));
+        seq_shares.push(SeqShare {
+            algo,
+            share: d.seq / d.total,
+        });
     }
-    let pct_share = seq_shares.iter().find(|(a, _)| *a == "PCT").unwrap().1;
-    for (algo, share) in &seq_shares {
+    let share_of = |name: &str| {
+        seq_shares
+            .iter()
+            .find(|s| s.algo == name)
+            .map(|s| s.share)
+            .unwrap()
+    };
+    let pct_share = share_of("PCT");
+    for SeqShare { algo, share } in &seq_shares {
         if *algo != "PCT" {
             assert!(
                 pct_share >= *share,
@@ -121,8 +129,7 @@ fn table6_shape_decomposition() {
         }
     }
     // MORPH's SEQ share is the smallest (windowing algorithm).
-    let morph_share = seq_shares.iter().find(|(a, _)| *a == "MORPH").unwrap().1;
-    assert!(morph_share < pct_share);
+    assert!(share_of("MORPH") < pct_share);
 }
 
 /// Table 7 shape: Hetero-MORPH achieves the best balance of the four

@@ -13,33 +13,17 @@
 //!    surviving partition, so only accuracy — not equality — is
 //!    guaranteed there for the grid-dependent classifiers).
 
-use heterospec::cube::synth::{wtc_scene, WtcConfig};
 use heterospec::hetero::config::{AlgoParams, RunOptions};
 use heterospec::hetero::ft::{run_replan, run_self_sched, FtOptions};
 use heterospec::hetero::par::{atdca, ufcls};
 use heterospec::hetero::sched::{AtdcaChunks, MorphChunks, PctChunks, UfclsChunks};
 use heterospec::hetero::{eval, seq};
-use heterospec::simnet::engine::Engine;
-use heterospec::simnet::{presets, CollAlgorithm, CollectiveConfig, FailureCause, FaultPlan};
+use heterospec::simnet::{CollAlgorithm, CollectiveConfig, FailureCause, FaultPlan};
 
-fn scene() -> heterospec::cube::synth::SyntheticScene {
-    wtc_scene(WtcConfig::tiny())
-}
+use testutil::{coords, engine_with, tiny_scene as scene};
 
 fn params() -> AlgoParams {
-    AlgoParams {
-        num_targets: 5,
-        morph_iterations: 2,
-        ..Default::default()
-    }
-}
-
-fn coords(targets: &[seq::DetectedTarget]) -> Vec<(usize, usize)> {
-    targets.iter().map(|t| (t.line, t.sample)).collect()
-}
-
-fn engine_with(plan: FaultPlan) -> Engine {
-    Engine::new(presets::fully_heterogeneous()).with_faults(plan)
+    testutil::params(5, 2)
 }
 
 #[test]

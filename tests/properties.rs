@@ -339,6 +339,69 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The profiler's accounting identity is *bitwise* exact on random
+    /// platforms, rank counts (2–17), and fault plans, and the critical
+    /// path never exceeds the makespan. Crashed ranks profile too —
+    /// their wall-clock is the crash instant.
+    #[test]
+    fn profile_identity_exact_on_random_runs(seed in 0u64..1_000, p in 2usize..18,
+                                             crash_pick in 0usize..17,
+                                             crash_at in 0.001f64..0.5,
+                                             do_crash in 0u8..2) {
+        use heterospec::simnet::engine::{Ctx, Engine, WireVec};
+        use heterospec::simnet::{presets, FaultPlan};
+        let platform = presets::random_heterogeneous(seed, p, 3, 0.002, 0.05);
+        let mut plan = FaultPlan::new();
+        if do_crash == 1 && p > 1 {
+            // Crash a worker (never the root): the master tolerates it
+            // through recv_deadline's failure observation.
+            plan = plan.crash(1 + crash_pick % (p - 1), crash_at);
+        }
+        let engine = Engine::new(platform).with_faults(plan).with_profiling(true);
+        let report = engine.run(move |ctx: &mut Ctx<WireVec<f32>>| {
+            let mut state = seed ^ (ctx.rank() as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+            for _ in 0..2 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ctx.compute_par(((state >> 33) % 500) as f64);
+                if ctx.is_root() {
+                    for src in 1..ctx.num_ranks() {
+                        let deadline = ctx.elapsed() + 5.0;
+                        // Payloads are irrelevant: timeouts and observed
+                        // failures are legitimate outcomes here.
+                        let _ = ctx.recv_deadline(src, deadline);
+                    }
+                } else {
+                    ctx.send(0, WireVec(vec![0.0f32; 128]));
+                }
+            }
+            ctx.elapsed()
+        });
+        let profile = report.profile.as_ref().expect("profiling enabled");
+        prop_assert_eq!(profile.ranks.len(), p);
+        for r in &profile.ranks {
+            prop_assert!(
+                r.identity_holds(),
+                "rank {}: accounted {:e} ({:#x}) != wall {:e} ({:#x})",
+                r.rank,
+                r.phases.accounted(),
+                r.phases.accounted().to_bits(),
+                r.wall,
+                r.wall.to_bits()
+            );
+        }
+        prop_assert!(
+            profile.critical_path.length <= profile.makespan,
+            "critical path {:e} exceeds makespan {:e}",
+            profile.critical_path.length,
+            profile.makespan
+        );
+        prop_assert!(profile.path_bounded());
+    }
+}
+
 /// The engine's virtual timestamps are deterministic under arbitrary
 /// (valid) master/worker traffic patterns.
 #[test]
