@@ -28,7 +28,7 @@ use hetero_hsi::seq::DetectedTarget;
 use hetero_hsi::OffloadPolicy;
 use hsi_cube::synth::{wtc_scene, SyntheticScene};
 use repro_bench::microjson::{object, Json};
-use repro_bench::{epoch_secs, gate_status, git_commit, print_table, scene_config, write_csv};
+use repro_bench::{print_table, scene_config, write_csv, write_report};
 use simnet::engine::Engine;
 use simnet::Platform;
 
@@ -289,38 +289,33 @@ fn main() {
     );
 
     let all_passed = gate_undominated && gate_kernel_win && gate_identity;
-    let doc = object(vec![
-        ("commit", Json::String(git_commit())),
-        ("epoch_secs", Json::Number(epoch_secs() as f64)),
-        (
-            "sweep",
-            Json::Array(cells.iter().map(Cell::to_json).collect()),
-        ),
-        (
-            "kernel_time",
-            object(vec![
-                ("platform", Json::String(gpu.to_string())),
-                ("never_ms", Json::Number(never_kernel)),
-                ("auto_ms", Json::Number(auto_kernel)),
-                ("ratio", Json::Number(kernel_ratio)),
-            ]),
-        ),
-        (
-            "gates",
-            object(vec![
-                ("auto_undominated", Json::Bool(gate_undominated)),
-                ("kernel_time_win_2x", Json::Bool(gate_kernel_win)),
-                ("outputs_identical", Json::Bool(gate_identity)),
-                ("status", Json::String(gate_status(true, all_passed).into())),
-                ("passed", Json::Bool(all_passed)),
-            ]),
-        ),
-    ]);
-    let out = std::env::var("HETEROSPEC_BENCH_OUT").unwrap_or_else(|_| "BENCH_accel.json".into());
-    std::fs::write(&out, doc.pretty()).expect("write BENCH_accel.json");
-    eprintln!("# wrote {out}");
+    let status = write_report(
+        "BENCH_accel.json",
+        vec![
+            (
+                "sweep",
+                Json::Array(cells.iter().map(Cell::to_json).collect()),
+            ),
+            (
+                "kernel_time",
+                object(vec![
+                    ("platform", Json::String(gpu.to_string())),
+                    ("never_ms", Json::Number(never_kernel)),
+                    ("auto_ms", Json::Number(auto_kernel)),
+                    ("ratio", Json::Number(kernel_ratio)),
+                ]),
+            ),
+        ],
+        vec![
+            ("auto_undominated", Json::Bool(gate_undominated)),
+            ("kernel_time_win_2x", Json::Bool(gate_kernel_win)),
+            ("outputs_identical", Json::Bool(gate_identity)),
+        ],
+        true,
+        all_passed,
+    );
 
-    if !all_passed {
+    if status == "failed" {
         eprintln!("# GATE FAILED");
         std::process::exit(1);
     }

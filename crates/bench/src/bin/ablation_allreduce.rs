@@ -28,7 +28,7 @@
 
 use hetero_hsi::config::{AlgoParams, RunOptions};
 use repro_bench::microjson::{object, Json};
-use repro_bench::{epoch_secs, gate_status, git_commit, print_table, write_csv};
+use repro_bench::{print_table, write_csv, write_report};
 use simnet::engine::{Engine, WireVec};
 use simnet::{coll, CollAlgorithm, CollectiveConfig, Platform};
 
@@ -341,11 +341,8 @@ fn main() {
         if model_exact { "PASS" } else { "FAIL" }
     );
 
-    let epoch_secs = epoch_secs();
     let all_passed = gate_collective && gate_fused_e2e && gate_overlap && model_exact;
-    let doc = object(vec![
-        ("commit", Json::String(git_commit())),
-        ("epoch_secs", Json::Number(epoch_secs as f64)),
+    let payload = vec![
         (
             "sweep",
             Json::Array(records.iter().map(SweepRecord::to_json).collect()),
@@ -377,24 +374,21 @@ fn main() {
                     .collect(),
             ),
         ),
-        (
-            "gates",
-            object(vec![
-                ("fused_beats_split_collective", Json::Bool(gate_collective)),
-                ("fused_ufcls_end_to_end", Json::Bool(gate_fused_e2e)),
-                ("overlap_never_slower", Json::Bool(gate_overlap)),
-                ("model_exact", Json::Bool(model_exact)),
-                ("status", Json::String(gate_status(true, all_passed).into())),
-                ("passed", Json::Bool(all_passed)),
-            ]),
-        ),
-    ]);
-    let out =
-        std::env::var("HETEROSPEC_BENCH_OUT").unwrap_or_else(|_| "BENCH_allreduce.json".into());
-    std::fs::write(&out, doc.pretty()).expect("write BENCH_allreduce.json");
-    eprintln!("# wrote {out}");
+    ];
+    let status = write_report(
+        "BENCH_allreduce.json",
+        payload,
+        vec![
+            ("fused_beats_split_collective", Json::Bool(gate_collective)),
+            ("fused_ufcls_end_to_end", Json::Bool(gate_fused_e2e)),
+            ("overlap_never_slower", Json::Bool(gate_overlap)),
+            ("model_exact", Json::Bool(model_exact)),
+        ],
+        true,
+        all_passed,
+    );
 
-    if !all_passed {
+    if status == "failed" {
         eprintln!("# GATE FAILED");
         std::process::exit(1);
     }

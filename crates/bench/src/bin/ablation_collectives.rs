@@ -25,7 +25,7 @@
 
 use hetero_hsi::config::{AlgoParams, RunOptions};
 use repro_bench::microjson::{object, Json};
-use repro_bench::{epoch_secs, gate_status, git_commit, print_table, write_csv};
+use repro_bench::{print_table, write_csv, write_report};
 use simnet::engine::{Engine, WireVec};
 use simnet::{coll, CollAlgorithm, CollOp, CollectiveConfig, Platform};
 
@@ -296,47 +296,40 @@ fn main() {
         if gate_identity { "PASS" } else { "FAIL" }
     );
 
-    let epoch_secs = epoch_secs();
     let all_passed = gate_topology && gate_auto && gate_identity && model_exact;
-    let doc = object(vec![
-        ("commit", Json::String(git_commit())),
-        ("epoch_secs", Json::Number(epoch_secs as f64)),
-        (
-            "sweep",
-            Json::Array(records.iter().map(SweepRecord::to_json).collect()),
-        ),
-        (
-            "identity",
-            Json::Array(
-                identity_rows
-                    .iter()
-                    .map(|(backend, same)| {
-                        object(vec![
-                            ("backend", Json::String(backend.to_string())),
-                            ("identical_to_linear", Json::Bool(*same)),
-                        ])
-                    })
-                    .collect(),
+    let status = write_report(
+        "BENCH_collectives.json",
+        vec![
+            (
+                "sweep",
+                Json::Array(records.iter().map(SweepRecord::to_json).collect()),
             ),
-        ),
-        (
-            "gates",
-            object(vec![
-                ("hier_beats_linear_bcast_u", Json::Bool(gate_topology)),
-                ("auto_undominated", Json::Bool(gate_auto)),
-                ("outputs_identical", Json::Bool(gate_identity)),
-                ("model_exact", Json::Bool(model_exact)),
-                ("status", Json::String(gate_status(true, all_passed).into())),
-                ("passed", Json::Bool(all_passed)),
-            ]),
-        ),
-    ]);
-    let out =
-        std::env::var("HETEROSPEC_BENCH_OUT").unwrap_or_else(|_| "BENCH_collectives.json".into());
-    std::fs::write(&out, doc.pretty()).expect("write BENCH_collectives.json");
-    eprintln!("# wrote {out}");
+            (
+                "identity",
+                Json::Array(
+                    identity_rows
+                        .iter()
+                        .map(|(backend, same)| {
+                            object(vec![
+                                ("backend", Json::String(backend.to_string())),
+                                ("identical_to_linear", Json::Bool(*same)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ],
+        vec![
+            ("hier_beats_linear_bcast_u", Json::Bool(gate_topology)),
+            ("auto_undominated", Json::Bool(gate_auto)),
+            ("outputs_identical", Json::Bool(gate_identity)),
+            ("model_exact", Json::Bool(model_exact)),
+        ],
+        true,
+        all_passed,
+    );
 
-    if !all_passed {
+    if status == "failed" {
         eprintln!("# GATE FAILED");
         std::process::exit(1);
     }

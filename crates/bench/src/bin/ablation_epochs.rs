@@ -29,7 +29,7 @@ use hetero_hsi::sched::AtdcaChunks;
 use hetero_hsi::seq::DetectedTarget;
 use hsi_cube::synth::wtc_scene;
 use repro_bench::microjson::{object, Json};
-use repro_bench::{epoch_secs, gate_status, git_commit, print_table, scene_config, write_csv};
+use repro_bench::{print_table, scene_config, write_csv, write_report};
 use simnet::engine::Engine;
 use simnet::{CollAlgorithm, CollectiveConfig, FaultPlan};
 
@@ -212,11 +212,8 @@ fn main() {
         crash_lin_rp.report.total_time,
     );
 
-    let epoch_secs = epoch_secs();
     let all_passed = gate_no_loss && gate_tree_wins;
-    let doc = object(vec![
-        ("commit", Json::String(git_commit())),
-        ("epoch_secs", Json::Number(epoch_secs as f64)),
+    let payload = vec![
         ("sweep", Json::Array(sweep_json)),
         (
             "tree_vs_linear",
@@ -248,21 +245,19 @@ fn main() {
                 ("outputs_identical", Json::Bool(same_outputs)),
             ]),
         ),
-        (
-            "gates",
-            object(vec![
-                ("no_contribution_loss", Json::Bool(gate_no_loss)),
-                ("tree_beats_linear", Json::Bool(gate_tree_wins)),
-                ("status", Json::String(gate_status(true, all_passed).into())),
-                ("passed", Json::Bool(all_passed)),
-            ]),
-        ),
-    ]);
-    let out = std::env::var("HETEROSPEC_BENCH_OUT").unwrap_or_else(|_| "BENCH_epochs.json".into());
-    std::fs::write(&out, doc.pretty()).expect("write BENCH_epochs.json");
-    eprintln!("# wrote {out}");
+    ];
+    let status = write_report(
+        "BENCH_epochs.json",
+        payload,
+        vec![
+            ("no_contribution_loss", Json::Bool(gate_no_loss)),
+            ("tree_beats_linear", Json::Bool(gate_tree_wins)),
+        ],
+        true,
+        all_passed,
+    );
 
-    if !all_passed {
+    if status == "failed" {
         eprintln!("# GATE FAILED");
         std::process::exit(1);
     }

@@ -25,10 +25,7 @@ use hetero_hsi::ft::{run_replan, run_self_sched, FtOptions};
 use hetero_hsi::sched::AtdcaChunks;
 use hsi_cube::synth::wtc_scene;
 use repro_bench::microjson::{object, Json};
-use repro_bench::{
-    epoch_secs, gate_status, git_commit, print_table, run_algorithm, scene_config, write_csv,
-    ALGORITHMS,
-};
+use repro_bench::{print_table, run_algorithm, scene_config, write_csv, write_report, ALGORITHMS};
 use simnet::engine::Engine;
 use simnet::prof::RunProfile;
 use simnet::FaultPlan;
@@ -227,30 +224,23 @@ fn main() {
     );
 
     let all_passed = gate_identity && gate_bounded && gate_observer && gate_recovery;
-    let doc = object(vec![
-        ("commit", Json::String(git_commit())),
-        ("epoch_secs", Json::Number(epoch_secs() as f64)),
-        (
+    let status = write_report(
+        "BENCH_profile.json",
+        vec![(
             "cells",
             Json::Array(cells.iter().map(Cell::to_json).collect()),
-        ),
-        (
-            "gates",
-            object(vec![
-                ("identity_exact", Json::Bool(gate_identity)),
-                ("path_bounded", Json::Bool(gate_bounded)),
-                ("pure_observer", Json::Bool(gate_observer)),
-                ("recovery_attributed", Json::Bool(gate_recovery)),
-                ("status", Json::String(gate_status(true, all_passed).into())),
-                ("passed", Json::Bool(all_passed)),
-            ]),
-        ),
-    ]);
-    let out = std::env::var("HETEROSPEC_BENCH_OUT").unwrap_or_else(|_| "BENCH_profile.json".into());
-    std::fs::write(&out, doc.pretty()).expect("write BENCH_profile.json");
-    eprintln!("# wrote {out}");
+        )],
+        vec![
+            ("identity_exact", Json::Bool(gate_identity)),
+            ("path_bounded", Json::Bool(gate_bounded)),
+            ("pure_observer", Json::Bool(gate_observer)),
+            ("recovery_attributed", Json::Bool(gate_recovery)),
+        ],
+        true,
+        all_passed,
+    );
 
-    if !all_passed {
+    if status == "failed" {
         eprintln!("# GATE FAILED");
         std::process::exit(1);
     }

@@ -34,7 +34,7 @@
 
 use hetero_hsi::config::{AlgoParams, RunOptions};
 use repro_bench::microjson::{object, Json};
-use repro_bench::{epoch_secs, gate_status, git_commit, print_table, run_algorithm, ALGORITHMS};
+use repro_bench::{print_table, run_algorithm, write_report, ALGORITHMS};
 use simnet::engine::{Engine, WireVec};
 use simnet::{coll, CollAlgorithm, CollectiveConfig, CopyStats};
 use std::sync::Arc;
@@ -275,7 +275,6 @@ fn main() {
         if gate_e2e { "PASS" } else { "FAIL" }
     );
 
-    let epoch_secs = epoch_secs();
     // Shared tristate contract (see `repro_bench::gate_status`): the
     // gate is "skipped" only when no measurements were taken at all.
     // The counters themselves are deterministic, so whenever the sweeps
@@ -283,10 +282,7 @@ fn main() {
     let gate_meaningful = !records.is_empty() && !bcast_records.is_empty();
     let gate_passed = gate_broadcast && gate_e2e;
     let enforced = gate_meaningful;
-    let status = gate_status(gate_meaningful, gate_passed);
-    let doc = object(vec![
-        ("commit", Json::String(git_commit())),
-        ("epoch_secs", Json::Number(epoch_secs as f64)),
+    let payload = vec![
         ("host_cores", Json::Number(cores as f64)),
         (
             "scene",
@@ -321,24 +317,21 @@ fn main() {
                     .collect(),
             ),
         ),
-        (
-            "gate",
-            object(vec![
-                // Deterministic counters → enforced on every host.
-                ("enforced", Json::Bool(enforced)),
-                ("broadcast_copy_bound", Json::Bool(gate_broadcast)),
-                ("e2e_reduction_2x", Json::Bool(gate_e2e)),
-                ("status", Json::String(status.into())),
-                ("passed", Json::Bool(gate_passed)),
-            ]),
-        ),
-    ]);
-    let out =
-        std::env::var("HETEROSPEC_BENCH_OUT").unwrap_or_else(|_| "BENCH_wallclock.json".into());
-    std::fs::write(&out, doc.pretty()).expect("write BENCH_wallclock.json");
-    eprintln!("# wrote {out}");
+    ];
+    let status = write_report(
+        "BENCH_wallclock.json",
+        payload,
+        vec![
+            // Deterministic counters → enforced on every host.
+            ("enforced", Json::Bool(enforced)),
+            ("broadcast_copy_bound", Json::Bool(gate_broadcast)),
+            ("e2e_reduction_2x", Json::Bool(gate_e2e)),
+        ],
+        gate_meaningful,
+        gate_passed,
+    );
 
-    if enforced && !gate_passed {
+    if enforced && status == "failed" {
         eprintln!("# GATE FAILED");
         std::process::exit(1);
     }

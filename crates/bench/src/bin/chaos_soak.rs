@@ -1,0 +1,243 @@
+//! `chaos_soak` — budgeted differential-fuzzing campaign over the
+//! whole stack (see `crates/chaos` and `docs/TESTING.md`).
+//!
+//! Draws scenarios from a pinned base seed, checks each against the
+//! seven-invariant oracle, shrinks every violation to a minimal
+//! reproducer, and emits `BENCH_chaos.json` through the shared
+//! [`repro_bench::write_report`] envelope. Deterministic: the same
+//! seed and scenario count reproduce the same campaign bit-for-bit on
+//! any host (the wall-clock budget is the only nondeterministic knob —
+//! leave it unset for pinned CI runs).
+//!
+//! Environment:
+//!
+//! * `HETEROSPEC_CHAOS_SEED` — base seed (default `20060925`; scenario
+//!   `i` uses `seed + i`).
+//! * `HETEROSPEC_CHAOS_SCENARIOS` — campaign size (default 500).
+//! * `HETEROSPEC_CHAOS_BUDGET_S` — optional wall-clock budget in
+//!   seconds; the campaign stops drawing new scenarios once exceeded
+//!   and reports how many it completed.
+//! * `HETEROSPEC_BENCH_OUT` — output path (default `BENCH_chaos.json`).
+//!
+//! Gates (all enforced):
+//!
+//! * `zero_shrunk_failures` — no scenario violated any invariant;
+//! * `all_invariants_exercised` — every one of the seven invariants
+//!   performed at least one comparison across the campaign;
+//! * `shrinker_selftest` — with an injected invariant break, the
+//!   shrinker converges to ≤ 3 ranks and ≤ 1 fault event (the harness
+//!   can fail, and failures minimize).
+//!
+//! On violation the full Rust reproducer (a pasteable `#[test]`) is
+//! printed to stderr and a structured record lands in the report's
+//! `failures` array.
+
+use chaos::{reproducer, shrink, CheckCounts, Injection, Invariant, Oracle, Scenario, Shrunk};
+use repro_bench::microjson::{object, Json};
+use repro_bench::write_report;
+use std::time::Instant;
+use testutil::gen::FaultEvent;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Injects a deliberate break and asserts the shrinker minimizes it —
+/// the soak's proof that a red scenario would actually surface small.
+fn shrinker_selftest() -> bool {
+    let oracle = Oracle::with_injection(Injection::FailOnCrash);
+    let mut bloated = Scenario::generate(3);
+    bloated.ranks = 8;
+    bloated.segments = 3;
+    bloated.faults = vec![
+        FaultEvent::Slowdown {
+            rank: 3,
+            from: 0.0,
+            until: 0.2,
+            factor: 2.5,
+        },
+        FaultEvent::Crash { rank: 5, at: 0.05 },
+        FaultEvent::LinkOutage {
+            seg_a: 0,
+            seg_b: 2,
+            from: 0.01,
+            until: 0.04,
+        },
+    ];
+    let Some(violation) = oracle.check(&bloated).violation else {
+        eprintln!("# selftest: injected oracle failed to reject a crash scenario");
+        return false;
+    };
+    let minimal = shrink(&oracle, &bloated, &violation);
+    let ok = minimal.scenario.ranks <= 3
+        && minimal.scenario.faults.len() <= 1
+        && minimal.scenario.faults.iter().all(FaultEvent::is_crash);
+    eprintln!(
+        "# selftest: injected break shrank to {} ranks, {} fault(s) in {} steps: {}",
+        minimal.scenario.ranks,
+        minimal.scenario.faults.len(),
+        minimal.steps,
+        if ok { "PASS" } else { "FAIL" }
+    );
+    ok
+}
+
+fn failure_json(f: &Shrunk) -> Json {
+    let s = &f.scenario;
+    object(vec![
+        (
+            "invariant",
+            Json::String(f.violation.invariant.name().into()),
+        ),
+        ("detail", Json::String(f.violation.detail.clone())),
+        ("seed", Json::Number(s.seed as f64)),
+        ("ranks", Json::Number(s.ranks as f64)),
+        ("segments", Json::Number(s.segments as f64)),
+        ("algo", Json::String(format!("{:?}", s.algo))),
+        ("driver", Json::String(format!("{:?}", s.driver))),
+        ("collective", Json::String(format!("{:?}", s.collective))),
+        ("offload", Json::String(format!("{:?}", s.offload))),
+        (
+            "scene",
+            Json::Array(vec![
+                Json::Number(s.lines as f64),
+                Json::Number(s.samples as f64),
+                Json::Number(s.bands as f64),
+            ]),
+        ),
+        ("chunk_lines", Json::Number(s.chunk_lines as f64)),
+        (
+            "faults",
+            Json::Array(
+                s.faults
+                    .iter()
+                    .map(|e| Json::String(format!("{e:?}")))
+                    .collect(),
+            ),
+        ),
+        ("shrink_steps", Json::Number(f.steps as f64)),
+    ])
+}
+
+fn main() {
+    let base_seed = env_u64("HETEROSPEC_CHAOS_SEED", 20_060_925);
+    let requested = env_u64("HETEROSPEC_CHAOS_SCENARIOS", 500) as usize;
+    let budget_s = env_u64("HETEROSPEC_CHAOS_BUDGET_S", 0);
+    let started = Instant::now();
+
+    let selftest_ok = shrinker_selftest();
+
+    let oracle = Oracle::new();
+    let mut totals = CheckCounts::default();
+    let mut completed = 0usize;
+    let mut skipped = 0usize;
+    let mut failures: Vec<Shrunk> = Vec::new();
+    for i in 0..requested {
+        if budget_s > 0 && started.elapsed().as_secs() >= budget_s {
+            eprintln!("# budget of {budget_s}s exhausted after {completed} scenarios");
+            break;
+        }
+        let scenario = Scenario::generate(base_seed + i as u64);
+        let verdict = oracle.check(&scenario);
+        totals.merge(&verdict.counts);
+        completed += 1;
+        if verdict.skipped {
+            skipped += 1;
+            continue;
+        }
+        if let Some(violation) = verdict.violation {
+            eprintln!(
+                "# VIOLATION at seed {}: [{}] {}",
+                scenario.seed,
+                violation.invariant.name(),
+                violation.detail
+            );
+            let minimal = shrink(&oracle, &scenario, &violation);
+            eprintln!(
+                "# shrunk in {} steps to {} ranks / {} fault(s); reproducer:",
+                minimal.steps,
+                minimal.scenario.ranks,
+                minimal.scenario.faults.len()
+            );
+            eprintln!("{}", reproducer(&minimal.scenario, &minimal.violation));
+            // Unique by minimized shape: the same root cause found via
+            // different seeds shrinks to the same scenario.
+            if !failures.iter().any(|f| {
+                f.scenario == minimal.scenario
+                    && f.violation.invariant == minimal.violation.invariant
+            }) {
+                failures.push(minimal);
+            }
+        }
+    }
+
+    let gate_zero_failures = failures.is_empty();
+    let gate_all_exercised = Invariant::ALL.iter().all(|&i| totals.of(i) > 0);
+    eprintln!(
+        "# {completed}/{requested} scenarios, {} checks total, {skipped} skipped, {} unique shrunk failure(s)",
+        totals.total(),
+        failures.len()
+    );
+    for invariant in Invariant::ALL {
+        eprintln!(
+            "#   {:<24} {:>8} checks",
+            invariant.name(),
+            totals.of(invariant)
+        );
+    }
+    eprintln!(
+        "# gate 1 (zero shrunk failures): {}",
+        if gate_zero_failures { "PASS" } else { "FAIL" }
+    );
+    eprintln!(
+        "# gate 2 (all seven invariants exercised): {}",
+        if gate_all_exercised { "PASS" } else { "FAIL" }
+    );
+    eprintln!(
+        "# gate 3 (shrinker selftest): {}",
+        if selftest_ok { "PASS" } else { "FAIL" }
+    );
+
+    let checks = object(
+        Invariant::ALL
+            .iter()
+            .map(|&i| (i.name(), Json::Number(totals.of(i) as f64)))
+            .collect(),
+    );
+    let all_passed = gate_zero_failures && gate_all_exercised && selftest_ok;
+    // Meaningful only if the campaign ran at all (a zero-scenario run
+    // proves nothing and must read "skipped", not "passed").
+    let status = write_report(
+        "BENCH_chaos.json",
+        vec![
+            ("base_seed", Json::Number(base_seed as f64)),
+            ("scenarios_requested", Json::Number(requested as f64)),
+            ("scenarios_completed", Json::Number(completed as f64)),
+            ("scenarios_skipped", Json::Number(skipped as f64)),
+            ("checks", checks),
+            (
+                "failures",
+                Json::Array(failures.iter().map(failure_json).collect()),
+            ),
+            (
+                "elapsed_secs",
+                Json::Number(started.elapsed().as_secs_f64()),
+            ),
+        ],
+        vec![
+            ("zero_shrunk_failures", Json::Bool(gate_zero_failures)),
+            ("all_invariants_exercised", Json::Bool(gate_all_exercised)),
+            ("shrinker_selftest", Json::Bool(selftest_ok)),
+        ],
+        completed > 0,
+        all_passed,
+    );
+
+    if status == "failed" {
+        eprintln!("# GATE FAILED");
+        std::process::exit(1);
+    }
+}

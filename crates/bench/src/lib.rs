@@ -299,6 +299,52 @@ pub fn gate_status(meaningful: bool, passed: bool) -> &'static str {
     }
 }
 
+/// Writes the canonical `BENCH_*.json` report envelope shared by every
+/// emitter (`bench_*`, `ablation_*`, `chaos_soak`), so the schema —
+/// `commit` / `epoch_secs` stamps, named gate booleans, the tristate
+/// `status` of [`gate_status`] and the aggregate `passed` — cannot
+/// drift between binaries:
+///
+/// ```json
+/// { "commit": …, "epoch_secs": …, <payload…>,
+///   "gates": { <gates…>, "status": "skipped|passed|failed", "passed": bool } }
+/// ```
+///
+/// `payload` is the emitter's measurement body; `gates` are its named
+/// gate fields (booleans plus any context values). The caller computes
+/// `all_passed` (write_report does not guess which gate entries are
+/// enforced) and `meaningful` (`false` ⇒ `"skipped"`, see
+/// [`gate_status`]). Writes to `HETEROSPEC_BENCH_OUT` or `default_out`,
+/// logs `# wrote <path>`, and returns the status so the caller decides
+/// the exit code.
+///
+/// # Panics
+/// Panics when the output path is unwritable.
+pub fn write_report(
+    default_out: &str,
+    payload: Vec<(&str, microjson::Json)>,
+    gates: Vec<(&str, microjson::Json)>,
+    meaningful: bool,
+    all_passed: bool,
+) -> &'static str {
+    use microjson::{object, Json};
+    let status = gate_status(meaningful, all_passed);
+    let mut gate_fields = gates;
+    gate_fields.push(("status", Json::String(status.into())));
+    gate_fields.push(("passed", Json::Bool(all_passed)));
+    let mut fields = vec![
+        ("commit", Json::String(git_commit())),
+        ("epoch_secs", Json::Number(epoch_secs() as f64)),
+    ];
+    fields.extend(payload);
+    fields.push(("gates", object(gate_fields)));
+    let doc = object(fields);
+    let out = std::env::var("HETEROSPEC_BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    std::fs::write(&out, doc.pretty()).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("# wrote {out}");
+    status
+}
+
 /// The current git commit hash, `"unknown"` outside a checkout.
 pub fn git_commit() -> String {
     std::process::Command::new("git")

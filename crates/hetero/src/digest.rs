@@ -1,0 +1,187 @@
+//! Bit-exact digests of algorithm outputs — the oracle hook the chaos
+//! harness (and any differential test) compares instead of dragging
+//! whole output structures around.
+//!
+//! Every digest is FNV-1a over the *bit patterns* of the output
+//! (`f32::to_bits` / `f64::to_bits`, dimensions included), so two
+//! outputs digest equal **iff** they are bit-identical — the same
+//! contract as the suites' `assert_eq!(a.spectrum, b.spectrum)` checks,
+//! collapsed to a `u64`. Digests are deterministic across runs, hosts
+//! and (unlike `std::hash`) Rust releases.
+
+use crate::seq::{DetectedTarget, PctModel};
+use hsi_cube::LabelImage;
+
+/// Streaming FNV-1a (64-bit) over structural words.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// Folds one 64-bit word into the digest, byte by byte.
+    pub fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds an `f64` by bit pattern (`-0.0 != 0.0`, NaN payloads kept).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Folds an `f32` by bit pattern.
+    pub fn write_f32(&mut self, value: f32) {
+        self.write_u64(value.to_bits() as u64);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Types with a deterministic bit-exact digest. Implemented for every
+/// `ChunkedAlgo::Output` in the workspace so harnesses can compare
+/// heterogeneous output types through one entry point.
+pub trait OutputDigest {
+    /// FNV-1a digest of the full output bit pattern.
+    fn digest64(&self) -> u64;
+}
+
+impl OutputDigest for Vec<DetectedTarget> {
+    fn digest64(&self) -> u64 {
+        let mut h = Fnv64::default();
+        h.write_u64(self.len() as u64);
+        for t in self {
+            h.write_u64(t.line as u64);
+            h.write_u64(t.sample as u64);
+            h.write_u64(t.spectrum.len() as u64);
+            for &v in &t.spectrum {
+                h.write_f32(v);
+            }
+        }
+        h.finish()
+    }
+}
+
+impl OutputDigest for LabelImage {
+    fn digest64(&self) -> u64 {
+        let mut h = Fnv64::default();
+        h.write_u64(self.lines() as u64);
+        h.write_u64(self.samples() as u64);
+        for &label in self.as_slice() {
+            h.write_u64(label as u64);
+        }
+        h.finish()
+    }
+}
+
+impl OutputDigest for PctModel {
+    fn digest64(&self) -> u64 {
+        let mut h = Fnv64::default();
+        h.write_u64(self.transform.rows() as u64);
+        h.write_u64(self.transform.cols() as u64);
+        for &v in self.transform.as_slice() {
+            h.write_f64(v);
+        }
+        h.write_u64(self.mean.len() as u64);
+        for &v in &self.mean {
+            h.write_f64(v);
+        }
+        h.write_u64(self.class_reps.len() as u64);
+        for rep in &self.class_reps {
+            h.write_u64(rep.len() as u64);
+            for &v in rep {
+                h.write_f64(v);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// PCT output: label image plus the broadcast model.
+impl OutputDigest for (LabelImage, PctModel) {
+    fn digest64(&self) -> u64 {
+        let mut h = Fnv64::default();
+        h.write_u64(self.0.digest64());
+        h.write_u64(self.1.digest64());
+        h.finish()
+    }
+}
+
+/// MORPH output: label image plus endmember spectra.
+impl OutputDigest for (LabelImage, Vec<Vec<f32>>) {
+    fn digest64(&self) -> u64 {
+        let mut h = Fnv64::default();
+        h.write_u64(self.0.digest64());
+        h.write_u64(self.1.len() as u64);
+        for e in &self.1 {
+            h.write_u64(e.len() as u64);
+            for &v in e {
+                h.write_f32(v);
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(line: usize, sample: usize, s: &[f32]) -> DetectedTarget {
+        DetectedTarget {
+            line,
+            sample,
+            spectrum: s.to_vec(),
+        }
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_order_sensitive() {
+        let a = vec![target(0, 1, &[0.5, 0.25]), target(2, 3, &[1.0])];
+        let b = vec![target(0, 1, &[0.5, 0.25]), target(2, 3, &[1.0])];
+        assert_eq!(a.digest64(), b.digest64());
+        let swapped = vec![target(2, 3, &[1.0]), target(0, 1, &[0.5, 0.25])];
+        assert_ne!(a.digest64(), swapped.digest64());
+    }
+
+    #[test]
+    fn digest_sees_single_bit_spectrum_flips() {
+        let a = vec![target(0, 0, &[1.0])];
+        let mut flipped = a.clone();
+        flipped[0].spectrum[0] = f32::from_bits(1.0f32.to_bits() ^ 1);
+        assert_ne!(a.digest64(), flipped.digest64());
+    }
+
+    #[test]
+    fn digest_distinguishes_boundary_shifts() {
+        // Same flattened words, different structure: the length prefixes
+        // must keep [[1,2],[…]] apart from [[1],[2,…]].
+        let a: Vec<DetectedTarget> = vec![target(0, 0, &[1.0, 2.0]), target(0, 0, &[])];
+        let b: Vec<DetectedTarget> = vec![target(0, 0, &[1.0]), target(0, 0, &[2.0])];
+        assert_ne!(a.digest64(), b.digest64());
+    }
+
+    #[test]
+    fn label_image_digest_sees_geometry() {
+        let a = LabelImage::from_vec(2, 3, vec![0, 1, 2, 3, 4, 5]);
+        let b = LabelImage::from_vec(3, 2, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.digest64(), a.clone().digest64());
+        assert_ne!(a.digest64(), b.digest64());
+    }
+
+    #[test]
+    fn negative_zero_and_nan_are_distinct_bit_patterns() {
+        let z = vec![target(0, 0, &[0.0])];
+        let nz = vec![target(0, 0, &[-0.0])];
+        assert_ne!(z.digest64(), nz.digest64());
+    }
+}

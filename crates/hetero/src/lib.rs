@@ -49,6 +49,7 @@
 #![cfg_attr(not(test), deny(clippy::redundant_clone))]
 
 pub mod config;
+pub mod digest;
 pub mod dynamic;
 pub mod eval;
 pub mod flops;
@@ -65,6 +66,7 @@ pub mod vd;
 pub mod wea;
 
 pub use config::{AlgoParams, PartitionStrategy, RunOptions};
+pub use digest::OutputDigest;
 pub use framework::ParallelRun;
 pub use ft::{FtError, FtOptions, FtRun, Recovery};
 pub use offload::{ChunkCost, ChunkTarget, OffloadPolicy};

@@ -518,6 +518,97 @@ mod tests {
     }
 
     #[test]
+    fn single_survivor_view_is_well_formed() {
+        let view = Membership::from_survivors(15, 16, &[3]);
+        assert_eq!(view.epoch(), 15);
+        assert_eq!(view.num_ranks(), 16);
+        assert_eq!(view.num_survivors(), 1);
+        assert_eq!(view.survivors(), vec![3]);
+        for r in 0..16 {
+            assert_eq!(view.is_alive(r), r == 3, "rank {r}");
+        }
+        // Header: 64-bit epoch plus one 16-bit survivor entry.
+        assert_eq!(view.header_bits(), 64 + 16);
+        // Dead ranks synthesize deterministic PeerLost entries.
+        assert_eq!(view.lost_entry(0).cause, FailureCause::PeerLost { peer: 0 });
+    }
+
+    #[test]
+    fn single_survivor_collectives_are_identity_operations() {
+        // A view reduced to its root: every *_over collective must
+        // complete locally — no traffic, payload returned verbatim.
+        use crate::engine::{Engine, WireVec};
+        let platform = crate::presets::fully_heterogeneous();
+        let cfg = crate::coll::CollectiveConfig::uniform(CollAlgorithm::SegmentHierarchical);
+        let report = Engine::new(platform).run(move |ctx| {
+            if ctx.rank() != 0 {
+                return None;
+            }
+            let view = Membership::from_survivors(15, 16, &[0]);
+            let b = broadcast_over(ctx, &cfg, 0, &view, Some(WireVec(vec![9u32; 4])), 128)
+                .expect("sole member broadcasts to itself");
+            let a = allreduce_over(
+                ctx,
+                &cfg,
+                0,
+                &view,
+                WireVec(vec![7u32; 4]),
+                |x, y| WireVec(x.0.iter().zip(&y.0).map(|(p, q)| p + q).collect()),
+                128,
+            )
+            .expect("sole member folds only itself");
+            let g = gather_over(ctx, &cfg, 0, &view, WireVec(vec![1u32]), 32)
+                .expect("sole member gathers itself")
+                .expect("the sole member is the root");
+            Some((b.0, a.0, g.len(), ctx.elapsed()))
+        });
+        let (b, a, g_len, _elapsed) = report.result(0).clone().expect("root ran");
+        assert_eq!(b, vec![9u32; 4]);
+        assert_eq!(a, vec![7u32; 4], "nothing to fold but the own payload");
+        // The gather is rank-indexed: 16 entries, 15 of them Lost.
+        assert_eq!(g_len, 16);
+    }
+
+    #[test]
+    fn epoch_bumps_on_the_final_observed_failure() {
+        // Observing failures down to a single survivor: the *last*
+        // observation (the round that empties the view to one member)
+        // bumps the epoch exactly like every earlier one.
+        let mut view = Membership::new(4);
+        for (i, dead) in [3usize, 1, 2].iter().enumerate() {
+            assert!(view.observe_failure(&failure(*dead, i as f64)));
+            assert_eq!(view.epoch(), i as u64 + 1);
+        }
+        assert_eq!(view.num_survivors(), 1);
+        assert_eq!(view.survivors(), vec![0]);
+        assert_eq!(view.epoch(), 3, "final round bumped the epoch");
+        // Re-observing any of them after the final round is inert.
+        assert!(!view.observe_failure(&failure(2, 9.0)));
+        assert_eq!(view.epoch(), 3);
+    }
+
+    #[test]
+    fn from_survivors_round_trips_through_itself() {
+        let mut owner = Membership::new(9);
+        owner.observe_failure(&failure(4, 0.25));
+        owner.observe_failure(&failure(7, 0.50));
+        let once = Membership::from_survivors(owner.epoch(), owner.num_ranks(), &owner.survivors());
+        let twice = Membership::from_survivors(once.epoch(), once.num_ranks(), &once.survivors());
+        // The wire round-trip is idempotent and loses nothing but the
+        // failure causes: epoch, rank count, survivor set and header
+        // charge all survive both hops.
+        assert_eq!(once, twice);
+        assert_eq!(twice.epoch(), owner.epoch());
+        assert_eq!(twice.num_ranks(), owner.num_ranks());
+        assert_eq!(twice.survivors(), owner.survivors());
+        assert_eq!(twice.header_bits(), owner.header_bits());
+        // Survivor order is normalized: a shuffled survivor list
+        // rebuilds the identical view.
+        let shuffled = Membership::from_survivors(owner.epoch(), 9, &[8, 0, 5, 3, 6, 2, 1]);
+        assert_eq!(shuffled, once);
+    }
+
+    #[test]
     fn select_over_full_set_matches_select() {
         let platform = crate::presets::fully_heterogeneous();
         let members: Vec<usize> = (0..platform.num_procs()).collect();

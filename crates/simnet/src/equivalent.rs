@@ -129,4 +129,60 @@ mod tests {
         assert!(!r.same_proc_count);
         assert!(!r.holds_within(1.0));
     }
+
+    #[test]
+    fn equivalent_of_random_platforms_matches_principles_exactly() {
+        for seed in [1u64, 7, 1234, 987_654] {
+            for p in [2usize, 3, 5, 16] {
+                let het = presets::random_heterogeneous(seed, p, 3, 0.002, 0.05);
+                let eq = equivalent_homogeneous(&het);
+                assert!(eq.is_compute_homogeneous());
+                assert!(eq.is_network_homogeneous());
+                assert_eq!(eq.num_procs(), het.num_procs());
+                let r = check_equivalence(&het, &eq);
+                assert!(r.holds_within(1e-12), "seed {seed} p {p}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_platform_is_its_own_equivalent() {
+        // Degenerate but legal: one node has no off-diagonal links, so
+        // the mean link is 0 on both sides and the check must not
+        // divide by zero or emit NaN.
+        let single = presets::thunderhead(1);
+        let eq = equivalent_homogeneous(&single);
+        let r = check_equivalence(&single, &eq);
+        assert!(r.same_proc_count);
+        assert!(r.mean_speed_rel_diff.is_finite());
+        assert_eq!(r.mean_link_rel_diff, 0.0);
+        assert!(r.holds_within(1e-12));
+    }
+
+    #[test]
+    fn holds_within_is_inclusive_at_the_tolerance() {
+        let r = EquivalenceReport {
+            same_proc_count: true,
+            mean_speed_rel_diff: 0.25,
+            mean_link_rel_diff: 0.10,
+        };
+        assert!(r.holds_within(0.25));
+        assert!(!r.holds_within(0.2499));
+        // Count mismatch dominates any tolerance.
+        let bad = EquivalenceReport {
+            same_proc_count: false,
+            mean_speed_rel_diff: 0.0,
+            mean_link_rel_diff: 0.0,
+        };
+        assert!(!bad.holds_within(f64::INFINITY));
+    }
+
+    #[test]
+    fn check_equivalence_is_symmetric() {
+        let a = presets::fully_heterogeneous();
+        let b = presets::partially_homogeneous();
+        let ab = check_equivalence(&a, &b);
+        let ba = check_equivalence(&b, &a);
+        assert_eq!(ab, ba);
+    }
 }

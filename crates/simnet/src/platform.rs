@@ -108,6 +108,26 @@ impl Platform {
         }
     }
 
+    /// Attaches a device to one node of an already-built platform
+    /// (builder style). The presets attach devices while assembling
+    /// their [`ProcessorSpec`]s; this is the entry point for callers
+    /// that start from a generated platform — the chaos harness drops
+    /// accelerators onto random hosts through it.
+    ///
+    /// # Panics
+    /// Panics when `rank` is out of range or the device spec is
+    /// invalid.
+    pub fn with_device_at(mut self, rank: usize, device: DeviceSpec) -> Self {
+        assert!(
+            rank < self.procs.len(),
+            "with_device_at: rank {rank} out of range ({} procs)",
+            self.procs.len()
+        );
+        device.validate();
+        self.procs[rank].device = Some(device);
+        self
+    }
+
     /// Sets the per-message software latency (builder style). Fabrics
     /// like Myrinet have an order of magnitude lower latency than
     /// commodity Ethernet.

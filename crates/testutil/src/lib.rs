@@ -16,7 +16,9 @@ use hetero_hsi::OffloadPolicy;
 use hsi_cube::synth::{wtc_scene, SyntheticScene, WtcConfig};
 use simnet::engine::Engine;
 use simnet::prof::RunProfile;
-use simnet::{presets, FaultPlan, RunReport};
+use simnet::{presets, CollAlgorithm, FaultPlan, Platform, RunReport};
+
+pub mod gen;
 
 /// The smallest WTC scene (`WtcConfig::tiny()`): the standard fixture
 /// for fault-injection, accel and profiler suites where virtual-time
@@ -57,6 +59,28 @@ pub const POLICIES: [OffloadPolicy; 3] = [
     OffloadPolicy::Always,
     OffloadPolicy::Auto,
 ];
+
+/// Rank counts straddling powers of two (binomial-tree edge cases) and
+/// the paper's 16-processor networks — the canonical sweep of the
+/// collective conformance suites.
+pub const RANK_COUNTS: [usize; 8] = [2, 3, 4, 5, 8, 9, 16, 17];
+
+/// Every selectable collective backend, in the canonical sweep order.
+pub const BACKENDS: [CollAlgorithm; 5] = [
+    CollAlgorithm::Linear,
+    CollAlgorithm::BinomialTree,
+    CollAlgorithm::SegmentHierarchical,
+    CollAlgorithm::PipelinedChunked,
+    CollAlgorithm::Auto,
+];
+
+/// The conformance suites' multi-segment heterogeneous platform of `p`
+/// ranks: seeded off the rank count (so each count gets a distinct but
+/// reproducible machine), segments interleaved `i % 3` so hierarchical
+/// trees are non-trivial.
+pub fn random_platform(p: usize) -> Platform {
+    presets::random_heterogeneous(41 + p as u64, p, 3, 0.002, 0.05)
+}
 
 /// Default fault-tolerant driver options with an explicit offload
 /// policy.

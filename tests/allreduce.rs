@@ -8,32 +8,13 @@
 //! winner-selection path must match the legacy outputs while running
 //! strictly faster on the paper's fully heterogeneous network.
 
-use heterospec::cube::synth::{wtc_scene, WtcConfig};
 use heterospec::hetero::config::{AlgoParams, RunOptions};
 use heterospec::hetero::par::{atdca, ufcls};
 use heterospec::simnet::engine::{Engine, WireVec};
 use heterospec::simnet::{
     coll, presets, CollAlgorithm, CollOp, CollectiveConfig, FaultPlan, Platform,
 };
-
-/// Rank counts straddling powers of two (binomial-tree edge cases) and
-/// the paper's 16-processor networks.
-const RANK_COUNTS: [usize; 8] = [2, 3, 4, 5, 8, 9, 16, 17];
-
-/// Every selectable backend.
-const BACKENDS: [CollAlgorithm; 5] = [
-    CollAlgorithm::Linear,
-    CollAlgorithm::BinomialTree,
-    CollAlgorithm::SegmentHierarchical,
-    CollAlgorithm::PipelinedChunked,
-    CollAlgorithm::Auto,
-];
-
-/// A multi-segment heterogeneous platform of `p` ranks (segments are
-/// interleaved `i % 3`, so hierarchical trees are non-trivial).
-fn platform(p: usize) -> Platform {
-    presets::random_heterogeneous(41 + p as u64, p, 3, 0.002, 0.05)
-}
+use testutil::{coords, random_platform as platform, tiny_scene, BACKENDS, RANK_COUNTS};
 
 /// Allreduce of each rank's `[rank, rank², …]` vector under `backend`,
 /// folded with elementwise wrapping addition (associative and
@@ -341,7 +322,7 @@ fn fused_cfg() -> CollectiveConfig {
 
 #[test]
 fn fused_ufcls_matches_legacy_outputs_and_is_strictly_faster() {
-    let s = wtc_scene(WtcConfig::tiny());
+    let s = tiny_scene();
     let params = AlgoParams {
         num_targets: 6,
         ..Default::default()
@@ -354,9 +335,6 @@ fn fused_ufcls_matches_legacy_outputs_and_is_strictly_faster() {
         &params,
         &RunOptions::hetero().with_collectives(fused_cfg()),
     );
-    let coords = |ts: &[heterospec::hetero::seq::DetectedTarget]| {
-        ts.iter().map(|t| (t.line, t.sample)).collect::<Vec<_>>()
-    };
     assert_eq!(coords(&legacy.result), coords(&fused.result));
     for (a, b) in legacy.result.iter().zip(&fused.result) {
         assert_eq!(a.spectrum, b.spectrum, "spectrum drift under fusion");
@@ -378,7 +356,7 @@ fn fused_ufcls_matches_legacy_outputs_and_is_strictly_faster() {
 
 #[test]
 fn fused_atdca_matches_legacy_outputs_and_is_strictly_faster() {
-    let s = wtc_scene(WtcConfig::tiny());
+    let s = tiny_scene();
     let params = AlgoParams {
         num_targets: 8,
         ..Default::default()
@@ -391,9 +369,6 @@ fn fused_atdca_matches_legacy_outputs_and_is_strictly_faster() {
         &params,
         &RunOptions::hetero().with_collectives(fused_cfg()),
     );
-    let coords = |ts: &[heterospec::hetero::seq::DetectedTarget]| {
-        ts.iter().map(|t| (t.line, t.sample)).collect::<Vec<_>>()
-    };
     assert_eq!(coords(&legacy.result), coords(&fused.result));
     assert!(
         fused.report.total_time < legacy.report.total_time,
@@ -410,7 +385,7 @@ fn fused_atdca_matches_legacy_outputs_and_is_strictly_faster() {
 /// Fused reruns are bit-identical, recorded choices included.
 #[test]
 fn fused_runs_are_deterministic_across_reruns() {
-    let s = wtc_scene(WtcConfig::tiny());
+    let s = tiny_scene();
     let params = AlgoParams {
         num_targets: 5,
         ..Default::default()

@@ -10,25 +10,7 @@ use heterospec::simnet::engine::{Engine, WireVec};
 use heterospec::simnet::{
     coll, presets, CollAlgorithm, CollectiveConfig, FaultPlan, GatherEntry, Platform,
 };
-
-/// Rank counts straddling powers of two (binomial-tree edge cases) and
-/// the paper's 16-processor networks.
-const RANK_COUNTS: [usize; 8] = [2, 3, 4, 5, 8, 9, 16, 17];
-
-/// Every selectable backend.
-const BACKENDS: [CollAlgorithm; 5] = [
-    CollAlgorithm::Linear,
-    CollAlgorithm::BinomialTree,
-    CollAlgorithm::SegmentHierarchical,
-    CollAlgorithm::PipelinedChunked,
-    CollAlgorithm::Auto,
-];
-
-/// A multi-segment heterogeneous platform of `p` ranks (segments are
-/// interleaved `i % 3`, so hierarchical trees are non-trivial).
-fn platform(p: usize) -> Platform {
-    presets::random_heterogeneous(41 + p as u64, p, 3, 0.002, 0.05)
-}
+use testutil::{random_platform as platform, BACKENDS, RANK_COUNTS};
 
 /// Broadcast + gather + reduce under `backend`, returning every rank's
 /// received broadcast payload, the root's gathered entries, and the

@@ -18,6 +18,7 @@ use heterospec::simnet::{
     coll, presets, CollAlgorithm, CollError, CollectiveConfig, FailureCause, FaultPlan, Membership,
     RunReport, Stamped,
 };
+use testutil::engine_with;
 
 const P: usize = 16;
 const PAYLOAD: usize = 512;
@@ -85,7 +86,7 @@ fn allreduce_survivors(engine: &Engine) -> RunReport<Option<Vec<f32>>> {
 fn crashed_engine() -> Engine {
     // 0.003 s lands mid-broadcast on this platform: headers are out,
     // the tree is streaming.
-    Engine::new(presets::fully_heterogeneous()).with_faults(FaultPlan::new().crash(4, 0.003))
+    engine_with(FaultPlan::new().crash(4, 0.003))
 }
 
 #[test]

@@ -7,13 +7,13 @@
 //! schedule, and be deterministic across reruns — recorded collective
 //! choices included.
 
-use heterospec::cube::synth::{wtc_scene, WtcConfig};
 use heterospec::hetero::config::{AlgoParams, RunOptions};
 use heterospec::hetero::framework::ParallelRun;
 use heterospec::hetero::par::{atdca, ufcls};
 use heterospec::hetero::seq::DetectedTarget;
 use heterospec::simnet::engine::Engine;
 use heterospec::simnet::{presets, CollAlgorithm, CollectiveConfig, Platform};
+use testutil::{coords, tiny_scene};
 
 /// A pipelined-chunked broadcast with the legacy split winner
 /// selection: the configuration under which chunk overlap has work to
@@ -27,10 +27,7 @@ fn chunked_cfg() -> CollectiveConfig {
 }
 
 fn params() -> AlgoParams {
-    AlgoParams {
-        num_targets: 6,
-        ..Default::default()
-    }
+    testutil::params(6, 5)
 }
 
 fn run_pair(
@@ -40,7 +37,7 @@ fn run_pair(
     ParallelRun<Vec<DetectedTarget>>,
     ParallelRun<Vec<DetectedTarget>>,
 ) {
-    let s = wtc_scene(WtcConfig::tiny());
+    let s = tiny_scene();
     let engine = Engine::new(platform.clone());
     let base = RunOptions::hetero().with_collectives(chunked_cfg());
     let run = |options: &RunOptions| match algo {
@@ -51,10 +48,6 @@ fn run_pair(
     let plain = run(&base);
     let overlapped = run(&base.with_bcast_overlap(true));
     (plain, overlapped)
-}
-
-fn coords(ts: &[DetectedTarget]) -> Vec<(usize, usize)> {
-    ts.iter().map(|t| (t.line, t.sample)).collect()
 }
 
 #[test]
@@ -120,7 +113,7 @@ fn overlap_is_strictly_faster_on_the_serial_link_networks() {
 /// report — every ledger, every recorded choice — compares equal.
 #[test]
 fn overlap_is_an_exact_noop_under_the_linear_schedule() {
-    let s = wtc_scene(WtcConfig::tiny());
+    let s = tiny_scene();
     let engine = Engine::new(presets::fully_heterogeneous());
     for algo in ["atdca", "ufcls"] {
         let run = |options: &RunOptions| match algo {
@@ -139,7 +132,7 @@ fn overlap_is_an_exact_noop_under_the_linear_schedule() {
 /// included.
 #[test]
 fn overlapped_runs_are_deterministic_across_reruns() {
-    let s = wtc_scene(WtcConfig::tiny());
+    let s = tiny_scene();
     let engine = Engine::new(presets::fully_heterogeneous());
     let options = RunOptions::hetero()
         .with_collectives(chunked_cfg())

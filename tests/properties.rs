@@ -339,6 +339,30 @@ proptest! {
     }
 }
 
+/// Pinned counterexample from `tests/properties.proptest-regressions`
+/// (upstream proptest shrank to `mflops = 0.1, mbits = 8.91318394720795`):
+/// a communication-dominated row cost drove a fast-but-isolated
+/// processor's share below the slowest CPU's. Promoted to an explicit
+/// test per the policy in `docs/TESTING.md`.
+#[test]
+fn makespan_fractions_sane_at_the_communication_dominated_corner() {
+    use heterospec::hetero::wea::{hetero_fractions, RowCost, WeaConfig};
+    let platform = heterospec::simnet::presets::fully_heterogeneous();
+    let f = hetero_fractions(
+        &platform,
+        RowCost {
+            mflops_per_row: 0.1,
+            mbits_per_row: 8.913_183_947_207_95,
+            fixed_mflops: 0.0,
+        },
+        WeaConfig::default(),
+    );
+    assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!(f.iter().all(|&x| x >= 0.0));
+    assert!(f[0] >= 1.0 / 16.0 - 1e-9, "root share {}", f[0]);
+    assert!(f[2] >= f[9] - 1e-12, "p3 {} < p10 {}", f[2], f[9]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

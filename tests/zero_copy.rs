@@ -11,23 +11,7 @@ use heterospec::simnet::engine::{Engine, WireVec};
 use heterospec::simnet::{coll, presets, CollAlgorithm, CollectiveConfig, Platform, Wire};
 use proptest::prelude::*;
 use std::sync::Arc;
-
-/// Rank counts straddling powers of two plus the paper's 16-rank nets.
-const RANK_COUNTS: [usize; 8] = [2, 3, 4, 5, 8, 9, 16, 17];
-
-/// Every selectable broadcast backend.
-const BACKENDS: [CollAlgorithm; 5] = [
-    CollAlgorithm::Linear,
-    CollAlgorithm::BinomialTree,
-    CollAlgorithm::SegmentHierarchical,
-    CollAlgorithm::PipelinedChunked,
-    CollAlgorithm::Auto,
-];
-
-/// A multi-segment heterogeneous platform of `p` ranks.
-fn platform(p: usize) -> Platform {
-    presets::random_heterogeneous(41 + p as u64, p, 3, 0.002, 0.05)
-}
+use testutil::{random_platform as platform, BACKENDS, RANK_COUNTS};
 
 /// Broadcasts `words` u32s from rank 0 with an **owned** payload,
 /// returning the run report (results are each rank's received payload).

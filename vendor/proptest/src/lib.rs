@@ -15,6 +15,13 @@
 //! fixed deterministic seed per test function derived from the test
 //! name — CI runs are reproducible by construction, so there is no
 //! regression-file machinery either.
+//!
+//! One further deliberate difference: the `PROPTEST_CASES` environment
+//! variable overrides the configured case count *even when the suite
+//! pins one with [`ProptestConfig::with_cases`]* (upstream only reads
+//! the variable into `Config::default()`). This lets CI dial the same
+//! committed suites down for per-push smoke runs and up for nightly
+//! soaks without editing the tests (see `docs/TESTING.md`).
 
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -38,6 +45,18 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+}
+
+/// The effective case count for a test run: the `PROPTEST_CASES`
+/// environment variable (a positive integer) overrides the configured
+/// count when set; malformed or non-positive values are ignored.
+pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+    let raw = std::env::var("PROPTEST_CASES").ok();
+    cases_override(raw.as_deref()).unwrap_or(config.cases)
+}
+
+fn cases_override(raw: Option<&str>) -> Option<u32> {
+    raw?.trim().parse().ok().filter(|&n| n > 0)
 }
 
 /// The RNG handed to strategies (deterministic ChaCha8).
@@ -255,9 +274,10 @@ macro_rules! __proptest_items {
         $(#[$attr])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            let cases = $crate::resolve_cases(&config);
             let mut rng = $crate::test_rng(::std::stringify!($name));
             $(let $arg = $strategy;)+
-            for case in 0..config.cases {
+            for case in 0..cases {
                 $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
                 // Render inputs up front: the body may move them.
                 let mut inputs = ::std::string::String::new();
@@ -276,7 +296,7 @@ macro_rules! __proptest_items {
                     ::std::panic!(
                         "proptest case {}/{} failed: {}\n  inputs:{}",
                         case + 1,
-                        config.cases,
+                        cases,
                         message,
                         inputs
                     );
@@ -324,6 +344,17 @@ mod tests {
             prop_assert_eq!(p.len(), 2);
             prop_assert!(p.iter().all(|v| (-1.0..1.0).contains(v)));
         }
+    }
+
+    #[test]
+    fn cases_override_parses_only_positive_integers() {
+        assert_eq!(crate::cases_override(None), None);
+        assert_eq!(crate::cases_override(Some("")), None);
+        assert_eq!(crate::cases_override(Some("abc")), None);
+        assert_eq!(crate::cases_override(Some("0")), None);
+        assert_eq!(crate::cases_override(Some("-3")), None);
+        assert_eq!(crate::cases_override(Some("17")), Some(17));
+        assert_eq!(crate::cases_override(Some(" 8 ")), Some(8));
     }
 
     #[test]
